@@ -1,0 +1,37 @@
+// Metric-misreporting demonstration (paper §4.2: YaTC, NetMamba and
+// netFound "misleadingly use the micro F1-Score — which favours majority
+// classes"). On the naturally imbalanced USTC-app test distribution, the
+// same predictions score very differently under micro and macro averaging.
+#include "bench_common.h"
+
+using namespace sugar;
+
+int main() {
+  core::BenchmarkEnv env;
+
+  core::MarkdownTable table{
+      {"Model (USTC-app, per-flow frozen)", "Accuracy", "micro F1", "macro F1",
+       "micro-macro gap"}};
+
+  for (auto kind : {replearn::ModelKind::NetMamba, replearn::ModelKind::YaTC,
+                    replearn::ModelKind::NetFound, replearn::ModelKind::PcapEncoder}) {
+    core::ScenarioOptions opts;
+    opts.split = dataset::SplitPolicy::PerFlow;
+    opts.frozen = true;
+    auto r = core::run_packet_scenario(env, dataset::TaskId::UstcApp, kind, opts);
+    double gap = r.metrics.micro_f1 - r.metrics.macro_f1;
+    table.add_row({replearn::to_string(kind),
+                   core::MarkdownTable::pct(r.metrics.accuracy),
+                   core::MarkdownTable::pct(r.metrics.micro_f1),
+                   core::MarkdownTable::pct(r.metrics.macro_f1),
+                   core::MarkdownTable::pct(gap)});
+    std::fprintf(stderr, "[metrics] %s: %s\n", replearn::to_string(kind).c_str(),
+                 r.metrics.to_string().c_str());
+  }
+
+  core::print_table(
+      "Ablation — micro vs macro F1 on the natural (imbalanced) test set: the "
+      "micro score flatters majority classes",
+      table);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Shared helpers for the per-table bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/env.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+
+namespace sugar::bench {
+
+inline std::string ac_f1(const ml::Metrics& m) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f / %.1f", 100 * m.accuracy, 100 * m.macro_f1);
+  return buf;
+}
+
+inline const std::vector<dataset::TaskId> kAllTasks = {
+    dataset::TaskId::VpnBinary, dataset::TaskId::VpnService,
+    dataset::TaskId::VpnApp,    dataset::TaskId::UstcBinary,
+    dataset::TaskId::UstcApp,   dataset::TaskId::Tls120,
+};
+
+inline const std::vector<dataset::TaskId> kHardTasks = {
+    dataset::TaskId::VpnApp,
+    dataset::TaskId::Tls120,
+};
+
+}  // namespace sugar::bench

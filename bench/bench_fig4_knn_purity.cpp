@@ -1,0 +1,43 @@
+// Figure 4: 5-NN purity of ET-BERT-analog embeddings on TLS-120 test
+// packets (per-packet split, as in the paper). Expected shape: the frozen
+// embedding puts most packets next to *no* same-class neighbour; after
+// unfrozen fine-tuning the embedding collapses onto the (leaky) task and
+// most packets have all 5 neighbours of their class.
+#include "bench_common.h"
+
+using namespace sugar;
+
+int main() {
+  core::BenchmarkEnv env;
+  const auto task = dataset::TaskId::Tls120;
+  const auto model = replearn::ModelKind::EtBert;
+
+  core::MarkdownTable table{{"Same-class neighbours (of 5)", "Frozen", "Unfrozen"}};
+  ml::PurityHistogram hist[2];
+
+  for (int i = 0; i < 2; ++i) {
+    core::ScenarioOptions opts;
+    opts.split = dataset::SplitPolicy::PerPacket;
+    opts.frozen = i == 0;
+    opts.export_embeddings = 2000;
+    auto r = core::run_packet_scenario(env, task, model, opts);
+    hist[i] = core::purity_of(r);
+    std::fprintf(stderr, "[fig4] %s: %s, mean purity %.3f\n",
+                 opts.frozen ? "frozen" : "unfrozen", r.metrics.to_string().c_str(),
+                 hist[i].mean_purity);
+  }
+
+  for (int k = 0; k <= 5; ++k) {
+    table.add_row({std::to_string(k),
+                   core::MarkdownTable::pct(hist[0].histogram[static_cast<std::size_t>(k)]),
+                   core::MarkdownTable::pct(hist[1].histogram[static_cast<std::size_t>(k)])});
+  }
+  table.add_row({"mean purity", core::MarkdownTable::pct(hist[0].mean_purity),
+                 core::MarkdownTable::pct(hist[1].mean_purity)});
+
+  core::print_table(
+      "Figure 4 — 5-NN purity of ET-BERT-analog embeddings (TLS-120, per-packet "
+      "split, % of points)",
+      table);
+  return 0;
+}

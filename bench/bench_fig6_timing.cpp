@@ -1,0 +1,56 @@
+// Figure 6: training and inference time of every model relative to the
+// Random Forest (VPN-app, per-flow split). Expected shape: RF fastest by
+// far; each deep model costs 2-500x at training; unfrozen costs 2-8x over
+// frozen; netFound (largest) slowest at inference, NetMamba cheapest among
+// the deep models; Pcap-Encoder near the top of the cost range.
+#include "bench_common.h"
+
+using namespace sugar;
+
+int main() {
+  core::BenchmarkEnv env;
+  const auto task = dataset::TaskId::VpnApp;
+
+  // Baseline: Random Forest.
+  core::ScenarioOptions opts;
+  opts.split = dataset::SplitPolicy::PerFlow;
+  auto rf = core::run_shallow_scenario(env, task, core::ShallowKind::RandomForest,
+                                       true, opts);
+  std::fprintf(stderr, "[fig6] RF: train %.2fs test %.2fs\n", rf.train_seconds,
+               rf.test_seconds);
+
+  core::MarkdownTable table{{"Model", "Train x (frozen)", "Train x (unfrozen)",
+                             "Inference x", "Params"}};
+  table.add_row({"RF (baseline)", "1.0", "-", "1.0", "-"});
+
+  for (auto kind : replearn::all_model_kinds()) {
+    double train_frozen = 0, train_unfrozen = 0, infer = 0;
+    std::size_t params = 0;
+    for (bool frozen : {true, false}) {
+      core::ScenarioOptions dopts;
+      dopts.split = dataset::SplitPolicy::PerFlow;
+      dopts.frozen = frozen;
+      auto r = core::run_packet_scenario(env, task, kind, dopts);
+      (frozen ? train_frozen : train_unfrozen) = r.train_seconds;
+      infer = r.test_seconds;
+      std::fprintf(stderr, "[fig6] %s %s: train %.2fs test %.2fs\n",
+                   replearn::to_string(kind).c_str(), frozen ? "frozen" : "unfrozen",
+                   r.train_seconds, r.test_seconds);
+    }
+    {
+      auto bundle = env.pretrained(kind, replearn::TaskMode::Packet);
+      params = bundle.encoder->param_count();
+    }
+    table.add_row({replearn::to_string(kind),
+                   core::MarkdownTable::num(train_frozen / rf.train_seconds, 1),
+                   core::MarkdownTable::num(train_unfrozen / rf.train_seconds, 1),
+                   core::MarkdownTable::num(infer / rf.test_seconds, 1),
+                   std::to_string(params)});
+  }
+
+  core::print_table(
+      "Figure 6 — Training/inference time relative to the RF baseline (VPN-app, "
+      "per-flow split)",
+      table);
+  return 0;
+}

@@ -1,0 +1,144 @@
+// google-benchmark microbenchmarks for the substrate: parser, serializer,
+// checksum, flow assembly, split, featurization and pcap I/O throughput.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "dataset/split.h"
+#include "dataset/task.h"
+#include "net/checksum.h"
+#include "net/flow.h"
+#include "net/mutate.h"
+#include "net/parser.h"
+#include "net/pcap.h"
+#include "replearn/featurize.h"
+#include "trafficgen/datasets.h"
+
+using namespace sugar;
+
+namespace {
+
+std::vector<net::Packet> sample_trace(std::size_t flows = 60) {
+  trafficgen::GenOptions opts;
+  opts.seed = 42;
+  opts.flows_per_class = flows / 16 + 1;
+  return trafficgen::generate_iscx_vpn(opts).packets;
+}
+
+const std::vector<net::Packet>& cached_trace() {
+  static const std::vector<net::Packet> trace = sample_trace();
+  return trace;
+}
+
+void BM_ParsePacket(benchmark::State& state) {
+  const auto& trace = cached_trace();
+  std::size_t i = 0, bytes = 0;
+  for (auto _ : state) {
+    auto outcome = net::parse_packet(trace[i % trace.size()]);
+    benchmark::DoNotOptimize(outcome);
+    bytes += trace[i % trace.size()].data.size();
+    ++i;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_ParsePacket);
+
+void BM_Checksum1500(benchmark::State& state) {
+  std::vector<std::uint8_t> buf(1500, 0xA5);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::checksum(buf));
+    bytes += buf.size();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_Checksum1500);
+
+void BM_GenerateFlow(benchmark::State& state) {
+  auto profiles = trafficgen::iscx_vpn_profiles();
+  trafficgen::Rng rng(7);
+  std::size_t packets = 0;
+  for (auto _ : state) {
+    auto pkts = trafficgen::generate_flow(profiles[2], false, rng, 0);
+    packets += pkts.size();
+    benchmark::DoNotOptimize(pkts);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(packets));
+}
+BENCHMARK(BM_GenerateFlow);
+
+void BM_FlowAssembly(benchmark::State& state) {
+  const auto& trace = cached_trace();
+  for (auto _ : state) {
+    auto table = net::assemble_flows(trace);
+    benchmark::DoNotOptimize(table);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_FlowAssembly);
+
+void BM_RandomizeSeqAck(benchmark::State& state) {
+  auto trace = cached_trace();
+  std::mt19937_64 rng(3);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    net::randomize_seq_ack(trace[i % trace.size()], rng);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RandomizeSeqAck);
+
+void BM_PcapRoundTrip(benchmark::State& state) {
+  const auto& trace = cached_trace();
+  for (auto _ : state) {
+    std::stringstream ss;
+    {
+      net::PcapWriter writer(ss);
+      writer.write_all(trace);
+    }
+    net::PcapReader reader(ss);
+    auto back = reader.read_all();
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_PcapRoundTrip);
+
+void BM_HeaderFeaturize(benchmark::State& state) {
+  trafficgen::GenOptions opts;
+  opts.seed = 9;
+  opts.flows_per_class = 2;
+  auto trace = trafficgen::generate_iscx_vpn(opts);
+  auto ds = dataset::make_task_dataset(trace, dataset::TaskId::VpnApp);
+  std::vector<std::size_t> idx(ds.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  for (auto _ : state) {
+    auto x = replearn::header_feature_matrix(ds, idx, {});
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ds.size()));
+}
+BENCHMARK(BM_HeaderFeaturize);
+
+void BM_PerFlowSplit(benchmark::State& state) {
+  trafficgen::GenOptions opts;
+  opts.seed = 9;
+  opts.flows_per_class = 4;
+  auto trace = trafficgen::generate_iscx_vpn(opts);
+  auto ds = dataset::make_task_dataset(trace, dataset::TaskId::VpnApp);
+  for (auto _ : state) {
+    dataset::SplitOptions so;
+    so.policy = dataset::SplitPolicy::PerFlow;
+    auto split = dataset::split_dataset(ds, so);
+    benchmark::DoNotOptimize(split);
+  }
+}
+BENCHMARK(BM_PerFlowSplit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

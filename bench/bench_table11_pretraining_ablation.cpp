@@ -1,0 +1,66 @@
+// Table 11: Pcap-Encoder pre-training ablation (per-flow split, frozen).
+// Variants: full AE+Q&A pre-training, Q&A only, and the bare un-pretrained
+// backbone ("T5-base" in the paper). Expected shape: Q&A is the crucial
+// phase; the AE phase adds a smaller increment; no pre-training collapses.
+#include "bench_common.h"
+#include "replearn/pcap_encoder.h"
+
+using namespace sugar;
+
+namespace {
+
+replearn::ModelBundle make_variant(core::BenchmarkEnv& env, bool ae, bool qa) {
+  replearn::ModelBundle b = replearn::make_model(replearn::ModelKind::PcapEncoder,
+                                                 replearn::TaskMode::Packet);
+  replearn::PcapEncoderConfig cfg =
+      static_cast<replearn::PcapEncoder&>(*b.encoder).config();
+  cfg.enable_autoencoder_phase = ae;
+  cfg.enable_qa_phase = qa;
+  b.encoder = std::make_unique<replearn::PcapEncoder>(cfg);
+  replearn::BackbonePretrainOptions opts;
+  opts.pretrain.epochs = env.config().pretrain_epochs;
+  opts.max_samples = env.config().pretrain_max_samples;
+  opts.seed = env.config().seed ^ 0x11E;
+  pretrain_on_backbone(b, env.backbone(), opts);
+  return b;
+}
+
+}  // namespace
+
+int main() {
+  core::BenchmarkEnv env;
+
+  core::MarkdownTable table{
+      {"Variant", "VPN-app AC", "VPN-app F1", "TLS-120 AC", "TLS-120 F1"}};
+
+  struct Variant {
+    const char* name;
+    bool ae, qa;
+  };
+  const Variant variants[] = {
+      {"Autoencoder + Q&A", true, true},
+      {"Q&A only", false, true},
+      {"No pre-training (base)", false, false},
+  };
+
+  for (const auto& v : variants) {
+    std::vector<std::string> row{v.name};
+    for (auto task : bench::kHardTasks) {
+      auto bundle = make_variant(env, v.ae, v.qa);
+      core::ScenarioOptions opts;
+      opts.split = dataset::SplitPolicy::PerFlow;
+      opts.frozen = true;
+      auto r = core::run_packet_scenario_with_bundle(env, task, std::move(bundle), opts);
+      row.push_back(core::MarkdownTable::pct(r.metrics.accuracy));
+      row.push_back(core::MarkdownTable::pct(r.metrics.macro_f1));
+      std::fprintf(stderr, "[table11] %s %s: %s\n", v.name,
+                   dataset::to_string(task).c_str(), r.metrics.to_string().c_str());
+    }
+    table.add_row(std::move(row));
+  }
+
+  core::print_table(
+      "Table 11 — Pcap-Encoder pre-training ablation (per-flow split, frozen)",
+      table);
+  return 0;
+}

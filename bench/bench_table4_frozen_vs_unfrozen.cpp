@@ -1,0 +1,36 @@
+// Table 4: per-flow split, frozen vs unfrozen encoders on the two hardest
+// tasks. Expected shape: unfreezing helps every surveyed model but does not
+// rescue them; Pcap-Encoder's unfreeze gain is the smallest because its
+// pre-trained representation already carries the usable signal.
+#include "bench_common.h"
+
+using namespace sugar;
+
+int main() {
+  core::BenchmarkEnv env;
+
+  core::MarkdownTable table{{"Model", "VPN-app frozen", "VPN-app unfrozen",
+                             "TLS-120 frozen", "TLS-120 unfrozen"}};
+
+  for (auto kind : replearn::all_model_kinds()) {
+    std::vector<std::string> row{replearn::to_string(kind)};
+    for (auto task : bench::kHardTasks) {
+      for (bool frozen : {true, false}) {
+        core::ScenarioOptions opts;
+        opts.split = dataset::SplitPolicy::PerFlow;
+        opts.frozen = frozen;
+        auto r = core::run_packet_scenario(env, task, kind, opts);
+        row.push_back(bench::ac_f1(r.metrics));
+        std::fprintf(stderr, "[table4] %s %s %s: %s\n",
+                     replearn::to_string(kind).c_str(),
+                     dataset::to_string(task).c_str(), frozen ? "frozen" : "unfrozen",
+                     r.metrics.to_string().c_str());
+      }
+    }
+    table.add_row(std::move(row));
+  }
+
+  core::print_table("Table 4 — Per-flow split, frozen vs unfrozen encoders (AC/F1)",
+                    table);
+  return 0;
+}

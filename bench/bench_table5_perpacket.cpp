@@ -1,0 +1,36 @@
+// Table 5: the flawed per-packet split used by prior work. Expected shape:
+// frozen results stay unimpressive, but unfrozen fine-tuning suddenly
+// "reaches the promised >90%" — the leak: implicit flow ids shared between
+// train and test let an end-to-end model link test packets to training
+// flows.
+#include "bench_common.h"
+
+using namespace sugar;
+
+int main() {
+  core::BenchmarkEnv env;
+
+  core::MarkdownTable table{{"Model", "VPN-app frozen", "VPN-app unfrozen",
+                             "TLS-120 frozen", "TLS-120 unfrozen"}};
+
+  for (auto kind : replearn::all_model_kinds()) {
+    std::vector<std::string> row{replearn::to_string(kind)};
+    for (auto task : bench::kHardTasks) {
+      for (bool frozen : {true, false}) {
+        core::ScenarioOptions opts;
+        opts.split = dataset::SplitPolicy::PerPacket;
+        opts.frozen = frozen;
+        auto r = core::run_packet_scenario(env, task, kind, opts);
+        row.push_back(bench::ac_f1(r.metrics));
+        std::fprintf(stderr, "[table5] %s %s %s: %s (audit: %s)\n",
+                     replearn::to_string(kind).c_str(),
+                     dataset::to_string(task).c_str(), frozen ? "frozen" : "unfrozen",
+                     r.metrics.to_string().c_str(), r.audit.to_string().c_str());
+      }
+    }
+    table.add_row(std::move(row));
+  }
+
+  core::print_table("Table 5 — Per-packet split (the flawed setting), AC/F1", table);
+  return 0;
+}

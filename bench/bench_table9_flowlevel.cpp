@@ -1,0 +1,40 @@
+// Table 9: flow-level classification (flows with >= 5 packets, per-flow
+// split). Expected shape: frozen encoders struggle; unfreezing recovers
+// some; Pcap-Encoder with a frozen encoder and a first-5-packets majority
+// vote stays competitive with the unfrozen flow models.
+#include "bench_common.h"
+
+using namespace sugar;
+
+int main() {
+  core::BenchmarkEnv env;
+
+  core::MarkdownTable table{{"Model", "VPN-app frozen", "VPN-app unfrozen",
+                             "TLS-120 frozen", "TLS-120 unfrozen"}};
+
+  for (auto kind : replearn::all_model_kinds()) {
+    std::vector<std::string> row{replearn::to_string(kind)};
+    for (auto task : bench::kHardTasks) {
+      for (bool frozen : {true, false}) {
+        if (kind == replearn::ModelKind::PcapEncoder && !frozen) {
+          // The paper only evaluates Pcap-Encoder frozen (majority vote).
+          row.push_back("-");
+          continue;
+        }
+        core::ScenarioOptions opts;
+        opts.frozen = frozen;
+        auto r = core::run_flow_scenario(env, task, kind, opts);
+        row.push_back(bench::ac_f1(r.metrics));
+        std::fprintf(stderr, "[table9] %s %s %s: %s (%zu train / %zu test flows)\n",
+                     replearn::to_string(kind).c_str(),
+                     dataset::to_string(task).c_str(), frozen ? "frozen" : "unfrozen",
+                     r.metrics.to_string().c_str(), r.n_train, r.n_test);
+      }
+    }
+    table.add_row(std::move(row));
+  }
+
+  core::print_table("Table 9 — Flow-level classification (per-flow split, AC/F1)",
+                    table);
+  return 0;
+}

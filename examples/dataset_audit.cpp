@@ -1,0 +1,85 @@
+// Dataset audit walk-through: generate (or load) a trace, persist it as a
+// pcap, run the cleaning census (Table 13), and audit both split policies
+// for leakage — the paper's "verify data integrity" recommendation as a
+// runnable tool.
+//
+// Usage:  dataset_audit [trace.pcap]
+//   With a pcap argument the trace is read from disk (labels unavailable,
+//   so only the cleaning census runs). Without it, a synthetic USTC-TFC-like
+//   trace is generated, saved to /tmp/sugar_audit.pcap and fully audited.
+#include <iostream>
+
+#include "dataset/audit.h"
+#include "dataset/clean.h"
+#include "dataset/split.h"
+#include "net/pcap.h"
+#include "net/parser.h"
+
+using namespace sugar;
+
+namespace {
+
+void census_only(const std::vector<net::Packet>& packets) {
+  std::array<std::size_t, static_cast<std::size_t>(net::SpuriousCategory::kCount)>
+      hist{};
+  for (const auto& pkt : packets) {
+    auto outcome = net::parse_packet(pkt);
+    auto cat = outcome.ok() ? net::classify_spurious(*outcome.parsed)
+                            : net::SpuriousCategory::LinkManagement;
+    ++hist[static_cast<std::size_t>(cat)];
+  }
+  std::cout << "protocol census over " << packets.size() << " packets:\n";
+  for (std::size_t c = 0; c < hist.size(); ++c) {
+    if (hist[c] == 0) continue;
+    std::cout << "  " << net::to_string(static_cast<net::SpuriousCategory>(c))
+              << ": " << hist[c] << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    std::cout << "reading " << argv[1] << "\n";
+    auto packets = net::read_pcap_file(argv[1]);
+    census_only(packets);
+    return 0;
+  }
+
+  // 1. Generate a labelled trace with 10% spurious traffic.
+  trafficgen::GenOptions gopts;
+  gopts.seed = 42;
+  gopts.flows_per_class = 6;
+  gopts.spurious_fraction = 0.10;
+  auto trace = trafficgen::generate_ustc_tfc(gopts);
+  std::cout << "generated " << trace.size() << " packets, " << trace.num_flows()
+            << " flows, " << trace.num_spurious() << " spurious\n";
+
+  // 2. Round-trip through the pcap writer/reader.
+  const char* path = "/tmp/sugar_audit.pcap";
+  net::write_pcap_file(path, trace.packets);
+  auto reread = net::read_pcap_file(path);
+  std::cout << "pcap round trip: wrote+read " << reread.size() << " packets to "
+            << path << "\n";
+
+  // 3. Clean: the Table 13 census.
+  dataset::CleaningOptions copts;
+  auto report = dataset::clean_trace(trace, copts);
+  std::cout << "\ncleaning census (" << report.dataset_name << "):\n"
+            << report.to_markdown();
+
+  // 4. Audit the two split policies.
+  auto ds = dataset::make_task_dataset(trace, dataset::TaskId::UstcApp);
+  for (auto policy : {dataset::SplitPolicy::PerFlow, dataset::SplitPolicy::PerPacket}) {
+    dataset::SplitOptions sopts;
+    sopts.policy = policy;
+    auto split = dataset::split_dataset(ds, sopts);
+    auto audit = dataset::audit_split(ds, split);
+    std::cout << "\n" << dataset::to_string(policy) << " split audit:\n  "
+              << audit.to_string() << "\n";
+  }
+
+  std::cout << "\nThe per-packet audit is LEAKY: any result obtained on that "
+               "split overstates deployable accuracy.\n";
+  return 0;
+}

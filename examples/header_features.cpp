@@ -1,0 +1,78 @@
+// The expert-baseline recipe (Table 8/12): extract hand-crafted header
+// features from a trace, train a Random Forest with a proper per-flow
+// split, and print the feature-importance ranking — everything a network
+// operator needs to beat a 100M-parameter encoder.
+//
+// Usage: header_features [vpn-app|ustc-app|tls-120]
+#include <iostream>
+#include <numeric>
+#include <string>
+
+#include "dataset/clean.h"
+#include "dataset/split.h"
+#include "ml/forest.h"
+#include "ml/metrics.h"
+#include "replearn/featurize.h"
+
+using namespace sugar;
+
+int main(int argc, char** argv) {
+  std::string which = argc > 1 ? argv[1] : "ustc-app";
+
+  trafficgen::GenOptions gopts;
+  gopts.seed = 7;
+  gopts.flows_per_class = 8;
+  trafficgen::GeneratedTrace trace;
+  dataset::TaskId task;
+  if (which == "vpn-app") {
+    gopts.spurious_fraction = 0.05;
+    trace = trafficgen::generate_iscx_vpn(gopts);
+    task = dataset::TaskId::VpnApp;
+  } else if (which == "tls-120") {
+    gopts.strip_tls_handshake = true;
+    trace = trafficgen::generate_cstn_tls120(gopts);
+    task = dataset::TaskId::Tls120;
+  } else {
+    gopts.spurious_fraction = 0.10;
+    trace = trafficgen::generate_ustc_tfc(gopts);
+    task = dataset::TaskId::UstcApp;
+  }
+
+  dataset::CleaningOptions copts;
+  auto report = dataset::clean_trace(trace, copts);
+  std::cout << "cleaned " << report.removed_spurious_total() << " spurious packets ("
+            << static_cast<int>(100 * report.removed_spurious_fraction()) << "%)\n";
+
+  auto ds = dataset::make_task_dataset(trace, task);
+  std::cout << "task " << ds.task_name << ": " << ds.size() << " packets, "
+            << ds.num_classes << " classes\n";
+
+  dataset::SplitOptions sopts;
+  sopts.policy = dataset::SplitPolicy::PerFlow;
+  auto split = dataset::split_dataset(ds, sopts);
+  auto train_idx = dataset::balance_train(ds, split.train, 2);
+
+  auto dtr = ds.subset(train_idx);
+  auto dte = ds.subset(split.test);
+  std::vector<std::size_t> itr(dtr.size()), ite(dte.size());
+  std::iota(itr.begin(), itr.end(), 0);
+  std::iota(ite.begin(), ite.end(), 0);
+
+  replearn::HeaderFeatureSpec spec;
+  auto x_train = replearn::header_feature_matrix(dtr, itr, spec);
+  auto x_test = replearn::header_feature_matrix(dte, ite, spec);
+  auto names = replearn::header_feature_names(spec);
+  std::cout << "features: " << names.size() << " header fields (Table 12)\n";
+
+  ml::RandomForest rf;
+  rf.fit(x_train, dtr.label, ds.num_classes);
+  auto pred = rf.predict(x_test);
+  auto metrics = ml::evaluate(dte.label, pred, ds.num_classes);
+  std::cout << "\nRandom Forest, per-flow split: " << metrics.to_string() << "\n";
+
+  std::cout << "\ntop-10 feature importances:\n";
+  auto ranked = ml::ranked_importance(rf.feature_importance(), names);
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, ranked.size()); ++i)
+    std::printf("  %-14s %.3f\n", ranked[i].first.c_str(), ranked[i].second);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Shortcut-learning demonstration (the paper's Table 6 in miniature): an
+// unfrozen ET-BERT-analog trained on the flawed per-packet split looks
+// great — until the implicit flow identifiers (TCP SeqNo/AckNo and
+// timestamps) are randomized at test time, at which point the "learning"
+// evaporates. The honest per-flow split never showed the mirage.
+#include <iostream>
+
+#include "core/env.h"
+#include "core/pipeline.h"
+
+using namespace sugar;
+
+int main() {
+  core::EnvConfig cfg = core::EnvConfig::from_env();
+  // A compact configuration: this demo favours snappiness over precision.
+  cfg.flows_per_class_tls = 6;
+  cfg.downstream_epochs = 8;
+  cfg.max_train_packets_deep = 3000;
+  cfg.max_test_packets_deep = 2000;
+  core::BenchmarkEnv env(cfg);
+
+  const auto task = dataset::TaskId::Tls120;
+  const auto model = replearn::ModelKind::EtBert;
+
+  std::cout << "== Shortcut learning demo: ET-BERT analog, TLS-120 ==\n\n";
+
+  core::ScenarioOptions leaky;
+  leaky.split = dataset::SplitPolicy::PerPacket;
+  leaky.frozen = false;
+  auto r1 = core::run_packet_scenario(env, task, model, leaky);
+  std::cout << "1. per-packet split, unfrozen:            " << r1.metrics.to_string()
+            << "\n   audit: " << r1.audit.to_string() << "\n\n";
+
+  core::ScenarioOptions stripped = leaky;
+  stripped.test_ablation = dataset::AblationSpec::without_implicit_ids();
+  auto r2 = core::run_packet_scenario(env, task, model, stripped);
+  std::cout << "2. same model, SeqNo/AckNo/TStamp randomized in the TEST set:\n"
+            << "                                           " << r2.metrics.to_string()
+            << "\n   -> the accuracy above was riding on implicit flow ids.\n\n";
+
+  core::ScenarioOptions honest;
+  honest.split = dataset::SplitPolicy::PerFlow;
+  honest.frozen = false;
+  auto r3 = core::run_packet_scenario(env, task, model, honest);
+  std::cout << "3. honest per-flow split, unfrozen:       " << r3.metrics.to_string()
+            << "\n   audit: " << r3.audit.to_string() << "\n\n";
+
+  double drop = r1.metrics.accuracy - r2.metrics.accuracy;
+  std::cout << "Shortcut contribution: " << static_cast<int>(100 * drop)
+            << " accuracy points vanish when the implicit ids are removed.\n"
+            << "Recommendation (paper sec. 1): control for shortcut learning, "
+               "verify data integrity,\nstress the frozen representation, and "
+               "compare against shallow baselines.\n";
+  return 0;
+}

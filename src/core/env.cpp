@@ -1,0 +1,113 @@
+#include "core/env.h"
+
+#include <cstdlib>
+
+namespace sugar::core {
+
+EnvConfig EnvConfig::from_env() {
+  EnvConfig cfg;
+  if (const char* s = std::getenv("SUGAR_SCALE")) {
+    double scale = std::atof(s);
+    if (scale > 0) {
+      auto mul = [scale](std::size_t v) {
+        return std::max<std::size_t>(2, static_cast<std::size_t>(scale * static_cast<double>(v)));
+      };
+      cfg.flows_per_class_iscx = mul(cfg.flows_per_class_iscx);
+      cfg.flows_per_class_ustc = mul(cfg.flows_per_class_ustc);
+      cfg.flows_per_class_tls = mul(cfg.flows_per_class_tls);
+      cfg.backbone_flows = mul(cfg.backbone_flows);
+      cfg.max_train_packets = mul(cfg.max_train_packets);
+      cfg.max_test_packets = mul(cfg.max_test_packets);
+      cfg.pretrain_max_samples = mul(cfg.pretrain_max_samples);
+    }
+  }
+  if (const char* s = std::getenv("SUGAR_EPOCHS")) {
+    int e = std::atoi(s);
+    if (e > 0) cfg.downstream_epochs = e;
+  }
+  if (const char* s = std::getenv("SUGAR_SEED")) {
+    cfg.seed = static_cast<std::uint64_t>(std::atoll(s));
+  }
+  return cfg;
+}
+
+BenchmarkEnv::BenchmarkEnv(EnvConfig cfg) : cfg_(cfg) {}
+
+void BenchmarkEnv::ensure_source(dataset::SourceDataset src) {
+  if (traces_.count(src)) return;
+  trafficgen::GenOptions opts;
+  opts.seed = cfg_.seed;
+  trafficgen::GeneratedTrace trace;
+  switch (src) {
+    case dataset::SourceDataset::IscxVpn:
+      opts.flows_per_class = cfg_.flows_per_class_iscx;
+      opts.spurious_fraction = cfg_.iscx_spurious;
+      trace = trafficgen::generate_iscx_vpn(opts);
+      break;
+    case dataset::SourceDataset::UstcTfc:
+      opts.flows_per_class = cfg_.flows_per_class_ustc;
+      opts.spurious_fraction = cfg_.ustc_spurious;
+      trace = trafficgen::generate_ustc_tfc(opts);
+      break;
+    case dataset::SourceDataset::CstnTls:
+      opts.flows_per_class = cfg_.flows_per_class_tls;
+      opts.spurious_fraction = 0.0;  // CSTN is shared pre-cleaned
+      opts.strip_tls_handshake = true;
+      trace = trafficgen::generate_cstn_tls120(opts);
+      break;
+  }
+  dataset::CleaningOptions copts;  // recommended pipeline: extraneous only
+  cleaning_[src] = dataset::clean_trace(trace, copts);
+  traces_[src] = std::move(trace);
+}
+
+const dataset::PacketDataset& BenchmarkEnv::task_dataset(dataset::TaskId task) {
+  auto it = tasks_.find(task);
+  if (it != tasks_.end()) return it->second;
+  auto src = dataset::source_of(task);
+  ensure_source(src);
+  auto [jt, _] = tasks_.emplace(task, dataset::make_task_dataset(traces_[src], task));
+  return jt->second;
+}
+
+const dataset::CleaningReport& BenchmarkEnv::cleaning_report(
+    dataset::SourceDataset src) {
+  ensure_source(src);
+  return cleaning_[src];
+}
+
+const dataset::PacketDataset& BenchmarkEnv::backbone() {
+  if (!backbone_) {
+    auto trace = trafficgen::generate_backbone(cfg_.seed ^ 0xBACB, cfg_.backbone_flows);
+    backbone_ = dataset::make_unlabeled_dataset(trace);
+  }
+  return *backbone_;
+}
+
+replearn::ModelBundle BenchmarkEnv::pretrained(replearn::ModelKind kind,
+                                               replearn::TaskMode mode) {
+  auto key = std::make_pair(kind, mode);
+  auto it = pretrained_.find(key);
+  if (it == pretrained_.end()) {
+    replearn::ModelBundle bundle = replearn::make_model(kind, mode);
+    replearn::BackbonePretrainOptions opts;
+    opts.pretrain.epochs = cfg_.pretrain_epochs;
+    opts.max_samples = cfg_.pretrain_max_samples;
+    opts.seed = cfg_.seed ^ 0x11E;
+    pretrain_on_backbone(bundle, backbone(), opts);
+    it = pretrained_.emplace(key, std::move(bundle)).first;
+  }
+  // Hand out an independent copy with a cloned encoder.
+  replearn::ModelBundle copy;
+  copy.kind = it->second.kind;
+  copy.name = it->second.name;
+  copy.mode = it->second.mode;
+  copy.view_kind = it->second.view_kind;
+  copy.byte_view = it->second.byte_view;
+  copy.mm_view = it->second.mm_view;
+  copy.flow_packets = it->second.flow_packets;
+  copy.encoder = it->second.encoder->clone();
+  return copy;
+}
+
+}  // namespace sugar::core

@@ -1,0 +1,78 @@
+// BenchmarkEnv: owns the generated datasets, the cleaning step, and the
+// pre-trained encoder cache, so each bench binary pays dataset generation
+// and pre-training once. Scale is controlled by environment variables
+// (SUGAR_SCALE multiplies flow counts; SUGAR_EPOCHS overrides downstream
+// epochs) so the same binaries run as a quick smoke or a full evaluation.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "dataset/clean.h"
+#include "dataset/task.h"
+#include "replearn/model_zoo.h"
+#include "replearn/pretrain.h"
+
+namespace sugar::core {
+
+struct EnvConfig {
+  std::uint64_t seed = 1;
+  std::size_t flows_per_class_iscx = 30;
+  std::size_t flows_per_class_ustc = 24;
+  std::size_t flows_per_class_tls = 14;
+  std::size_t backbone_flows = 320;
+  double iscx_spurious = 0.05;
+  double ustc_spurious = 0.10;
+
+  // Downstream training budget. Shallow models are cheap and get the large
+  // caps; the deep (encoder) scenarios use the *_deep caps so unfrozen
+  // fine-tuning stays tractable on one core.
+  int downstream_epochs = 12;
+  std::size_t max_train_packets = 16000;
+  std::size_t max_test_packets = 6000;
+  std::size_t max_train_packets_deep = 6000;
+  std::size_t max_test_packets_deep = 4000;
+
+  // Pre-training budget.
+  int pretrain_epochs = 6;
+  std::size_t pretrain_max_samples = 6000;
+
+  /// Reads SUGAR_SCALE / SUGAR_EPOCHS / SUGAR_SEED from the environment.
+  static EnvConfig from_env();
+};
+
+class BenchmarkEnv {
+ public:
+  explicit BenchmarkEnv(EnvConfig cfg = EnvConfig::from_env());
+
+  [[nodiscard]] const EnvConfig& config() const { return cfg_; }
+
+  /// Cleaned task dataset (cached per task).
+  const dataset::PacketDataset& task_dataset(dataset::TaskId task);
+
+  /// Cleaning census per source dataset (available after the first access,
+  /// or via force_clean()).
+  const dataset::CleaningReport& cleaning_report(dataset::SourceDataset src);
+
+  /// Unlabelled backbone pre-training dataset (cached).
+  const dataset::PacketDataset& backbone();
+
+  /// A fresh copy of the pre-trained bundle for a model (pre-training runs
+  /// once per (kind, mode) and is cached).
+  replearn::ModelBundle pretrained(replearn::ModelKind kind,
+                                   replearn::TaskMode mode);
+
+ private:
+  void ensure_source(dataset::SourceDataset src);
+
+  EnvConfig cfg_;
+  std::map<dataset::SourceDataset, trafficgen::GeneratedTrace> traces_;
+  std::map<dataset::SourceDataset, dataset::CleaningReport> cleaning_;
+  std::map<dataset::TaskId, dataset::PacketDataset> tasks_;
+  std::optional<dataset::PacketDataset> backbone_;
+  std::map<std::pair<replearn::ModelKind, replearn::TaskMode>, replearn::ModelBundle>
+      pretrained_;
+};
+
+}  // namespace sugar::core

@@ -1,0 +1,48 @@
+#include "core/report.h"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace sugar::core {
+
+MarkdownTable::MarkdownTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+MarkdownTable& MarkdownTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string MarkdownTable::to_string() const {
+  std::ostringstream os;
+  os << "|";
+  for (const auto& h : header_) os << " " << h << " |";
+  os << "\n|";
+  for (std::size_t i = 0; i < header_.size(); ++i) os << "---|";
+  os << "\n";
+  for (const auto& row : rows_) {
+    os << "|";
+    for (const auto& c : row) os << " " << c << " |";
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string MarkdownTable::pct(double fraction, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, 100.0 * fraction);
+  return buf;
+}
+
+std::string MarkdownTable::num(double value, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+void print_table(const std::string& title, const MarkdownTable& table) {
+  std::cout << "\n### " << title << "\n\n" << table.to_string() << std::flush;
+}
+
+}  // namespace sugar::core

@@ -1,0 +1,29 @@
+// Result-table formatting: the bench binaries print their tables as
+// markdown that mirrors the layout of the paper's tables, so paper-vs-
+// measured comparison (EXPERIMENTS.md) is a visual diff.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sugar::core {
+
+class MarkdownTable {
+ public:
+  explicit MarkdownTable(std::vector<std::string> header);
+
+  MarkdownTable& add_row(std::vector<std::string> cells);
+  [[nodiscard]] std::string to_string() const;
+
+  static std::string pct(double fraction, int decimals = 1);
+  static std::string num(double value, int decimals = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a titled table to stdout.
+void print_table(const std::string& title, const MarkdownTable& table);
+
+}  // namespace sugar::core

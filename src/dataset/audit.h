@@ -1,0 +1,45 @@
+// Leakage auditor: given a train/test split, quantifies the information
+// leaks the paper identifies — flows straddling the boundary (explicit
+// 5-tuple leak) and near-identical implicit flow ids (SeqNo/AckNo ranges,
+// TCP timestamp bases) shared across the boundary. The benchmark's
+// recommended pipeline asserts a zero-leak audit before training.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataset/split.h"
+#include "dataset/task.h"
+
+namespace sugar::dataset {
+
+struct LeakageReport {
+  /// Flows with packets on both sides of the boundary.
+  std::size_t straddling_flows = 0;
+  std::size_t total_flows = 0;
+  /// Test packets whose flow also appears in train.
+  std::size_t leaked_test_packets = 0;
+  std::size_t total_test_packets = 0;
+  /// Test TCP packets whose (SeqNo, AckNo) lies within `window` of a train
+  /// packet of the same class — the implicit-id shortcut surface.
+  std::size_t implicit_id_matches = 0;
+
+  [[nodiscard]] bool clean() const {
+    return straddling_flows == 0 && implicit_id_matches == 0;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct AuditOptions {
+  /// SeqNo/AckNo proximity window: all packets of one flow live within a
+  /// few rounds' worth of bytes of each other.
+  std::uint32_t seq_window = 1u << 20;
+  /// Subsample cap on pair comparisons, keeps the audit O(n·k).
+  std::size_t max_test_probe = 20000;
+};
+
+LeakageReport audit_split(const PacketDataset& ds, const SplitIndices& split,
+                          const AuditOptions& opts = {});
+
+}  // namespace sugar::dataset

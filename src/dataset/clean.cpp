@@ -1,0 +1,135 @@
+#include "dataset/clean.h"
+
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "net/parser.h"
+
+namespace sugar::dataset {
+
+std::size_t CleaningReport::removed_spurious_total() const {
+  std::size_t n = 0;
+  for (std::size_t i = 1; i < removed_by_category.size(); ++i)
+    n += removed_by_category[i];
+  return n;
+}
+
+double CleaningReport::removed_spurious_fraction() const {
+  return total_packets == 0
+             ? 0.0
+             : static_cast<double>(removed_spurious_total()) /
+                   static_cast<double>(total_packets);
+}
+
+std::string CleaningReport::to_markdown() const {
+  std::ostringstream os;
+  os << "| Category | Removed | % |\n|---|---|---|\n";
+  for (std::size_t i = 1; i < removed_by_category.size(); ++i) {
+    if (removed_by_category[i] == 0) continue;
+    double pct = total_packets
+                     ? 100.0 * static_cast<double>(removed_by_category[i]) /
+                           static_cast<double>(total_packets)
+                     : 0.0;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f%%", pct);
+    os << "| " << net::to_string(static_cast<net::SpuriousCategory>(i)) << " | "
+       << removed_by_category[i] << " | " << buf << " |\n";
+  }
+  return os.str();
+}
+
+CleaningReport clean_trace(trafficgen::GeneratedTrace& trace,
+                           const CleaningOptions& opts) {
+  CleaningReport report;
+  report.dataset_name = trace.dataset_name;
+  report.total_packets = trace.packets.size();
+
+  std::vector<bool> keep(trace.packets.size(), true);
+
+  // --- Extraneous-protocol filter (the recommended one).
+  if (opts.filter_extraneous) {
+    for (std::size_t i = 0; i < trace.packets.size(); ++i) {
+      auto outcome = net::parse_packet(trace.packets[i]);
+      net::SpuriousCategory cat = net::SpuriousCategory::LinkManagement;
+      if (outcome.ok()) cat = net::classify_spurious(*outcome.parsed);
+      if (cat != net::SpuriousCategory::None) {
+        keep[i] = false;
+        ++report.removed_by_category[static_cast<std::size_t>(cat)];
+      }
+    }
+  }
+
+  // --- Minimum packet size (ET-BERT-style; discouraged).
+  if (opts.min_packet_bytes > 0) {
+    for (std::size_t i = 0; i < trace.packets.size(); ++i) {
+      if (keep[i] && trace.packets[i].data.size() < opts.min_packet_bytes) {
+        keep[i] = false;
+        ++report.removed_min_packet_size;
+      }
+    }
+  }
+
+  // --- Minimum flow length (TrafficFormer/netFound-style; discouraged).
+  if (opts.min_flow_packets > 0) {
+    std::unordered_map<int, std::size_t> flow_size;
+    for (std::size_t i = 0; i < trace.packets.size(); ++i)
+      if (keep[i] && trace.flow_of[i] >= 0) ++flow_size[trace.flow_of[i]];
+    for (std::size_t i = 0; i < trace.packets.size(); ++i) {
+      if (keep[i] && trace.flow_of[i] >= 0 &&
+          flow_size[trace.flow_of[i]] < opts.min_flow_packets) {
+        keep[i] = false;
+        ++report.removed_short_flows;
+      }
+    }
+  }
+
+  // --- Class-support caps (ET-BERT-style; discouraged).
+  if (opts.max_packets_per_class > 0 || opts.min_flows_per_class > 0) {
+    std::unordered_map<int, std::size_t> class_count;
+    std::map<std::pair<int, int>, bool> class_flows;  // (class, flow)
+    for (std::size_t i = 0; i < trace.packets.size(); ++i) {
+      if (!keep[i] || trace.labels[i].cls < 0) continue;
+      class_flows[{trace.labels[i].cls, trace.flow_of[i]}] = true;
+    }
+    std::unordered_map<int, std::size_t> flows_per_class;
+    for (const auto& [key, _] : class_flows) ++flows_per_class[key.first];
+
+    for (std::size_t i = 0; i < trace.packets.size(); ++i) {
+      if (!keep[i] || trace.labels[i].cls < 0) continue;
+      int cls = trace.labels[i].cls;
+      if (opts.min_flows_per_class > 0 &&
+          flows_per_class[cls] < opts.min_flows_per_class) {
+        keep[i] = false;
+        ++report.removed_class_support;
+        continue;
+      }
+      if (opts.max_packets_per_class > 0) {
+        if (class_count[cls] >= opts.max_packets_per_class) {
+          keep[i] = false;
+          ++report.removed_class_support;
+          continue;
+        }
+        ++class_count[cls];
+      }
+    }
+  }
+
+  // --- Compact in place.
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < trace.packets.size(); ++i) {
+    if (!keep[i]) continue;
+    if (w != i) {
+      trace.packets[w] = std::move(trace.packets[i]);
+      trace.labels[w] = trace.labels[i];
+      trace.flow_of[w] = trace.flow_of[i];
+    }
+    ++w;
+  }
+  trace.packets.resize(w);
+  trace.labels.resize(w);
+  trace.flow_of.resize(w);
+  return report;
+}
+
+}  // namespace sugar::dataset

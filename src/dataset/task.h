@@ -1,0 +1,64 @@
+// Task definitions (Table 2) and the canonical labelled-packet container the
+// benchmark pipeline operates on. A PacketDataset is what remains after
+// cleaning: packets, per-packet task labels, and flow membership re-derived
+// from the wire bytes (not generator ground truth).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/flow.h"
+#include "net/packet.h"
+#include "trafficgen/datasets.h"
+
+namespace sugar::dataset {
+
+/// The six downstream tasks of the paper (Table 2).
+enum class TaskId {
+  VpnBinary,
+  VpnService,
+  VpnApp,
+  UstcBinary,
+  UstcApp,
+  Tls120,
+};
+
+std::string to_string(TaskId t);
+
+/// Which source dataset a task is defined on.
+enum class SourceDataset { IscxVpn, UstcTfc, CstnTls };
+SourceDataset source_of(TaskId t);
+
+struct PacketDataset {
+  std::string task_name;
+  std::vector<net::Packet> packets;
+  std::vector<net::ParsedPacket> parsed;  // parallel cache of parse results
+  std::vector<int> label;                 // task label per packet
+  std::vector<int> flow_id;               // canonical bi-flow id (>= 0)
+  int num_classes = 0;
+  std::vector<std::string> class_names;
+
+  [[nodiscard]] std::size_t size() const { return packets.size(); }
+
+  /// Packet indices per flow id.
+  [[nodiscard]] std::vector<std::vector<std::size_t>> flows() const;
+
+  /// The label of a flow (all packets of a flow share the label).
+  [[nodiscard]] std::vector<int> flow_labels() const;
+
+  /// Subset by packet indices (copies packets).
+  [[nodiscard]] PacketDataset subset(const std::vector<std::size_t>& indices) const;
+};
+
+/// Extracts the task view from a (cleaned) trace: selects the per-packet
+/// label for the task, drops unlabeled packets, parses each packet, and
+/// assigns canonical flow ids via FlowTable.
+PacketDataset make_task_dataset(const trafficgen::GeneratedTrace& trace, TaskId task);
+
+/// Wraps a trace with all labels set to 0 — the unlabelled container used
+/// for self-supervised pre-training. Keyless packets (ARP, ICMP, LLC) are
+/// kept with flow id reused from the generator so parsers still see the
+/// full protocol mix.
+PacketDataset make_unlabeled_dataset(const trafficgen::GeneratedTrace& trace);
+
+}  // namespace sugar::dataset

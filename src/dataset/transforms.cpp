@@ -1,0 +1,28 @@
+#include "dataset/transforms.h"
+
+#include <random>
+
+#include "net/mutate.h"
+
+namespace sugar::dataset {
+
+void apply_ablation(PacketDataset& ds, const AblationSpec& spec, std::uint64_t seed) {
+  if (!spec.any()) return;
+  std::mt19937_64 rng(seed);
+  for (std::size_t i = 0; i < ds.packets.size(); ++i) {
+    net::Packet& pkt = ds.packets[i];
+    if (spec.randomize_seq_ack) net::randomize_seq_ack(pkt, rng);
+    if (spec.randomize_tstamp) net::randomize_tcp_timestamp(pkt, rng);
+    if (spec.zero_ip) net::zero_ip_addresses(pkt);
+    if (spec.randomize_ip) net::randomize_ip_addresses(pkt, rng);
+    if (spec.zero_ports) net::zero_ports(pkt);
+    if (spec.zero_payload) net::zero_payload(pkt);
+    if (spec.strip_payload) net::strip_payload(pkt);
+    if (spec.zero_header) net::zero_headers(pkt);
+
+    auto outcome = net::parse_packet(pkt);
+    if (outcome.ok()) ds.parsed[i] = *outcome.parsed;
+  }
+}
+
+}  // namespace sugar::dataset

@@ -1,0 +1,37 @@
+// Dataset-level ablation transforms (Tables 6 and 7, Appendix A.2). Each
+// transform rewrites packet bytes via src/net/mutate and re-parses, so every
+// downstream featurizer sees the ablated view.
+#pragma once
+
+#include <cstdint>
+
+#include "dataset/task.h"
+
+namespace sugar::dataset {
+
+struct AblationSpec {
+  bool randomize_seq_ack = false;   // Table 6: w/o SeqNo/AckNo
+  bool randomize_tstamp = false;    // Table 6: w/o TCP Timestamp
+  bool zero_ip = false;             // Table 7 / PacRep-NetMamba policy
+  bool randomize_ip = false;        // YaTC/TrafficFormer policy
+  bool zero_ports = false;          // YaTC policy
+  bool zero_payload = false;        // Table 7: w/o payload
+  bool strip_payload = false;       // remove payload bytes entirely
+  bool zero_header = false;         // Table 7: w/o header
+
+  [[nodiscard]] bool any() const {
+    return randomize_seq_ack || randomize_tstamp || zero_ip || randomize_ip ||
+           zero_ports || zero_payload || strip_payload || zero_header;
+  }
+
+  /// Table 6's "w/o SeqNo/AckNo, w/o Timestamp" combination.
+  static AblationSpec without_implicit_ids() {
+    return {.randomize_seq_ack = true, .randomize_tstamp = true};
+  }
+};
+
+/// Applies the spec to every packet of the (sub)dataset in place, refreshing
+/// the parse cache.
+void apply_ablation(PacketDataset& ds, const AblationSpec& spec, std::uint64_t seed);
+
+}  // namespace sugar::dataset

@@ -1,0 +1,68 @@
+#include "ml/forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace sugar::ml {
+
+void RandomForest::fit(const Matrix& x, const std::vector<int>& y, int num_classes) {
+  num_classes_ = num_classes;
+  trees_.assign(static_cast<std::size_t>(cfg_.num_trees), {});
+  std::mt19937_64 rng(cfg_.seed);
+
+  TreeConfig tree_cfg = cfg_.tree;
+  if (tree_cfg.features_per_split == 0)
+    tree_cfg.features_per_split =
+        std::max(1, static_cast<int>(std::sqrt(static_cast<double>(x.cols()))));
+
+  std::size_t n = x.rows();
+  std::size_t bag = static_cast<std::size_t>(cfg_.bag_fraction * static_cast<double>(n));
+  std::uniform_int_distribution<std::size_t> pick(0, n == 0 ? 0 : n - 1);
+
+  for (auto& tree : trees_) {
+    std::vector<std::uint32_t> rows(bag);
+    for (auto& r : rows) r = static_cast<std::uint32_t>(pick(rng));
+    tree.fit_classifier(x, y, num_classes, tree_cfg, rng, &rows);
+  }
+}
+
+std::vector<int> RandomForest::predict(const Matrix& x) const {
+  std::vector<int> out(x.rows(), 0);
+  std::vector<int> votes(static_cast<std::size_t>(num_classes_));
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    std::fill(votes.begin(), votes.end(), 0);
+    for (const auto& tree : trees_)
+      ++votes[static_cast<std::size_t>(tree.predict_class(x.row(i)))];
+    out[i] = static_cast<int>(std::max_element(votes.begin(), votes.end()) -
+                              votes.begin());
+  }
+  return out;
+}
+
+std::vector<double> RandomForest::feature_importance() const {
+  if (trees_.empty()) return {};
+  std::vector<double> total(trees_.front().feature_importance().size(), 0.0);
+  for (const auto& tree : trees_) {
+    const auto& imp = tree.feature_importance();
+    for (std::size_t i = 0; i < imp.size(); ++i) total[i] += imp[i];
+  }
+  double sum = 0;
+  for (double v : total) sum += v;
+  if (sum > 0)
+    for (double& v : total) v /= sum;
+  return total;
+}
+
+std::vector<std::pair<std::string, double>> ranked_importance(
+    const std::vector<double>& importance, const std::vector<std::string>& names) {
+  std::vector<std::pair<std::string, double>> out;
+  for (std::size_t i = 0; i < importance.size(); ++i)
+    out.emplace_back(i < names.size() ? names[i] : "f" + std::to_string(i),
+                     importance[i]);
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+}  // namespace sugar::ml

@@ -1,0 +1,103 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace sugar::ml {
+
+void GradientBoosting::fit(const Matrix& x, const std::vector<int>& y,
+                           int num_classes) {
+  num_classes_ = num_classes;
+  num_outputs_ = num_classes <= 2 ? 1 : num_classes;
+  std::mt19937_64 rng(cfg_.seed);
+
+  TreeConfig tree_cfg = cfg_.tree;
+  if (cfg_.growth == GbdtGrowth::LeafWise && tree_cfg.max_leaves == 0)
+    tree_cfg.max_leaves = 31;
+
+  int rounds = cfg_.rounds;
+  if (cfg_.max_total_trees > 0 && rounds * num_outputs_ > cfg_.max_total_trees)
+    rounds = std::max(3, cfg_.max_total_trees / num_outputs_);
+  rounds_used_ = rounds;
+
+  std::size_t n = x.rows();
+  // Current margins F [n×outputs].
+  Matrix margins(n, static_cast<std::size_t>(num_outputs_));
+  std::vector<float> grad(n), hess(n);
+  trees_.clear();
+  trees_.reserve(static_cast<std::size_t>(rounds * num_outputs_));
+
+  for (int r = 0; r < rounds; ++r) {
+    if (num_outputs_ == 1) {
+      // Binary logistic: y in {0,1}, p = sigmoid(F).
+      for (std::size_t i = 0; i < n; ++i) {
+        float p = 1.0f / (1.0f + std::exp(-margins(i, 0)));
+        grad[i] = p - static_cast<float>(y[i]);
+        hess[i] = std::max(p * (1.0f - p), 1e-6f);
+      }
+      DecisionTree tree;
+      tree.fit_regression(x, grad, hess, tree_cfg, rng);
+      for (std::size_t i = 0; i < n; ++i)
+        margins(i, 0) += cfg_.learning_rate * tree.predict_value(x.row(i));
+      trees_.push_back(std::move(tree));
+    } else {
+      // Softmax multi-class: one tree per class per round.
+      Matrix probs = margins;
+      softmax_rows(probs);
+      for (int k = 0; k < num_outputs_; ++k) {
+        for (std::size_t i = 0; i < n; ++i) {
+          float p = probs(i, static_cast<std::size_t>(k));
+          grad[i] = p - (y[i] == k ? 1.0f : 0.0f);
+          hess[i] = std::max(p * (1.0f - p), 1e-6f);
+        }
+        DecisionTree tree;
+        tree.fit_regression(x, grad, hess, tree_cfg, rng);
+        for (std::size_t i = 0; i < n; ++i)
+          margins(i, static_cast<std::size_t>(k)) +=
+              cfg_.learning_rate * tree.predict_value(x.row(i));
+        trees_.push_back(std::move(tree));
+      }
+    }
+  }
+}
+
+Matrix GradientBoosting::decision_function(const Matrix& x) const {
+  Matrix scores(x.rows(), static_cast<std::size_t>(std::max(num_outputs_, 1)));
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    std::size_t k = t % static_cast<std::size_t>(num_outputs_);
+    for (std::size_t i = 0; i < x.rows(); ++i)
+      scores(i, k) += cfg_.learning_rate * trees_[t].predict_value(x.row(i));
+  }
+  return scores;
+}
+
+std::vector<int> GradientBoosting::predict(const Matrix& x) const {
+  Matrix scores = decision_function(x);
+  std::vector<int> out(x.rows(), 0);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    if (num_outputs_ == 1) {
+      out[i] = scores(i, 0) > 0 ? 1 : 0;
+    } else {
+      const float* r = scores.row(i);
+      out[i] = static_cast<int>(std::max_element(r, r + scores.cols()) - r);
+    }
+  }
+  return out;
+}
+
+std::vector<double> GradientBoosting::feature_importance() const {
+  if (trees_.empty()) return {};
+  std::vector<double> total(trees_.front().feature_importance().size(), 0.0);
+  for (const auto& tree : trees_) {
+    const auto& imp = tree.feature_importance();
+    for (std::size_t i = 0; i < imp.size(); ++i) total[i] += imp[i];
+  }
+  double sum = 0;
+  for (double v : total) sum += v;
+  if (sum > 0)
+    for (double& v : total) v /= sum;
+  return total;
+}
+
+}  // namespace sugar::ml

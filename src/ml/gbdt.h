@@ -1,0 +1,68 @@
+// Gradient-boosted decision trees with second-order (Newton) boosting and
+// softmax multi-class output. Two presets mirror the paper's Table 8
+// baselines: XGBoost-style depth-wise trees and LightGBM-style leaf-wise
+// trees. Binary tasks use a single logistic tree per round.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/tree.h"
+
+namespace sugar::ml {
+
+enum class GbdtGrowth { DepthWise, LeafWise };
+
+struct GbdtConfig {
+  int rounds = 40;
+  float learning_rate = 0.2f;
+  GbdtGrowth growth = GbdtGrowth::DepthWise;
+  TreeConfig tree;
+  std::uint64_t seed = 23;
+  /// Cap on rounds*classes to keep many-class tasks tractable; rounds is
+  /// reduced when classes are many (0 = no cap).
+  int max_total_trees = 2000;
+
+  GbdtConfig() {
+    tree.max_depth = 6;
+    tree.min_samples_leaf = 4;
+    tree.features_per_split = 0;  // all features
+    tree.histogram_bins = 64;
+  }
+
+  static GbdtConfig xgboost_style() {
+    GbdtConfig c;
+    c.growth = GbdtGrowth::DepthWise;
+    return c;
+  }
+  static GbdtConfig lightgbm_style() {
+    GbdtConfig c;
+    c.growth = GbdtGrowth::LeafWise;
+    c.tree.max_depth = 12;
+    c.tree.max_leaves = 31;
+    return c;
+  }
+};
+
+class GradientBoosting {
+ public:
+  explicit GradientBoosting(GbdtConfig cfg = {}) : cfg_(cfg) {}
+
+  void fit(const Matrix& x, const std::vector<int>& y, int num_classes);
+  [[nodiscard]] std::vector<int> predict(const Matrix& x) const;
+  /// Raw margin scores [n×classes].
+  [[nodiscard]] Matrix decision_function(const Matrix& x) const;
+
+  [[nodiscard]] std::vector<double> feature_importance() const;
+  [[nodiscard]] int rounds_used() const { return rounds_used_; }
+
+ private:
+  GbdtConfig cfg_;
+  int num_classes_ = 0;
+  int rounds_used_ = 0;
+  /// trees_[round * num_outputs + k]
+  std::vector<DecisionTree> trees_;
+  int num_outputs_ = 0;  // 1 for binary, K for multi-class
+};
+
+}  // namespace sugar::ml

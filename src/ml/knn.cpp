@@ -1,0 +1,70 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sugar::ml {
+namespace {
+
+/// Indices of the k smallest distances (excluding `self` when >= 0).
+std::vector<std::size_t> k_nearest(const Matrix& pool, const float* query, int k,
+                                   std::ptrdiff_t self) {
+  std::vector<std::pair<float, std::size_t>> dist;
+  dist.reserve(pool.rows());
+  for (std::size_t i = 0; i < pool.rows(); ++i) {
+    if (static_cast<std::ptrdiff_t>(i) == self) continue;
+    dist.emplace_back(squared_distance(pool.row(i), query, pool.cols()), i);
+  }
+  std::size_t kk = std::min<std::size_t>(static_cast<std::size_t>(k), dist.size());
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(kk),
+                    dist.end());
+  std::vector<std::size_t> out(kk);
+  for (std::size_t i = 0; i < kk; ++i) out[i] = dist[i].second;
+  return out;
+}
+
+}  // namespace
+
+void KnnClassifier::fit(Matrix x, std::vector<int> y, int num_classes) {
+  train_x_ = std::move(x);
+  train_y_ = std::move(y);
+  num_classes_ = num_classes;
+}
+
+std::vector<int> KnnClassifier::predict(const Matrix& x) const {
+  std::vector<int> out(x.rows(), 0);
+  std::vector<int> votes(static_cast<std::size_t>(num_classes_));
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    auto nn = k_nearest(train_x_, x.row(i), k_, -1);
+    std::fill(votes.begin(), votes.end(), 0);
+    for (std::size_t j : nn) ++votes[static_cast<std::size_t>(train_y_[j])];
+    out[i] = static_cast<int>(std::max_element(votes.begin(), votes.end()) -
+                              votes.begin());
+  }
+  return out;
+}
+
+PurityHistogram knn_purity(const Matrix& embeddings, const std::vector<int>& labels,
+                           int k) {
+  PurityHistogram result;
+  result.histogram.assign(static_cast<std::size_t>(k + 1), 0.0);
+  std::size_t n = embeddings.rows();
+  if (n < 2) return result;
+
+  double purity_sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto nn = k_nearest(embeddings, embeddings.row(i), k,
+                        static_cast<std::ptrdiff_t>(i));
+    int same = 0;
+    for (std::size_t j : nn)
+      if (labels[j] == labels[i]) ++same;
+    ++result.histogram[static_cast<std::size_t>(same)];
+    purity_sum += nn.empty() ? 0.0
+                             : static_cast<double>(same) / static_cast<double>(nn.size());
+  }
+  for (auto& h : result.histogram) h /= static_cast<double>(n);
+  result.mean_purity = purity_sum / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace sugar::ml

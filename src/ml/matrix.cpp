@@ -1,0 +1,106 @@
+#include "ml/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sugar::ml {
+
+Matrix Matrix::take_rows(const std::vector<std::size_t>& idx) const {
+  Matrix out(idx.size(), cols_);
+  for (std::size_t i = 0; i < idx.size(); ++i)
+    std::copy_n(row(idx[i]), cols_, out.row(i));
+  return out;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* ai = a.row(i);
+    float* ci = c.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      float aik = ai[k];
+      if (aik == 0.0f) continue;
+      const float* bk = b.row(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const float* ak = a.row(k);
+    const float* bk = b.row(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      float aki = ak[i];
+      if (aki == 0.0f) continue;
+      float* ci = c.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) ci[j] += aki * bk[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* ai = a.row(i);
+    float* ci = c.row(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const float* bj = b.row(j);
+      float s = 0;
+      for (std::size_t k = 0; k < a.cols(); ++k) s += ai[k] * bj[k];
+      ci[j] = s;
+    }
+  }
+  return c;
+}
+
+void add_row_vector(Matrix& m, const std::vector<float>& bias) {
+  assert(bias.size() == m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    float* r = m.row(i);
+    for (std::size_t j = 0; j < m.cols(); ++j) r[j] += bias[j];
+  }
+}
+
+Matrix relu_inplace(Matrix& m) {
+  Matrix mask(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (m.data()[i] > 0) {
+      mask.data()[i] = 1.0f;
+    } else {
+      m.data()[i] = 0.0f;
+    }
+  }
+  return mask;
+}
+
+void softmax_rows(Matrix& m) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    float* r = m.row(i);
+    float mx = *std::max_element(r, r + m.cols());
+    float sum = 0;
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      r[j] = std::exp(r[j] - mx);
+      sum += r[j];
+    }
+    float inv = 1.0f / sum;
+    for (std::size_t j = 0; j < m.cols(); ++j) r[j] *= inv;
+  }
+}
+
+float squared_distance(const float* a, const float* b, std::size_t n) {
+  float s = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    float d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace sugar::ml

@@ -1,0 +1,61 @@
+// Minimal dense linear algebra for the from-scratch ML stack: row-major
+// float matrices with the handful of operations the classifiers and
+// encoders need. No BLAS dependency; loops are written cache-friendly
+// (ikj matmul) which is plenty at benchmark scale.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace sugar::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  float& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  float* row(std::size_t r) { return data_.data() + r * cols_; }
+  const float* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  std::vector<float>& data() { return data_; }
+  const std::vector<float>& data() const { return data_; }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Copies selected rows into a new matrix.
+  [[nodiscard]] Matrix take_rows(const std::vector<std::size_t>& idx) const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// C = A * B. Shapes: [n×k] · [k×m] -> [n×m].
+Matrix matmul(const Matrix& a, const Matrix& b);
+/// C = A^T * B. Shapes: [k×n]^T · [k×m] -> [n×m].
+Matrix matmul_tn(const Matrix& a, const Matrix& b);
+/// C = A * B^T. Shapes: [n×k] · [m×k]^T -> [n×m].
+Matrix matmul_nt(const Matrix& a, const Matrix& b);
+
+/// Adds a bias row vector to every row in place.
+void add_row_vector(Matrix& m, const std::vector<float>& bias);
+
+/// ReLU in place; returns a 0/1 mask matrix for the backward pass.
+Matrix relu_inplace(Matrix& m);
+
+/// Row-wise softmax in place (numerically stabilized).
+void softmax_rows(Matrix& m);
+
+/// Squared L2 distance between two float vectors of equal length.
+float squared_distance(const float* a, const float* b, std::size_t n);
+
+}  // namespace sugar::ml

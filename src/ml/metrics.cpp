@@ -1,0 +1,71 @@
+#include "ml/metrics.h"
+
+#include <cassert>
+#include <cstdio>
+#include <numeric>
+
+namespace sugar::ml {
+
+std::size_t ConfusionMatrix::total() const {
+  return std::accumulate(counts_.begin(), counts_.end(), std::size_t{0});
+}
+
+std::size_t ConfusionMatrix::correct() const {
+  std::size_t c = 0;
+  for (int i = 0; i < k_; ++i) c += at(i, i);
+  return c;
+}
+
+std::string Metrics::to_string() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "AC=%.1f F1=%.1f (micro F1=%.1f)", 100 * accuracy,
+                100 * macro_f1, 100 * micro_f1);
+  return buf;
+}
+
+Metrics evaluate(const std::vector<int>& y_true, const std::vector<int>& y_pred,
+                 int num_classes) {
+  assert(y_true.size() == y_pred.size());
+  Metrics m;
+  m.confusion = ConfusionMatrix(num_classes);
+  for (std::size_t i = 0; i < y_true.size(); ++i)
+    m.confusion.add(y_true[i], y_pred[i]);
+
+  std::size_t total = m.confusion.total();
+  m.accuracy = total ? static_cast<double>(m.confusion.correct()) /
+                           static_cast<double>(total)
+                     : 0.0;
+
+  // Per-class precision/recall. Classes absent from both truth and
+  // prediction are excluded from the macro average (scikit-learn
+  // convention); classes present in truth but never predicted contribute 0.
+  double f1_sum = 0;
+  int f1_classes = 0;
+  std::size_t tp_total = 0, fp_total = 0, fn_total = 0;
+  for (int c = 0; c < num_classes; ++c) {
+    std::size_t tp = m.confusion.at(c, c);
+    std::size_t fp = 0, fn = 0;
+    for (int o = 0; o < num_classes; ++o) {
+      if (o == c) continue;
+      fp += m.confusion.at(o, c);
+      fn += m.confusion.at(c, o);
+    }
+    tp_total += tp;
+    fp_total += fp;
+    fn_total += fn;
+    if (tp + fp + fn == 0) continue;  // class absent entirely
+    double f1 = tp == 0 ? 0.0
+                        : 2.0 * static_cast<double>(tp) /
+                              static_cast<double>(2 * tp + fp + fn);
+    f1_sum += f1;
+    ++f1_classes;
+  }
+  m.macro_f1 = f1_classes ? f1_sum / f1_classes : 0.0;
+  m.micro_f1 = (2 * tp_total + fp_total + fn_total) == 0
+                   ? 0.0
+                   : 2.0 * static_cast<double>(tp_total) /
+                         static_cast<double>(2 * tp_total + fp_total + fn_total);
+  return m;
+}
+
+}  // namespace sugar::ml

@@ -1,0 +1,71 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+namespace sugar::ml {
+
+void MlpClassifier::fit(const Matrix& x, const std::vector<int>& y, int num_classes) {
+  num_classes_ = num_classes;
+  std::vector<std::size_t> dims;
+  dims.push_back(x.cols());
+  for (auto h : cfg_.hidden) dims.push_back(h);
+  dims.push_back(static_cast<std::size_t>(num_classes));
+  net_ = MlpNet(dims, cfg_.seed);
+
+  std::mt19937_64 rng(cfg_.seed ^ 0xB00F);
+  std::vector<std::size_t> order(x.rows());
+  std::iota(order.begin(), order.end(), 0);
+
+  float best_loss = 1e30f;
+  int stall = 0;
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    float epoch_loss = 0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size(); start += cfg_.batch_size) {
+      std::size_t end = std::min(order.size(), start + cfg_.batch_size);
+      std::vector<std::size_t> idx(order.begin() + static_cast<std::ptrdiff_t>(start),
+                                   order.begin() + static_cast<std::ptrdiff_t>(end));
+      Matrix xb = x.take_rows(idx);
+      std::vector<int> yb(idx.size());
+      for (std::size_t i = 0; i < idx.size(); ++i) yb[i] = y[idx[i]];
+
+      net_.zero_grad();
+      Matrix logits = net_.forward(xb, /*training=*/true);
+      Matrix grad;
+      epoch_loss += softmax_cross_entropy(logits, yb, grad);
+      ++batches;
+      net_.backward(grad);
+      net_.adam_step(cfg_.learning_rate);
+    }
+    epoch_loss /= static_cast<float>(std::max<std::size_t>(batches, 1));
+    if (cfg_.early_stop_delta > 0) {
+      if (epoch_loss < best_loss - cfg_.early_stop_delta) {
+        best_loss = epoch_loss;
+        stall = 0;
+      } else if (++stall >= cfg_.patience) {
+        break;
+      }
+    }
+  }
+}
+
+Matrix MlpClassifier::predict_proba(const Matrix& x) const {
+  Matrix logits = const_cast<MlpNet&>(net_).forward(x, /*training=*/false);
+  softmax_rows(logits);
+  return logits;
+}
+
+std::vector<int> MlpClassifier::predict(const Matrix& x) const {
+  Matrix probs = predict_proba(x);
+  std::vector<int> out(x.rows(), 0);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const float* r = probs.row(i);
+    out[i] = static_cast<int>(std::max_element(r, r + probs.cols()) - r);
+  }
+  return out;
+}
+
+}  // namespace sugar::ml

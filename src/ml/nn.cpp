@@ -1,0 +1,138 @@
+#include "ml/nn.h"
+
+#include <cmath>
+
+namespace sugar::ml {
+
+Linear::Linear(std::size_t in, std::size_t out, std::mt19937_64& rng)
+    : w_(in, out), b_(out, 0.0f), grad_w_(in, out), grad_b_(out, 0.0f) {
+  // He initialization, appropriate for the ReLU stacks we build.
+  float scale = std::sqrt(2.0f / static_cast<float>(in));
+  std::normal_distribution<float> dist(0.0f, scale);
+  for (auto& v : w_.data()) v = dist(rng);
+  adam_.m_w = Matrix(in, out);
+  adam_.v_w = Matrix(in, out);
+  adam_.m_b.assign(out, 0.0f);
+  adam_.v_b.assign(out, 0.0f);
+}
+
+Matrix Linear::forward(const Matrix& x, bool training) {
+  if (training) cached_input_ = x;
+  Matrix y = matmul(x, w_);
+  add_row_vector(y, b_);
+  return y;
+}
+
+Matrix Linear::backward(const Matrix& grad_out) {
+  // dW += x^T g ; db += colsum(g) ; dx = g W^T
+  Matrix gw = matmul_tn(cached_input_, grad_out);
+  for (std::size_t i = 0; i < gw.size(); ++i) grad_w_.data()[i] += gw.data()[i];
+  for (std::size_t i = 0; i < grad_out.rows(); ++i) {
+    const float* r = grad_out.row(i);
+    for (std::size_t j = 0; j < grad_out.cols(); ++j) grad_b_[j] += r[j];
+  }
+  return matmul_nt(grad_out, w_);
+}
+
+void Linear::zero_grad() {
+  grad_w_.fill(0.0f);
+  std::fill(grad_b_.begin(), grad_b_.end(), 0.0f);
+}
+
+void Linear::adam_step(float lr, float beta1, float beta2, float eps) {
+  ++adam_.t;
+  float bc1 = 1.0f - std::pow(beta1, static_cast<float>(adam_.t));
+  float bc2 = 1.0f - std::pow(beta2, static_cast<float>(adam_.t));
+  for (std::size_t i = 0; i < w_.size(); ++i) {
+    float g = grad_w_.data()[i];
+    float& m = adam_.m_w.data()[i];
+    float& v = adam_.v_w.data()[i];
+    m = beta1 * m + (1 - beta1) * g;
+    v = beta2 * v + (1 - beta2) * g * g;
+    w_.data()[i] -= lr * (m / bc1) / (std::sqrt(v / bc2) + eps);
+  }
+  for (std::size_t i = 0; i < b_.size(); ++i) {
+    float g = grad_b_[i];
+    float& m = adam_.m_b[i];
+    float& v = adam_.v_b[i];
+    m = beta1 * m + (1 - beta1) * g;
+    v = beta2 * v + (1 - beta2) * g * g;
+    b_[i] -= lr * (m / bc1) / (std::sqrt(v / bc2) + eps);
+  }
+}
+
+MlpNet::MlpNet(const std::vector<std::size_t>& dims, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i)
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+}
+
+Matrix MlpNet::forward(const Matrix& x, bool training) {
+  relu_masks_.clear();
+  Matrix h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].forward(h, training);
+    if (i + 1 < layers_.size()) {
+      Matrix mask = relu_inplace(h);
+      if (training) relu_masks_.push_back(std::move(mask));
+    }
+  }
+  return h;
+}
+
+Matrix MlpNet::backward(const Matrix& grad_out) {
+  Matrix g = grad_out;
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    g = layers_[li].backward(g);
+    if (li > 0) {
+      const Matrix& mask = relu_masks_[li - 1];
+      for (std::size_t i = 0; i < g.size(); ++i) g.data()[i] *= mask.data()[i];
+    }
+  }
+  return g;
+}
+
+void MlpNet::zero_grad() {
+  for (auto& l : layers_) l.zero_grad();
+}
+
+void MlpNet::adam_step(float lr) {
+  for (auto& l : layers_) l.adam_step(lr);
+}
+
+std::size_t MlpNet::param_count() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) n += l.param_count();
+  return n;
+}
+
+float softmax_cross_entropy(Matrix& logits, const std::vector<int>& labels,
+                            Matrix& grad) {
+  softmax_rows(logits);
+  std::size_t n = logits.rows();
+  grad = logits;
+  float loss = 0;
+  float inv_n = 1.0f / static_cast<float>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    int y = labels[i];
+    float p = std::max(logits(i, static_cast<std::size_t>(y)), 1e-12f);
+    loss -= std::log(p);
+    grad(i, static_cast<std::size_t>(y)) -= 1.0f;
+  }
+  for (auto& g : grad.data()) g *= inv_n;
+  return loss * inv_n;
+}
+
+float mse_loss(const Matrix& pred, const Matrix& target, Matrix& grad) {
+  grad = Matrix(pred.rows(), pred.cols());
+  float loss = 0;
+  float inv = 1.0f / static_cast<float>(pred.size());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    float d = pred.data()[i] - target.data()[i];
+    loss += d * d;
+    grad.data()[i] = 2.0f * d * inv;
+  }
+  return loss * inv;
+}
+
+}  // namespace sugar::ml

@@ -1,0 +1,88 @@
+// Reusable neural-network core: linear layers with explicit forward and
+// backward passes and an Adam optimizer. Both the shallow MLP baseline and
+// every representation-learning encoder in src/replearn compose these
+// layers, which is exactly what makes frozen-vs-unfrozen training a single
+// switch: the classification head's input gradient either stops at the
+// embedding (frozen) or keeps flowing into the encoder stack (unfrozen).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace sugar::ml {
+
+struct AdamState {
+  Matrix m_w, v_w;
+  std::vector<float> m_b, v_b;
+  int t = 0;
+};
+
+/// Fully connected layer y = xW + b with cached activations for backprop.
+class Linear {
+ public:
+  Linear() = default;
+  Linear(std::size_t in, std::size_t out, std::mt19937_64& rng);
+
+  /// Forward over a batch [n×in] -> [n×out]; caches the input when
+  /// `training` so backward() can compute weight gradients.
+  Matrix forward(const Matrix& x, bool training);
+
+  /// Backward: grad wrt output [n×out] -> grad wrt input [n×in];
+  /// accumulates weight/bias gradients.
+  Matrix backward(const Matrix& grad_out);
+
+  void zero_grad();
+  void adam_step(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                 float eps = 1e-8f);
+
+  [[nodiscard]] std::size_t in_dim() const { return w_.rows(); }
+  [[nodiscard]] std::size_t out_dim() const { return w_.cols(); }
+  [[nodiscard]] std::size_t param_count() const { return w_.size() + b_.size(); }
+
+  Matrix& weights() { return w_; }
+  std::vector<float>& bias() { return b_; }
+
+ private:
+  Matrix w_;  // [in×out]
+  std::vector<float> b_;
+  Matrix grad_w_;
+  std::vector<float> grad_b_;
+  Matrix cached_input_;
+  AdamState adam_;
+};
+
+/// A stack of Linear layers with ReLU between them (none after the last).
+class MlpNet {
+ public:
+  MlpNet() = default;
+  /// dims = {in, h1, ..., out}.
+  MlpNet(const std::vector<std::size_t>& dims, std::uint64_t seed);
+
+  Matrix forward(const Matrix& x, bool training);
+  /// Returns grad wrt the network input (enables stacking nets).
+  Matrix backward(const Matrix& grad_out);
+  void zero_grad();
+  void adam_step(float lr);
+
+  [[nodiscard]] std::size_t in_dim() const { return layers_.front().in_dim(); }
+  [[nodiscard]] std::size_t out_dim() const { return layers_.back().out_dim(); }
+  [[nodiscard]] std::size_t param_count() const;
+  [[nodiscard]] std::size_t num_layers() const { return layers_.size(); }
+
+ private:
+  std::vector<Linear> layers_;
+  std::vector<Matrix> relu_masks_;
+};
+
+/// Softmax cross-entropy: fills `grad` (dL/dlogits, already divided by n)
+/// and returns mean loss. `logits` is consumed (softmaxed in place).
+float softmax_cross_entropy(Matrix& logits, const std::vector<int>& labels,
+                            Matrix& grad);
+
+/// Mean squared error: fills grad = 2(pred-target)/n and returns mean loss.
+float mse_loss(const Matrix& pred, const Matrix& target, Matrix& grad);
+
+}  // namespace sugar::ml

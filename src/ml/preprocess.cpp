@@ -1,0 +1,38 @@
+#include "ml/preprocess.h"
+
+#include <cmath>
+
+namespace sugar::ml {
+
+void StandardScaler::fit(const Matrix& x) {
+  std::size_t n = x.rows(), d = x.cols();
+  mean_.assign(d, 0.0f);
+  std_.assign(d, 1.0f);
+  if (n == 0) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* r = x.row(i);
+    for (std::size_t j = 0; j < d; ++j) mean_[j] += r[j];
+  }
+  for (auto& m : mean_) m /= static_cast<float>(n);
+  std::vector<double> var(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* r = x.row(i);
+    for (std::size_t j = 0; j < d; ++j) {
+      double diff = r[j] - mean_[j];
+      var[j] += diff * diff;
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    double s = std::sqrt(var[j] / static_cast<double>(n));
+    std_[j] = s < 1e-8 ? 1.0f : static_cast<float>(s);
+  }
+}
+
+void StandardScaler::transform(Matrix& x) const {
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    float* r = x.row(i);
+    for (std::size_t j = 0; j < x.cols(); ++j) r[j] = (r[j] - mean_[j]) / std_[j];
+  }
+}
+
+}  // namespace sugar::ml

@@ -1,0 +1,466 @@
+#include "ml/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+namespace sugar::ml {
+namespace {
+
+/// Per-feature histogram cut points computed from (a sample of) the data.
+std::vector<std::vector<float>> compute_cuts(const Matrix& x,
+                                             const std::vector<std::uint32_t>& rows,
+                                             int bins, std::mt19937_64& rng) {
+  std::size_t d = x.cols();
+  std::vector<std::vector<float>> cuts(d);
+  // Sample rows to bound quantile cost.
+  std::vector<std::uint32_t> sample = rows;
+  constexpr std::size_t kMaxSample = 4096;
+  if (sample.size() > kMaxSample) {
+    std::shuffle(sample.begin(), sample.end(), rng);
+    sample.resize(kMaxSample);
+  }
+  std::vector<float> vals(sample.size());
+  for (std::size_t f = 0; f < d; ++f) {
+    for (std::size_t i = 0; i < sample.size(); ++i) vals[i] = x(sample[i], f);
+    std::sort(vals.begin(), vals.end());
+    auto& c = cuts[f];
+    for (int b = 1; b < bins; ++b) {
+      std::size_t pos = vals.size() * static_cast<std::size_t>(b) /
+                        static_cast<std::size_t>(bins);
+      float v = vals[std::min(pos, vals.size() - 1)];
+      if (c.empty() || v > c.back()) c.push_back(v);
+    }
+  }
+  return cuts;
+}
+
+int bin_of(const std::vector<float>& cuts, float v) {
+  return static_cast<int>(std::upper_bound(cuts.begin(), cuts.end(), v) -
+                          cuts.begin());
+}
+
+double gini_from_counts(const std::vector<double>& counts, double total) {
+  if (total <= 0) return 0;
+  double s = 0;
+  for (double c : counts) s += c * c;
+  return 1.0 - s / (total * total);
+}
+
+}  // namespace
+
+struct DecisionTree::BuildContext {
+  const Matrix* x = nullptr;
+  // Classification:
+  const std::vector<int>* y = nullptr;
+  int num_classes = 0;
+  // Regression:
+  const std::vector<float>* grad = nullptr;
+  const std::vector<float>* hess = nullptr;
+
+  TreeConfig cfg;
+  std::mt19937_64* rng = nullptr;
+  std::vector<std::uint32_t> rows;  // working index buffer (partitioned in place)
+  std::vector<std::vector<float>> cuts;
+
+  [[nodiscard]] bool regression() const { return grad != nullptr; }
+};
+
+namespace {
+
+struct SplitResult {
+  int feature = -1;
+  float threshold = 0;
+  double gain = 0;
+  std::size_t left_count = 0;
+};
+
+struct PendingNode {
+  int node_index;
+  std::size_t begin, end;  // range in ctx.rows
+  int depth;
+  double gain_bound;  // for leaf-wise priority
+};
+
+}  // namespace
+
+void DecisionTree::build(BuildContext& ctx) {
+  nodes_.clear();
+  importance_.assign(ctx.x->cols(), 0.0);
+  const TreeConfig& cfg = ctx.cfg;
+  std::size_t d = ctx.x->cols();
+
+  // Candidate feature list (subsampled per split).
+  std::vector<std::size_t> all_features(d);
+  std::iota(all_features.begin(), all_features.end(), 0);
+  std::size_t feats_per_split =
+      cfg.features_per_split > 0
+          ? std::min<std::size_t>(static_cast<std::size_t>(cfg.features_per_split), d)
+          : d;
+
+  // Scratch histograms.
+  int bins = cfg.histogram_bins;
+  std::vector<double> cls_counts;  // [bins+1][classes] classification
+  std::vector<double> bin_g, bin_h;
+  std::vector<std::size_t> bin_n;
+
+  auto make_leaf = [&](Node& node, std::size_t begin, std::size_t end) {
+    if (ctx.regression()) {
+      double g = 0, h = 0;
+      for (std::size_t i = begin; i < end; ++i) {
+        g += (*ctx.grad)[ctx.rows[i]];
+        h += (*ctx.hess)[ctx.rows[i]];
+      }
+      node.value = static_cast<float>(-g / (h + cfg.lambda));
+    } else {
+      std::vector<std::size_t> counts(static_cast<std::size_t>(ctx.num_classes), 0);
+      for (std::size_t i = begin; i < end; ++i)
+        ++counts[static_cast<std::size_t>((*ctx.y)[ctx.rows[i]])];
+      node.cls = static_cast<int>(
+          std::max_element(counts.begin(), counts.end()) - counts.begin());
+    }
+    node.feature = -1;
+  };
+
+  auto find_split = [&](std::size_t begin, std::size_t end) -> SplitResult {
+    SplitResult best;
+    std::size_t n = end - begin;
+    if (n < 2 * cfg.min_samples_leaf) return best;
+
+    // Feature subset for this split.
+    std::vector<std::size_t> feats = all_features;
+    if (feats_per_split < d) {
+      std::shuffle(feats.begin(), feats.end(), *ctx.rng);
+      feats.resize(feats_per_split);
+    }
+
+    // Parent statistics.
+    double parent_impurity = 0;
+    double total_g = 0, total_h = 0;
+    std::vector<double> parent_counts;
+    if (ctx.regression()) {
+      for (std::size_t i = begin; i < end; ++i) {
+        total_g += (*ctx.grad)[ctx.rows[i]];
+        total_h += (*ctx.hess)[ctx.rows[i]];
+      }
+    } else {
+      parent_counts.assign(static_cast<std::size_t>(ctx.num_classes), 0.0);
+      for (std::size_t i = begin; i < end; ++i)
+        parent_counts[static_cast<std::size_t>((*ctx.y)[ctx.rows[i]])] += 1.0;
+      parent_impurity = gini_from_counts(parent_counts, static_cast<double>(n));
+      if (parent_impurity <= 0) return best;  // pure node
+    }
+
+    // Exact split search for small nodes: sort samples per feature and
+    // sweep all boundaries between distinct values.
+    if (n <= cfg.exact_split_max) {
+      std::vector<std::uint32_t> sorted(ctx.rows.begin() + static_cast<std::ptrdiff_t>(begin),
+                                        ctx.rows.begin() + static_cast<std::ptrdiff_t>(end));
+      for (std::size_t f : feats) {
+        std::sort(sorted.begin(), sorted.end(), [&](std::uint32_t a, std::uint32_t b) {
+          return (*ctx.x)(a, f) < (*ctx.x)(b, f);
+        });
+        if (ctx.regression()) {
+          double gl = 0, hl = 0;
+          double parent_score = total_g * total_g / (total_h + cfg.lambda);
+          for (std::size_t i = 0; i + 1 < n; ++i) {
+            std::uint32_t r = sorted[i];
+            gl += (*ctx.grad)[r];
+            hl += (*ctx.hess)[r];
+            float v = (*ctx.x)(r, f);
+            float vn = (*ctx.x)(sorted[i + 1], f);
+            if (v == vn) continue;  // not a boundary
+            std::size_t nl = i + 1;
+            if (nl < cfg.min_samples_leaf || n - nl < cfg.min_samples_leaf) continue;
+            double gr = total_g - gl, hr = total_h - hl;
+            double gain = gl * gl / (hl + cfg.lambda) + gr * gr / (hr + cfg.lambda) -
+                          parent_score;
+            if (gain > best.gain)
+              best = {.feature = static_cast<int>(f),
+                      .threshold = 0.5f * (v + vn),
+                      .gain = gain,
+                      .left_count = nl};
+          }
+        } else {
+          std::vector<double> left(static_cast<std::size_t>(ctx.num_classes), 0.0);
+          double sum_sq_l = 0;
+          double sum_sq_r = 0;
+          for (double c : parent_counts) sum_sq_r += c * c;
+          for (std::size_t i = 0; i + 1 < n; ++i) {
+            std::uint32_t r = sorted[i];
+            auto y = static_cast<std::size_t>((*ctx.y)[r]);
+            // Incremental sum-of-squares update when one sample of class y
+            // moves from the right partition to the left.
+            double rc = parent_counts[y] - left[y];
+            sum_sq_r += -2.0 * rc + 1.0;
+            sum_sq_l += 2.0 * left[y] + 1.0;
+            left[y] += 1.0;
+            float v = (*ctx.x)(r, f);
+            float vn = (*ctx.x)(sorted[i + 1], f);
+            if (v == vn) continue;
+            double nl = static_cast<double>(i + 1);
+            double nr = static_cast<double>(n) - nl;
+            if (nl < static_cast<double>(cfg.min_samples_leaf) ||
+                nr < static_cast<double>(cfg.min_samples_leaf))
+              continue;
+            double imp_l = 1.0 - sum_sq_l / (nl * nl);
+            double imp_r = 1.0 - sum_sq_r / (nr * nr);
+            double child = (nl * imp_l + nr * imp_r) / static_cast<double>(n);
+            double gain = (parent_impurity - child) * static_cast<double>(n);
+            if (gain > best.gain)
+              best = {.feature = static_cast<int>(f),
+                      .threshold = 0.5f * (v + vn),
+                      .gain = gain,
+                      .left_count = static_cast<std::size_t>(nl)};
+          }
+        }
+      }
+      if (best.gain < cfg.min_gain) best.feature = -1;
+      return best;
+    }
+
+    for (std::size_t f : feats) {
+      const auto& cuts = ctx.cuts[f];
+      if (cuts.empty()) continue;
+      int nb = static_cast<int>(cuts.size()) + 1;
+
+      if (ctx.regression()) {
+        bin_g.assign(static_cast<std::size_t>(nb), 0.0);
+        bin_h.assign(static_cast<std::size_t>(nb), 0.0);
+        bin_n.assign(static_cast<std::size_t>(nb), 0);
+        for (std::size_t i = begin; i < end; ++i) {
+          std::uint32_t r = ctx.rows[i];
+          int b = bin_of(cuts, (*ctx.x)(r, f));
+          bin_g[static_cast<std::size_t>(b)] += (*ctx.grad)[r];
+          bin_h[static_cast<std::size_t>(b)] += (*ctx.hess)[r];
+          ++bin_n[static_cast<std::size_t>(b)];
+        }
+        double gl = 0, hl = 0;
+        std::size_t nl = 0;
+        double parent_score = total_g * total_g / (total_h + cfg.lambda);
+        for (int b = 0; b + 1 < nb; ++b) {
+          gl += bin_g[static_cast<std::size_t>(b)];
+          hl += bin_h[static_cast<std::size_t>(b)];
+          nl += bin_n[static_cast<std::size_t>(b)];
+          if (nl < cfg.min_samples_leaf || n - nl < cfg.min_samples_leaf) continue;
+          double gr = total_g - gl, hr = total_h - hl;
+          double gain = gl * gl / (hl + cfg.lambda) + gr * gr / (hr + cfg.lambda) -
+                        parent_score;
+          if (gain > best.gain) {
+            best = {.feature = static_cast<int>(f),
+                    .threshold = cuts[static_cast<std::size_t>(b)],
+                    .gain = gain,
+                    .left_count = nl};
+          }
+        }
+      } else {
+        std::size_t k = static_cast<std::size_t>(ctx.num_classes);
+        cls_counts.assign(static_cast<std::size_t>(nb) * k, 0.0);
+        for (std::size_t i = begin; i < end; ++i) {
+          std::uint32_t r = ctx.rows[i];
+          int b = bin_of(cuts, (*ctx.x)(r, f));
+          cls_counts[static_cast<std::size_t>(b) * k +
+                     static_cast<std::size_t>((*ctx.y)[r])] += 1.0;
+        }
+        std::vector<double> left(k, 0.0);
+        double nl = 0;
+        for (int b = 0; b + 1 < nb; ++b) {
+          const double* bc = &cls_counts[static_cast<std::size_t>(b) * k];
+          for (std::size_t c = 0; c < k; ++c) {
+            left[c] += bc[c];
+            nl += bc[c];
+          }
+          double nr = static_cast<double>(n) - nl;
+          if (nl < static_cast<double>(cfg.min_samples_leaf) ||
+              nr < static_cast<double>(cfg.min_samples_leaf))
+            continue;
+          double gini_l = 0, sum_sq_l = 0, sum_sq_r = 0;
+          (void)gini_l;
+          for (std::size_t c = 0; c < k; ++c) {
+            sum_sq_l += left[c] * left[c];
+            double rc = parent_counts[c] - left[c];
+            sum_sq_r += rc * rc;
+          }
+          double imp_l = 1.0 - sum_sq_l / (nl * nl);
+          double imp_r = 1.0 - sum_sq_r / (nr * nr);
+          double child =
+              (nl * imp_l + nr * imp_r) / static_cast<double>(n);
+          double gain = (parent_impurity - child) * static_cast<double>(n);
+          if (gain > best.gain) {
+            best = {.feature = static_cast<int>(f),
+                    .threshold = cuts[static_cast<std::size_t>(b)],
+                    .gain = gain,
+                    .left_count = static_cast<std::size_t>(nl)};
+          }
+        }
+      }
+    }
+    if (best.gain < cfg.min_gain) best.feature = -1;
+    return best;
+  };
+
+  auto partition = [&](std::size_t begin, std::size_t end, int feature,
+                       float threshold) -> std::size_t {
+    auto mid = std::partition(
+        ctx.rows.begin() + static_cast<std::ptrdiff_t>(begin),
+        ctx.rows.begin() + static_cast<std::ptrdiff_t>(end),
+        [&](std::uint32_t r) {
+          // Strict '<' matches the histogram convention: bin b holds values
+          // in [cuts[b-1], cuts[b]), so a split after bin b sends v <
+          // cuts[b] to the left child.
+          return (*ctx.x)(r, static_cast<std::size_t>(feature)) < threshold;
+        });
+    return static_cast<std::size_t>(mid - ctx.rows.begin());
+  };
+
+  // Root.
+  nodes_.emplace_back();
+
+  if (cfg.max_leaves > 0) {
+    // Leaf-wise best-first growth (LightGBM style).
+    struct Cand {
+      double gain;
+      int node_index;
+      std::size_t begin, end;
+      int depth;
+      SplitResult split;
+      bool operator<(const Cand& o) const { return gain < o.gain; }
+    };
+    std::priority_queue<Cand> heap;
+    auto push_candidate = [&](int node_index, std::size_t begin, std::size_t end,
+                              int depth) {
+      make_leaf(nodes_[static_cast<std::size_t>(node_index)], begin, end);
+      if (depth >= cfg.max_depth) return;
+      SplitResult s = find_split(begin, end);
+      if (s.feature >= 0)
+        heap.push({s.gain, node_index, begin, end, depth, s});
+    };
+    push_candidate(0, 0, ctx.rows.size(), 0);
+    int leaves = 1;
+    while (!heap.empty() && leaves < cfg.max_leaves) {
+      Cand c = heap.top();
+      heap.pop();
+      std::size_t mid = partition(c.begin, c.end, c.split.feature, c.split.threshold);
+      if (mid == c.begin || mid == c.end) continue;  // degenerate
+      // Re-index after every emplace_back: the vector may reallocate.
+      int left = static_cast<int>(nodes_.size());
+      nodes_.emplace_back();
+      int right = static_cast<int>(nodes_.size());
+      nodes_.emplace_back();
+      Node& node = nodes_[static_cast<std::size_t>(c.node_index)];
+      node.feature = c.split.feature;
+      node.threshold = c.split.threshold;
+      node.left = left;
+      node.right = right;
+      importance_[static_cast<std::size_t>(c.split.feature)] += c.split.gain;
+      push_candidate(left, c.begin, mid, c.depth + 1);
+      push_candidate(right, mid, c.end, c.depth + 1);
+      ++leaves;
+    }
+  } else {
+    // Depth-wise recursion via an explicit stack.
+    std::vector<PendingNode> stack;
+    stack.push_back({0, 0, ctx.rows.size(), 0, 0});
+    while (!stack.empty()) {
+      PendingNode p = stack.back();
+      stack.pop_back();
+      make_leaf(nodes_[static_cast<std::size_t>(p.node_index)], p.begin, p.end);
+      if (p.depth >= cfg.max_depth) continue;
+      SplitResult s = find_split(p.begin, p.end);
+      if (s.feature < 0) continue;
+      std::size_t mid = partition(p.begin, p.end, s.feature, s.threshold);
+      if (mid == p.begin || mid == p.end) continue;
+      // Append children first: emplace_back may reallocate nodes_.
+      int left = static_cast<int>(nodes_.size());
+      nodes_.emplace_back();
+      int right = static_cast<int>(nodes_.size());
+      nodes_.emplace_back();
+      Node& node = nodes_[static_cast<std::size_t>(p.node_index)];
+      node.feature = s.feature;
+      node.threshold = s.threshold;
+      node.left = left;
+      node.right = right;
+      importance_[static_cast<std::size_t>(s.feature)] += s.gain;
+      stack.push_back({left, p.begin, mid, p.depth + 1, 0});
+      stack.push_back({right, mid, p.end, p.depth + 1, 0});
+    }
+  }
+}
+
+void DecisionTree::fit_classifier(const Matrix& x, const std::vector<int>& y,
+                                  int num_classes, const TreeConfig& cfg,
+                                  std::mt19937_64& rng,
+                                  const std::vector<std::uint32_t>* subset) {
+  BuildContext ctx;
+  ctx.x = &x;
+  ctx.y = &y;
+  ctx.num_classes = num_classes;
+  ctx.cfg = cfg;
+  ctx.rng = &rng;
+  if (subset) {
+    ctx.rows = *subset;
+  } else {
+    ctx.rows.resize(x.rows());
+    std::iota(ctx.rows.begin(), ctx.rows.end(), 0);
+  }
+  ctx.cuts = compute_cuts(x, ctx.rows, cfg.histogram_bins, rng);
+  build(ctx);
+}
+
+void DecisionTree::fit_regression(const Matrix& x, const std::vector<float>& grad,
+                                  const std::vector<float>& hess,
+                                  const TreeConfig& cfg, std::mt19937_64& rng,
+                                  const std::vector<std::uint32_t>* subset) {
+  BuildContext ctx;
+  ctx.x = &x;
+  ctx.grad = &grad;
+  ctx.hess = &hess;
+  ctx.cfg = cfg;
+  ctx.rng = &rng;
+  if (subset) {
+    ctx.rows = *subset;
+  } else {
+    ctx.rows.resize(x.rows());
+    std::iota(ctx.rows.begin(), ctx.rows.end(), 0);
+  }
+  ctx.cuts = compute_cuts(x, ctx.rows, cfg.histogram_bins, rng);
+  build(ctx);
+}
+
+int DecisionTree::leaf_index(const float* row) const {
+  int i = 0;
+  while (nodes_[static_cast<std::size_t>(i)].feature >= 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(i)];
+    i = row[n.feature] < n.threshold ? n.left : n.right;
+  }
+  return i;
+}
+
+int DecisionTree::predict_class(const float* row) const {
+  return nodes_[static_cast<std::size_t>(leaf_index(row))].cls;
+}
+
+float DecisionTree::predict_value(const float* row) const {
+  return nodes_[static_cast<std::size_t>(leaf_index(row))].value;
+}
+
+int DecisionTree::depth() const {
+  // Iterative depth computation over the node array.
+  if (nodes_.empty()) return 0;
+  std::vector<std::pair<int, int>> stack{{0, 1}};
+  int best = 0;
+  while (!stack.empty()) {
+    auto [i, d] = stack.back();
+    stack.pop_back();
+    best = std::max(best, d);
+    const Node& n = nodes_[static_cast<std::size_t>(i)];
+    if (n.feature >= 0) {
+      stack.push_back({n.left, d + 1});
+      stack.push_back({n.right, d + 1});
+    }
+  }
+  return best;
+}
+
+}  // namespace sugar::ml

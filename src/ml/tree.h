@@ -1,0 +1,77 @@
+// Histogram-based CART decision trees, the building block for the Random
+// Forest and gradient-boosting baselines of Table 8. One implementation
+// supports both Gini classification splits and second-order (XGBoost-style)
+// regression splits, plus depth-wise and leaf-wise (LightGBM-style) growth.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace sugar::ml {
+
+struct TreeConfig {
+  int max_depth = 12;
+  std::size_t min_samples_leaf = 2;
+  /// 0 = depth-wise growth bounded by max_depth only; > 0 = best-first
+  /// leaf-wise growth bounded by this leaf count (LightGBM style).
+  int max_leaves = 0;
+  /// Number of candidate features per split; 0 = all features.
+  int features_per_split = 0;
+  /// Histogram resolution for split finding.
+  int histogram_bins = 32;
+  /// L2 regularization on leaf values (regression mode).
+  float lambda = 1.0f;
+  /// Minimum gain to accept a split.
+  float min_gain = 1e-7f;
+  /// Nodes with at most this many samples use exact (sorted-sweep) split
+  /// search instead of the shared histogram grid — crucial for composing
+  /// fine-grained thresholds (IP octets, sequence ranges) deep in the tree.
+  std::size_t exact_split_max = 1024;
+};
+
+class DecisionTree {
+ public:
+  /// Gini-impurity classification fit. `subset` optionally restricts to a
+  /// bag of row indices (with repetition allowed, for bootstrap).
+  void fit_classifier(const Matrix& x, const std::vector<int>& y, int num_classes,
+                      const TreeConfig& cfg, std::mt19937_64& rng,
+                      const std::vector<std::uint32_t>* subset = nullptr);
+
+  /// Second-order regression fit on per-sample gradient/hessian (gradient
+  /// boosting). Leaf value = -G/(H+lambda).
+  void fit_regression(const Matrix& x, const std::vector<float>& grad,
+                      const std::vector<float>& hess, const TreeConfig& cfg,
+                      std::mt19937_64& rng,
+                      const std::vector<std::uint32_t>* subset = nullptr);
+
+  [[nodiscard]] int predict_class(const float* row) const;
+  [[nodiscard]] float predict_value(const float* row) const;
+
+  /// Total split gain attributed to each feature (unnormalized).
+  [[nodiscard]] const std::vector<double>& feature_importance() const {
+    return importance_;
+  }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] int depth() const;
+
+ private:
+  struct Node {
+    int feature = -1;  // -1 => leaf
+    float threshold = 0;
+    int left = -1, right = -1;
+    float value = 0;  // regression output
+    int cls = 0;      // classification output
+  };
+
+  struct BuildContext;
+  void build(BuildContext& ctx);
+  int leaf_index(const float* row) const;
+
+  std::vector<Node> nodes_;
+  std::vector<double> importance_;
+};
+
+}  // namespace sugar::ml

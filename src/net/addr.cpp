@@ -1,0 +1,178 @@
+#include "net/addr.h"
+
+#include <charconv>
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
+namespace sugar::net {
+namespace {
+
+bool parse_u8(std::string_view text, std::uint8_t& out, int base = 10) {
+  unsigned v = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v, base);
+  if (ec != std::errc{} || ptr != text.data() + text.size() || v > 0xFF) return false;
+  out = static_cast<std::uint8_t>(v);
+  return true;
+}
+
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", octets[0], octets[1],
+                octets[2], octets[3], octets[4], octets[5]);
+  return buf;
+}
+
+bool MacAddress::is_broadcast() const {
+  for (auto o : octets)
+    if (o != 0xFF) return false;
+  return true;
+}
+
+std::optional<MacAddress> MacAddress::parse(const std::string& text) {
+  auto parts = split(text, ':');
+  if (parts.size() != 6) return std::nullopt;
+  MacAddress mac;
+  for (int i = 0; i < 6; ++i) {
+    if (!parse_u8(parts[static_cast<std::size_t>(i)], mac.octets[static_cast<std::size_t>(i)], 16))
+      return std::nullopt;
+  }
+  return mac;
+}
+
+MacAddress MacAddress::broadcast() {
+  MacAddress m;
+  m.octets.fill(0xFF);
+  return m;
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", octet(0), octet(1), octet(2), octet(3));
+  return buf;
+}
+
+bool Ipv4Address::is_private() const {
+  return in_subnet(from_octets(10, 0, 0, 0), 8) ||
+         in_subnet(from_octets(172, 16, 0, 0), 12) ||
+         in_subnet(from_octets(192, 168, 0, 0), 16);
+}
+
+bool Ipv4Address::in_subnet(Ipv4Address net, int prefix_len) const {
+  if (prefix_len <= 0) return true;
+  if (prefix_len >= 32) return value == net.value;
+  std::uint32_t mask = ~((1u << (32 - prefix_len)) - 1);
+  return (value & mask) == (net.value & mask);
+}
+
+std::optional<Ipv4Address> Ipv4Address::parse(const std::string& text) {
+  auto parts = split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint8_t o[4];
+  for (int i = 0; i < 4; ++i)
+    if (!parse_u8(parts[static_cast<std::size_t>(i)], o[i])) return std::nullopt;
+  return from_octets(o[0], o[1], o[2], o[3]);
+}
+
+std::string Ipv6Address::to_string() const {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%02x%02x:%02x%02x:%02x%02x:%02x%02x:%02x%02x:%02x%02x:%02x%02x:%02x%02x",
+                octets[0], octets[1], octets[2], octets[3], octets[4], octets[5], octets[6],
+                octets[7], octets[8], octets[9], octets[10], octets[11], octets[12],
+                octets[13], octets[14], octets[15]);
+  return buf;
+}
+
+std::optional<Ipv6Address> Ipv6Address::parse(const std::string& text) {
+  // Handle one optional "::" gap; each group is 1-4 hex digits.
+  auto gap = text.find("::");
+  std::vector<std::string_view> head, tail;
+  std::string_view sv{text};
+  if (gap != std::string::npos) {
+    auto left = sv.substr(0, gap);
+    auto right = sv.substr(gap + 2);
+    if (!left.empty()) head = split(left, ':');
+    if (!right.empty()) tail = split(right, ':');
+    if (right.find("::") != std::string_view::npos) return std::nullopt;
+  } else {
+    head = split(sv, ':');
+    if (head.size() != 8) return std::nullopt;
+  }
+  if (head.size() + tail.size() > 8) return std::nullopt;
+
+  auto groups = [&]() -> std::optional<std::array<std::uint16_t, 8>> {
+    std::array<std::uint16_t, 8> g{};
+    auto parse_group = [](std::string_view t, std::uint16_t& out) {
+      if (t.empty() || t.size() > 4) return false;
+      unsigned v = 0;
+      auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), v, 16);
+      if (ec != std::errc{} || ptr != t.data() + t.size()) return false;
+      out = static_cast<std::uint16_t>(v);
+      return true;
+    };
+    for (std::size_t i = 0; i < head.size(); ++i)
+      if (!parse_group(head[i], g[i])) return std::nullopt;
+    for (std::size_t i = 0; i < tail.size(); ++i)
+      if (!parse_group(tail[i], g[8 - tail.size() + i])) return std::nullopt;
+    return g;
+  }();
+  if (!groups) return std::nullopt;
+
+  Ipv6Address a;
+  for (int i = 0; i < 8; ++i) {
+    a.octets[static_cast<std::size_t>(2 * i)] = static_cast<std::uint8_t>((*groups)[static_cast<std::size_t>(i)] >> 8);
+    a.octets[static_cast<std::size_t>(2 * i + 1)] = static_cast<std::uint8_t>((*groups)[static_cast<std::size_t>(i)]);
+  }
+  return a;
+}
+
+std::string IpAddress::to_string() const {
+  return is_v6 ? v6().to_string() : v4().to_string();
+}
+
+Ipv4Address IpAddress::v4() const {
+  return {static_cast<std::uint32_t>(bytes[12]) << 24 |
+          static_cast<std::uint32_t>(bytes[13]) << 16 |
+          static_cast<std::uint32_t>(bytes[14]) << 8 | bytes[15]};
+}
+
+Ipv6Address IpAddress::v6() const {
+  Ipv6Address a;
+  a.octets = bytes;
+  return a;
+}
+
+IpAddress IpAddress::from_v4(Ipv4Address v4) {
+  IpAddress a;
+  a.is_v6 = false;
+  a.bytes[12] = static_cast<std::uint8_t>(v4.value >> 24);
+  a.bytes[13] = static_cast<std::uint8_t>(v4.value >> 16);
+  a.bytes[14] = static_cast<std::uint8_t>(v4.value >> 8);
+  a.bytes[15] = static_cast<std::uint8_t>(v4.value);
+  return a;
+}
+
+IpAddress IpAddress::from_v6(const Ipv6Address& v6) {
+  IpAddress a;
+  a.is_v6 = true;
+  a.bytes = v6.octets;
+  return a;
+}
+
+}  // namespace sugar::net

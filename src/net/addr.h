@@ -1,0 +1,79 @@
+// Value types for link- and network-layer addresses. All types are plain
+// aggregates with strong ordering so they can serve as map keys and flow-key
+// components.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace sugar::net {
+
+struct MacAddress {
+  std::array<std::uint8_t, 6> octets{};
+
+  auto operator<=>(const MacAddress&) const = default;
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] bool is_broadcast() const;
+  [[nodiscard]] bool is_multicast() const { return (octets[0] & 0x01) != 0; }
+
+  static std::optional<MacAddress> parse(const std::string& text);
+  static MacAddress broadcast();
+};
+
+struct Ipv4Address {
+  // Host-order value; octet 0 is the most significant byte (a in a.b.c.d).
+  std::uint32_t value = 0;
+
+  auto operator<=>(const Ipv4Address&) const = default;
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(value >> (8 * (3 - i)));
+  }
+  [[nodiscard]] bool is_multicast() const { return (value >> 28) == 0xE; }
+  [[nodiscard]] bool is_broadcast() const { return value == 0xFFFFFFFFu; }
+  [[nodiscard]] bool is_private() const;
+  [[nodiscard]] bool in_subnet(Ipv4Address net, int prefix_len) const;
+
+  static Ipv4Address from_octets(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                                 std::uint8_t d) {
+    return {static_cast<std::uint32_t>(a) << 24 | static_cast<std::uint32_t>(b) << 16 |
+            static_cast<std::uint32_t>(c) << 8 | d};
+  }
+  static std::optional<Ipv4Address> parse(const std::string& text);
+};
+
+struct Ipv6Address {
+  std::array<std::uint8_t, 16> octets{};
+
+  auto operator<=>(const Ipv6Address&) const = default;
+
+  /// Full uncompressed form (8 groups of 4 hex digits). Parsing accepts the
+  /// compressed "::" form as well.
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] bool is_multicast() const { return octets[0] == 0xFF; }
+
+  static std::optional<Ipv6Address> parse(const std::string& text);
+};
+
+/// Either-family IP address used by flow keys. IPv4 is stored v4-mapped in
+/// the low 4 bytes to keep the comparison total across families.
+struct IpAddress {
+  bool is_v6 = false;
+  std::array<std::uint8_t, 16> bytes{};
+
+  auto operator<=>(const IpAddress&) const = default;
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] Ipv4Address v4() const;
+  [[nodiscard]] Ipv6Address v6() const;
+
+  static IpAddress from_v4(Ipv4Address a);
+  static IpAddress from_v6(const Ipv6Address& a);
+};
+
+}  // namespace sugar::net

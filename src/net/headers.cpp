@@ -1,0 +1,7 @@
+#include "net/headers.h"
+
+namespace sugar::net {
+// Header structs are plain value types; their behaviour lives in the parser
+// and serializer. This TU exists to anchor the vtable-free library and host
+// any future non-inline helpers.
+}  // namespace sugar::net

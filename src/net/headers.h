@@ -1,0 +1,129 @@
+// Decoded header structs for the protocols the benchmark handles. These are
+// plain value types produced by the parser (src/net/parser.h) and consumed by
+// the serializer (src/net/serializer.h); field layout follows the RFCs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/addr.h"
+#include "net/proto.h"
+
+namespace sugar::net {
+
+struct EthernetHeader {
+  MacAddress dst;
+  MacAddress src;
+  std::uint16_t ether_type = 0;
+
+  static constexpr std::size_t kSize = 14;
+};
+
+struct ArpHeader {
+  std::uint16_t hw_type = 1;       // Ethernet
+  std::uint16_t proto_type = 0x0800;
+  std::uint8_t hw_len = 6;
+  std::uint8_t proto_len = 4;
+  std::uint16_t opcode = 1;        // 1=request 2=reply
+  MacAddress sender_mac;
+  Ipv4Address sender_ip;
+  MacAddress target_mac;
+  Ipv4Address target_ip;
+
+  static constexpr std::size_t kSize = 28;
+};
+
+struct Ipv4Header {
+  std::uint8_t version = 4;
+  std::uint8_t ihl = 5;            // 32-bit words; >5 means options present
+  std::uint8_t tos = 0;
+  std::uint16_t total_length = 0;
+  std::uint16_t identification = 0;
+  bool dont_fragment = false;
+  bool more_fragments = false;
+  std::uint16_t fragment_offset = 0;  // in 8-byte units
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  std::uint16_t header_checksum = 0;
+  Ipv4Address src;
+  Ipv4Address dst;
+
+  [[nodiscard]] std::size_t header_len() const { return std::size_t{ihl} * 4; }
+};
+
+struct Ipv6Header {
+  std::uint8_t version = 6;
+  std::uint8_t traffic_class = 0;
+  std::uint32_t flow_label = 0;
+  std::uint16_t payload_length = 0;
+  std::uint8_t next_header = 0;
+  std::uint8_t hop_limit = 64;
+  Ipv6Address src;
+  Ipv6Address dst;
+
+  static constexpr std::size_t kSize = 40;
+};
+
+/// Parsed TCP options. Unknown kinds are preserved raw so serialization can
+/// round-trip a packet byte-exactly.
+struct TcpOptions {
+  std::optional<std::uint16_t> mss;
+  std::optional<std::uint8_t> window_scale;
+  bool sack_permitted = false;
+  /// RFC 7323 timestamp option: (TSval, TSecr). This is one of the implicit
+  /// flow identifiers the paper's split analysis targets.
+  std::optional<std::pair<std::uint32_t, std::uint32_t>> timestamp;
+  /// Raw unknown options as (kind, payload bytes).
+  std::vector<std::pair<std::uint8_t, std::vector<std::uint8_t>>> unknown;
+};
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t data_offset = 5;  // 32-bit words
+  bool fin = false, syn = false, rst = false, psh = false;
+  bool ack_flag = false, urg = false, ece = false, cwr = false;
+  std::uint16_t window = 0;
+  std::uint16_t checksum = 0;
+  std::uint16_t urgent_pointer = 0;
+  TcpOptions options;
+
+  [[nodiscard]] std::size_t header_len() const { return std::size_t{data_offset} * 4; }
+  [[nodiscard]] std::uint8_t flags_byte() const {
+    return static_cast<std::uint8_t>(fin | syn << 1 | rst << 2 | psh << 3 |
+                                     ack_flag << 4 | urg << 5 | ece << 6 | cwr << 7);
+  }
+  void set_flags_byte(std::uint8_t f) {
+    fin = f & 1;
+    syn = f & 2;
+    rst = f & 4;
+    psh = f & 8;
+    ack_flag = f & 16;
+    urg = f & 32;
+    ece = f & 64;
+    cwr = f & 128;
+  }
+};
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;
+  std::uint16_t checksum = 0;
+
+  static constexpr std::size_t kSize = 8;
+};
+
+struct IcmpHeader {
+  std::uint8_t type = 8;  // echo request
+  std::uint8_t code = 0;
+  std::uint16_t checksum = 0;
+  std::uint32_t rest = 0;  // id/seq for echo
+
+  static constexpr std::size_t kSize = 8;
+};
+
+}  // namespace sugar::net

@@ -1,0 +1,212 @@
+#include "net/mutate.h"
+
+#include "net/checksum.h"
+#include "net/parser.h"
+
+namespace sugar::net {
+namespace {
+
+void put_u32be(std::vector<std::uint8_t>& d, std::size_t off, std::uint32_t v) {
+  d[off] = static_cast<std::uint8_t>(v >> 24);
+  d[off + 1] = static_cast<std::uint8_t>(v >> 16);
+  d[off + 2] = static_cast<std::uint8_t>(v >> 8);
+  d[off + 3] = static_cast<std::uint8_t>(v);
+}
+
+void put_u16be(std::vector<std::uint8_t>& d, std::size_t off, std::uint16_t v) {
+  d[off] = static_cast<std::uint8_t>(v >> 8);
+  d[off + 1] = static_cast<std::uint8_t>(v);
+}
+
+/// Finds the byte offset of the TCP timestamp option value within the frame,
+/// or 0 if absent.
+std::size_t tcp_timestamp_offset(const Packet& pkt, const ParsedPacket& p) {
+  if (!p.tcp || !p.tcp->options.timestamp) return 0;
+  std::size_t off = p.l4_offset + 20;
+  std::size_t end = p.l4_offset + p.tcp->header_len();
+  while (off < end && off < pkt.data.size()) {
+    std::uint8_t kind = pkt.data[off];
+    if (kind == 0) break;
+    if (kind == 1) {
+      ++off;
+      continue;
+    }
+    if (off + 1 >= pkt.data.size()) break;
+    std::uint8_t len = pkt.data[off + 1];
+    if (len < 2) break;
+    if (kind == 8) return off + 2;  // TSval starts after kind+len
+    off += len;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void refresh_checksums(Packet& pkt) {
+  auto outcome = parse_packet(pkt);
+  if (!outcome.ok()) return;
+  const ParsedPacket& p = *outcome.parsed;
+  auto& d = pkt.data;
+
+  if (p.ipv4) {
+    std::size_t ip_off = p.l3_offset;
+    std::size_t ihl = p.ipv4->header_len();
+    if (ip_off + ihl > d.size()) return;
+    put_u16be(d, ip_off + 10, 0);
+    std::uint16_t csum = checksum(std::span{d}.subspan(ip_off, ihl));
+    put_u16be(d, ip_off + 10, csum);
+  }
+
+  if (!p.has_l4() || p.l4_offset == 0) return;
+  std::size_t seg_off = p.l4_offset;
+  std::size_t seg_len =
+      (p.payload_offset > 0 ? p.payload_offset - seg_off : d.size() - seg_off) +
+      p.payload_len;
+  if (seg_off + seg_len > d.size()) seg_len = d.size() - seg_off;
+
+  std::size_t csum_off = 0;
+  if (p.tcp) csum_off = seg_off + 16;
+  if (p.udp) csum_off = seg_off + 6;
+  if (p.icmp) csum_off = seg_off + 2;
+  if (csum_off == 0 || csum_off + 2 > d.size()) return;
+
+  put_u16be(d, csum_off, 0);
+  auto segment = std::span{d}.subspan(seg_off, seg_len);
+  std::uint16_t csum = 0;
+  if (p.ipv4) {
+    // Re-read addresses from the (possibly mutated) bytes, not the parse.
+    Ipv4Address src{static_cast<std::uint32_t>(d[p.l3_offset + 12]) << 24 |
+                    static_cast<std::uint32_t>(d[p.l3_offset + 13]) << 16 |
+                    static_cast<std::uint32_t>(d[p.l3_offset + 14]) << 8 |
+                    d[p.l3_offset + 15]};
+    Ipv4Address dst{static_cast<std::uint32_t>(d[p.l3_offset + 16]) << 24 |
+                    static_cast<std::uint32_t>(d[p.l3_offset + 17]) << 16 |
+                    static_cast<std::uint32_t>(d[p.l3_offset + 18]) << 8 |
+                    d[p.l3_offset + 19]};
+    csum = p.icmp ? checksum(segment)
+                  : l4_checksum_v4(src, dst, p.ip_protocol(), segment);
+  } else if (p.ipv6) {
+    Ipv6Address src, dst;
+    std::copy_n(d.begin() + static_cast<std::ptrdiff_t>(p.l3_offset + 8), 16,
+                src.octets.begin());
+    std::copy_n(d.begin() + static_cast<std::ptrdiff_t>(p.l3_offset + 24), 16,
+                dst.octets.begin());
+    csum = l4_checksum_v6(src, dst, p.ip_protocol(), segment);
+  }
+  put_u16be(d, csum_off, csum);
+}
+
+bool randomize_seq_ack(Packet& pkt, std::mt19937_64& rng) {
+  auto outcome = parse_packet(pkt);
+  if (!outcome.ok() || !outcome.parsed->tcp) return false;
+  std::size_t off = outcome.parsed->l4_offset;
+  put_u32be(pkt.data, off + 4, static_cast<std::uint32_t>(rng()));
+  put_u32be(pkt.data, off + 8, static_cast<std::uint32_t>(rng()));
+  refresh_checksums(pkt);
+  return true;
+}
+
+bool randomize_tcp_timestamp(Packet& pkt, std::mt19937_64& rng) {
+  auto outcome = parse_packet(pkt);
+  if (!outcome.ok()) return false;
+  std::size_t off = tcp_timestamp_offset(pkt, *outcome.parsed);
+  if (off == 0 || off + 8 > pkt.data.size()) return false;
+  put_u32be(pkt.data, off, static_cast<std::uint32_t>(rng()));
+  put_u32be(pkt.data, off + 4, static_cast<std::uint32_t>(rng()));
+  refresh_checksums(pkt);
+  return true;
+}
+
+namespace {
+
+bool set_ip_addresses(Packet& pkt, std::optional<std::uint64_t> seed_src,
+                      std::optional<std::uint64_t> seed_dst, std::mt19937_64* rng) {
+  auto outcome = parse_packet(pkt);
+  if (!outcome.ok() || !outcome.parsed->has_ip()) return false;
+  const ParsedPacket& p = *outcome.parsed;
+  auto& d = pkt.data;
+  if (p.ipv4) {
+    std::uint32_t src = rng ? static_cast<std::uint32_t>((*rng)())
+                            : static_cast<std::uint32_t>(seed_src.value_or(0));
+    std::uint32_t dst = rng ? static_cast<std::uint32_t>((*rng)())
+                            : static_cast<std::uint32_t>(seed_dst.value_or(0));
+    put_u32be(d, p.l3_offset + 12, src);
+    put_u32be(d, p.l3_offset + 16, dst);
+  } else {
+    for (std::size_t i = 0; i < 16; ++i) {
+      d[p.l3_offset + 8 + i] =
+          rng ? static_cast<std::uint8_t>((*rng)()) : static_cast<std::uint8_t>(0);
+      d[p.l3_offset + 24 + i] =
+          rng ? static_cast<std::uint8_t>((*rng)()) : static_cast<std::uint8_t>(0);
+    }
+  }
+  refresh_checksums(pkt);
+  return true;
+}
+
+}  // namespace
+
+bool zero_ip_addresses(Packet& pkt) { return set_ip_addresses(pkt, 0, 0, nullptr); }
+
+bool randomize_ip_addresses(Packet& pkt, std::mt19937_64& rng) {
+  return set_ip_addresses(pkt, std::nullopt, std::nullopt, &rng);
+}
+
+bool zero_ports(Packet& pkt) {
+  auto outcome = parse_packet(pkt);
+  if (!outcome.ok() || (!outcome.parsed->tcp && !outcome.parsed->udp)) return false;
+  std::size_t off = outcome.parsed->l4_offset;
+  put_u16be(pkt.data, off, 0);
+  put_u16be(pkt.data, off + 2, 0);
+  refresh_checksums(pkt);
+  return true;
+}
+
+bool zero_payload(Packet& pkt) {
+  auto outcome = parse_packet(pkt);
+  if (!outcome.ok() || outcome.parsed->payload_offset == 0) return false;
+  const ParsedPacket& p = *outcome.parsed;
+  std::size_t end = std::min(p.payload_offset + p.payload_len, pkt.data.size());
+  std::fill(pkt.data.begin() + static_cast<std::ptrdiff_t>(p.payload_offset),
+            pkt.data.begin() + static_cast<std::ptrdiff_t>(end), 0);
+  refresh_checksums(pkt);
+  return true;
+}
+
+bool strip_payload(Packet& pkt) {
+  auto outcome = parse_packet(pkt);
+  if (!outcome.ok() || outcome.parsed->payload_offset == 0) return false;
+  const ParsedPacket& p = *outcome.parsed;
+  pkt.data.resize(p.payload_offset);
+  // Fix L3 length fields to match the truncation.
+  auto& d = pkt.data;
+  if (p.ipv4) {
+    std::uint16_t new_total =
+        static_cast<std::uint16_t>(p.payload_offset - p.l3_offset);
+    put_u16be(d, p.l3_offset + 2, new_total);
+  } else if (p.ipv6) {
+    std::uint16_t new_plen =
+        static_cast<std::uint16_t>(p.payload_offset - p.l3_offset - Ipv6Header::kSize);
+    put_u16be(d, p.l3_offset + 4, new_plen);
+  }
+  if (p.udp) {
+    std::uint16_t new_len = static_cast<std::uint16_t>(p.payload_offset - p.l4_offset);
+    put_u16be(d, p.l4_offset + 4, new_len);
+  }
+  refresh_checksums(pkt);
+  return true;
+}
+
+bool zero_headers(Packet& pkt) {
+  auto outcome = parse_packet(pkt);
+  if (!outcome.ok()) return false;
+  const ParsedPacket& p = *outcome.parsed;
+  std::size_t end = p.payload_offset > 0 ? p.payload_offset : pkt.data.size();
+  if (p.l3_offset >= pkt.data.size()) return false;
+  std::fill(pkt.data.begin() + static_cast<std::ptrdiff_t>(p.l3_offset),
+            pkt.data.begin() + static_cast<std::ptrdiff_t>(std::min(end, pkt.data.size())),
+            0);
+  return true;
+}
+
+}  // namespace sugar::net

@@ -1,0 +1,50 @@
+// In-place packet mutations implementing the paper's ablations (Table 6/7)
+// and the anonymization policies of the surveyed models (Appendix A.2):
+// randomizing implicit flow IDs (SeqNo/AckNo, TCP timestamps), zeroing or
+// randomizing explicit flow IDs (IP addresses, ports), and stripping headers
+// or payload. Every mutation keeps the frame parseable and re-fixes
+// checksums so downstream feature extraction sees consistent packets.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "net/packet.h"
+
+namespace sugar::net {
+
+/// Overwrites TCP SeqNo and AckNo with fresh random values (Table 6:
+/// "w/o SeqNo/AckNo"). Returns false when the packet has no TCP layer.
+bool randomize_seq_ack(Packet& pkt, std::mt19937_64& rng);
+
+/// Overwrites the TCP timestamp option TSval/TSecr with random values
+/// (Table 6: "w/o Timestamp"). Returns false when no timestamp option.
+bool randomize_tcp_timestamp(Packet& pkt, std::mt19937_64& rng);
+
+/// Zeroes both IP addresses (PacRep/NetMamba policy; Table 7 "w/o IP addr").
+bool zero_ip_addresses(Packet& pkt);
+
+/// Replaces both IP addresses with random ones (YaTC/TrafficFormer policy).
+bool randomize_ip_addresses(Packet& pkt, std::mt19937_64& rng);
+
+/// Zeroes TCP/UDP ports (YaTC policy).
+bool zero_ports(Packet& pkt);
+
+/// Replaces the application payload bytes with zeros, keeping the length
+/// (Table 7 "w/o payload").
+bool zero_payload(Packet& pkt);
+
+/// Truncates the packet right after the transport header, i.e., removes the
+/// payload entirely.
+bool strip_payload(Packet& pkt);
+
+/// Zeroes every L3+L4 header byte but keeps the payload (Table 7
+/// "w/o header"). The frame is no longer parseable afterwards; callers use
+/// the raw byte view.
+bool zero_headers(Packet& pkt);
+
+/// Recomputes IPv4 header checksum and the TCP/UDP checksum after manual
+/// byte edits. No-op for non-IP frames.
+void refresh_checksums(Packet& pkt);
+
+}  // namespace sugar::net

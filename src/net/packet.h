@@ -1,0 +1,78 @@
+// The Packet and ParsedPacket value types that flow through the whole
+// benchmark: raw captured bytes plus, after parsing, decoded layers and the
+// offsets needed to slice header vs payload views.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/headers.h"
+
+namespace sugar::net {
+
+/// A captured frame: timestamp plus raw bytes starting at the Ethernet
+/// header. This is what the pcap reader/writer and the trace generators
+/// exchange.
+struct Packet {
+  std::uint64_t ts_usec = 0;             // capture time, microseconds
+  std::vector<std::uint8_t> data;        // full frame, link layer first
+
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const { return data; }
+};
+
+/// Result of parsing a Packet. Layer structs are present when the packet
+/// contains them; offsets index into the owning Packet's data so callers can
+/// take header-only / payload-only views without copying.
+struct ParsedPacket {
+  std::optional<EthernetHeader> eth;
+  std::optional<ArpHeader> arp;
+  std::optional<Ipv4Header> ipv4;
+  std::optional<Ipv6Header> ipv6;
+  std::optional<TcpHeader> tcp;
+  std::optional<UdpHeader> udp;
+  std::optional<IcmpHeader> icmp;
+
+  std::size_t l3_offset = 0;        // start of IP/ARP header
+  std::size_t l4_offset = 0;        // start of TCP/UDP/ICMP header (0 if none)
+  std::size_t payload_offset = 0;   // start of application payload (0 if none)
+  std::size_t payload_len = 0;
+
+  [[nodiscard]] bool has_ip() const { return ipv4.has_value() || ipv6.has_value(); }
+  [[nodiscard]] bool has_l4() const { return tcp || udp || icmp; }
+
+  /// Transport protocol number (IpProto) or 0 when no IP layer exists.
+  [[nodiscard]] std::uint8_t ip_protocol() const {
+    if (ipv4) return ipv4->protocol;
+    if (ipv6) return ipv6->next_header;
+    return 0;
+  }
+
+  [[nodiscard]] std::optional<std::uint16_t> src_port() const {
+    if (tcp) return tcp->src_port;
+    if (udp) return udp->src_port;
+    return std::nullopt;
+  }
+  [[nodiscard]] std::optional<std::uint16_t> dst_port() const {
+    if (tcp) return tcp->dst_port;
+    if (udp) return udp->dst_port;
+    return std::nullopt;
+  }
+
+  /// Slice of the original frame covering L3+L4 headers (no payload).
+  [[nodiscard]] std::span<const std::uint8_t> header_view(const Packet& pkt) const {
+    std::size_t end = payload_offset > 0 ? payload_offset : pkt.data.size();
+    if (l3_offset >= pkt.data.size() || end < l3_offset) return {};
+    return std::span{pkt.data}.subspan(l3_offset, std::min(end, pkt.data.size()) - l3_offset);
+  }
+  /// Slice covering the application payload.
+  [[nodiscard]] std::span<const std::uint8_t> payload_view(const Packet& pkt) const {
+    if (payload_offset == 0 || payload_offset >= pkt.data.size()) return {};
+    std::size_t n = std::min(payload_len, pkt.data.size() - payload_offset);
+    return std::span{pkt.data}.subspan(payload_offset, n);
+  }
+};
+
+}  // namespace sugar::net

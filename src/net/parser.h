@@ -1,0 +1,40 @@
+// Frame parser: raw Ethernet bytes -> ParsedPacket. Tolerant of truncated
+// frames (parse stops at the deepest complete layer) but strict about
+// malformed length fields.
+#pragma once
+
+#include <optional>
+
+#include "net/packet.h"
+
+namespace sugar::net {
+
+enum class ParseError {
+  TruncatedEthernet,
+  TruncatedArp,
+  TruncatedIpv4,
+  BadIpv4Header,
+  TruncatedIpv6,
+  TruncatedTcp,
+  BadTcpHeader,
+  TruncatedUdp,
+  TruncatedIcmp,
+};
+
+struct ParseOutcome {
+  std::optional<ParsedPacket> parsed;
+  std::optional<ParseError> error;
+
+  [[nodiscard]] bool ok() const { return parsed.has_value(); }
+};
+
+/// Parses a full frame starting at the Ethernet header. An unknown EtherType
+/// or IP protocol is not an error: parsing simply stops at that layer.
+ParseOutcome parse_packet(const Packet& pkt);
+
+/// Classifies a parsed packet into the Table 13 spurious-protocol taxonomy.
+/// Task-relevant traffic (TCP/UDP application flows) maps to
+/// SpuriousCategory::None.
+SpuriousCategory classify_spurious(const ParsedPacket& p);
+
+}  // namespace sugar::net

@@ -1,0 +1,158 @@
+#include "net/pcap.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <fstream>
+
+namespace sugar::net {
+namespace {
+
+constexpr std::uint32_t kMagicUsec = 0xA1B2C3D4;
+constexpr std::uint32_t kMagicNsec = 0xA1B23C4D;
+constexpr std::uint32_t kMagicUsecSwapped = 0xD4C3B2A1;
+constexpr std::uint32_t kMagicNsecSwapped = 0x4D3CB2A1;
+
+std::uint32_t bswap32(std::uint32_t v) {
+  return v << 24 | (v & 0xFF00) << 8 | (v >> 8 & 0xFF00) | v >> 24;
+}
+std::uint16_t bswap16(std::uint16_t v) {
+  return static_cast<std::uint16_t>(v << 8 | v >> 8);
+}
+
+struct RawReader {
+  std::istream& in;
+  bool swap = false;
+
+  bool u32(std::uint32_t& out) {
+    std::array<char, 4> b;
+    if (!in.read(b.data(), 4)) return false;
+    std::uint32_t v;
+    std::memcpy(&v, b.data(), 4);
+    out = swap ? bswap32(v) : v;
+    return true;
+  }
+  bool u16(std::uint16_t& out) {
+    std::array<char, 2> b;
+    if (!in.read(b.data(), 2)) return false;
+    std::uint16_t v;
+    std::memcpy(&v, b.data(), 2);
+    out = swap ? bswap16(v) : v;
+    return true;
+  }
+};
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  // Always write little-endian regardless of host.
+  char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+               static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out.write(b, 4);
+}
+void put_u16(std::ostream& out, std::uint16_t v) {
+  char b[2] = {static_cast<char>(v), static_cast<char>(v >> 8)};
+  out.write(b, 2);
+}
+
+}  // namespace
+
+PcapReader::PcapReader(std::istream& in) : in_(in) {
+  RawReader r{in_};
+  std::uint32_t magic = 0;
+  if (!r.u32(magic)) throw PcapError("pcap: empty stream");
+
+  // The magic is stored in the writer's byte order; when read on a host of
+  // the opposite order it appears byte-swapped.
+  bool host_le = std::endian::native == std::endian::little;
+  (void)host_le;
+  switch (magic) {
+    case kMagicUsec:
+      info_.nanosecond = false;
+      r.swap = false;
+      break;
+    case kMagicNsec:
+      info_.nanosecond = true;
+      r.swap = false;
+      break;
+    case kMagicUsecSwapped:
+      info_.nanosecond = false;
+      r.swap = true;
+      break;
+    case kMagicNsecSwapped:
+      info_.nanosecond = true;
+      r.swap = true;
+      break;
+    default:
+      throw PcapError("pcap: bad magic");
+  }
+  info_.swapped = r.swap;
+
+  std::uint32_t tz, sigfigs;
+  if (!r.u16(info_.version_major) || !r.u16(info_.version_minor) || !r.u32(tz) ||
+      !r.u32(sigfigs) || !r.u32(info_.snaplen) || !r.u32(info_.link_type))
+    throw PcapError("pcap: truncated global header");
+  if (info_.version_major != 2) throw PcapError("pcap: unsupported version");
+}
+
+bool PcapReader::next(Packet& out) {
+  RawReader r{in_, info_.swapped};
+  std::uint32_t ts_sec, ts_frac, incl_len, orig_len;
+  if (!r.u32(ts_sec)) return false;  // clean EOF
+  if (!r.u32(ts_frac) || !r.u32(incl_len) || !r.u32(orig_len)) return false;
+  if (incl_len > info_.snaplen + 65536) return false;  // corrupt record header
+
+  out.data.resize(incl_len);
+  if (!in_.read(reinterpret_cast<char*>(out.data.data()),
+                static_cast<std::streamsize>(incl_len)))
+    return false;
+  std::uint64_t usec = info_.nanosecond ? ts_frac / 1000 : ts_frac;
+  out.ts_usec = static_cast<std::uint64_t>(ts_sec) * 1'000'000 + usec;
+  return true;
+}
+
+std::vector<Packet> PcapReader::read_all() {
+  std::vector<Packet> pkts;
+  Packet p;
+  while (next(p)) pkts.push_back(std::move(p));
+  return pkts;
+}
+
+PcapWriter::PcapWriter(std::ostream& out, std::uint32_t snaplen, std::uint32_t link_type)
+    : out_(out), snaplen_(snaplen) {
+  put_u32(out_, kMagicUsec);
+  put_u16(out_, 2);
+  put_u16(out_, 4);
+  put_u32(out_, 0);  // thiszone
+  put_u32(out_, 0);  // sigfigs
+  put_u32(out_, snaplen);
+  put_u32(out_, link_type);
+}
+
+void PcapWriter::write(const Packet& pkt) {
+  std::uint32_t incl = static_cast<std::uint32_t>(
+      std::min<std::size_t>(pkt.data.size(), snaplen_));
+  put_u32(out_, static_cast<std::uint32_t>(pkt.ts_usec / 1'000'000));
+  put_u32(out_, static_cast<std::uint32_t>(pkt.ts_usec % 1'000'000));
+  put_u32(out_, incl);
+  put_u32(out_, static_cast<std::uint32_t>(pkt.data.size()));
+  out_.write(reinterpret_cast<const char*>(pkt.data.data()), incl);
+}
+
+void PcapWriter::write_all(const std::vector<Packet>& pkts) {
+  for (const auto& p : pkts) write(p);
+}
+
+std::vector<Packet> read_pcap_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw PcapError("pcap: cannot open " + path);
+  PcapReader reader(in);
+  return reader.read_all();
+}
+
+void write_pcap_file(const std::string& path, const std::vector<Packet>& pkts) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw PcapError("pcap: cannot create " + path);
+  PcapWriter writer(out);
+  writer.write_all(pkts);
+}
+
+}  // namespace sugar::net

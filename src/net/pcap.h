@@ -1,0 +1,69 @@
+// Classic libpcap file format reader/writer (no external dependency).
+// Supports the microsecond (0xA1B2C3D4) and nanosecond (0xA1B23C4D) magics,
+// both endiannesses on read, and writes host-independent little-endian
+// microsecond files.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace sugar::net {
+
+class PcapError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct PcapFileInfo {
+  std::uint16_t version_major = 2;
+  std::uint16_t version_minor = 4;
+  std::uint32_t snaplen = 65535;
+  std::uint32_t link_type = 1;  // LINKTYPE_ETHERNET
+  bool nanosecond = false;
+  bool swapped = false;  // file endianness != big-endian encoding in magic
+};
+
+/// Streaming reader. Throws PcapError on malformed global headers; truncated
+/// trailing records end the stream silently (matching libpcap behaviour).
+class PcapReader {
+ public:
+  explicit PcapReader(std::istream& in);
+
+  [[nodiscard]] const PcapFileInfo& info() const { return info_; }
+
+  /// Reads the next record into out. Returns false at end of stream.
+  bool next(Packet& out);
+
+  /// Drains the remaining records.
+  std::vector<Packet> read_all();
+
+ private:
+  std::istream& in_;
+  PcapFileInfo info_;
+};
+
+/// Streaming writer; emits the global header on construction.
+class PcapWriter {
+ public:
+  explicit PcapWriter(std::ostream& out, std::uint32_t snaplen = 65535,
+                      std::uint32_t link_type = 1);
+
+  void write(const Packet& pkt);
+  void write_all(const std::vector<Packet>& pkts);
+
+ private:
+  std::ostream& out_;
+  std::uint32_t snaplen_;
+};
+
+/// File-path conveniences.
+std::vector<Packet> read_pcap_file(const std::string& path);
+void write_pcap_file(const std::string& path, const std::vector<Packet>& pkts);
+
+}  // namespace sugar::net

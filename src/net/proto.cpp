@@ -1,0 +1,26 @@
+#include "net/proto.h"
+
+namespace sugar::net {
+
+std::string to_string(SpuriousCategory c) {
+  switch (c) {
+    case SpuriousCategory::None: return "none";
+    case SpuriousCategory::LinkLocal: return "link-local";
+    case SpuriousCategory::NetworkManagement: return "network management";
+    case SpuriousCategory::Nat: return "nat";
+    case SpuriousCategory::RouteManagement: return "route management";
+    case SpuriousCategory::ServiceManagement: return "service management";
+    case SpuriousCategory::RealTime: return "real time";
+    case SpuriousCategory::NetworkTime: return "network time";
+    case SpuriousCategory::LinkManagement: return "link management";
+    case SpuriousCategory::Security: return "security";
+    case SpuriousCategory::RemoteAccess: return "remote access";
+    case SpuriousCategory::IotManagement: return "iot management";
+    case SpuriousCategory::Quake: return "quake";
+    case SpuriousCategory::Others: return "others";
+    case SpuriousCategory::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace sugar::net

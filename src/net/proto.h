@@ -1,0 +1,80 @@
+// Protocol numbers, well-known ports, and the spurious-protocol taxonomy
+// from Table 13 of the paper. The taxonomy drives the cleaning filters in
+// src/dataset and the spurious-traffic injector in src/trafficgen.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sugar::net {
+
+enum class EtherType : std::uint16_t {
+  Ipv4 = 0x0800,
+  Arp = 0x0806,
+  Ipv6 = 0x86DD,
+  Llc = 0x0000,  // pseudo value: length field instead of type
+};
+
+enum class IpProto : std::uint8_t {
+  Icmp = 1,
+  Igmp = 2,
+  Tcp = 6,
+  Udp = 17,
+  Icmpv6 = 58,
+};
+
+/// Well-known ports used by the parser's application-protocol heuristic and
+/// by the synthetic trace generators.
+namespace ports {
+inline constexpr std::uint16_t kDns = 53;
+inline constexpr std::uint16_t kDhcpServer = 67;
+inline constexpr std::uint16_t kDhcpClient = 68;
+inline constexpr std::uint16_t kHttp = 80;
+inline constexpr std::uint16_t kNtp = 123;
+inline constexpr std::uint16_t kNbns = 137;
+inline constexpr std::uint16_t kSnmp = 161;
+inline constexpr std::uint16_t kHttps = 443;
+inline constexpr std::uint16_t kDhcpv6Client = 546;
+inline constexpr std::uint16_t kDhcpv6Server = 547;
+inline constexpr std::uint16_t kMdns = 5353;
+inline constexpr std::uint16_t kLlmnr = 5355;
+inline constexpr std::uint16_t kSsdp = 1900;
+inline constexpr std::uint16_t kStun = 3478;
+inline constexpr std::uint16_t kNatPmp = 5351;
+inline constexpr std::uint16_t kBtLsd = 6771;   // BitTorrent local service discovery
+inline constexpr std::uint16_t kDbLsp = 17500;  // Dropbox LAN sync
+inline constexpr std::uint16_t kRtcp = 5005;
+inline constexpr std::uint16_t kCoap = 5683;
+inline constexpr std::uint16_t kMqtt = 1883;
+inline constexpr std::uint16_t kBgp = 179;
+inline constexpr std::uint16_t kVnc = 5900;
+inline constexpr std::uint16_t kX11 = 6000;
+inline constexpr std::uint16_t kMsnms = 1863;
+inline constexpr std::uint16_t kBitcoin = 8333;
+inline constexpr std::uint16_t kQuake3 = 27960;
+}  // namespace ports
+
+/// The spurious-protocol categories of Table 13. `None` marks traffic that
+/// belongs to the classification task; everything else is removed by the
+/// extraneous-protocol cleaning filter.
+enum class SpuriousCategory : std::uint8_t {
+  None = 0,
+  LinkLocal,          // llmnr, nbns, mdns, lsd
+  NetworkManagement,  // icmp, icmpv6, dhcp, dhcpv6, igmp, snmp, arp
+  Nat,                // nat-pmp, stun
+  RouteManagement,    // db-lsp, stp, bgp
+  ServiceManagement,  // ssdp, lldp
+  RealTime,           // rtcp
+  NetworkTime,        // ntp
+  LinkManagement,     // llc
+  Security,           // ocsp-like
+  RemoteAccess,       // vnc, x11, msnms
+  IotManagement,      // coap, mqtt
+  Quake,              // quake family
+  Others,             // bitcoin, tds
+  kCount,
+};
+
+std::string to_string(SpuriousCategory c);
+
+}  // namespace sugar::net

@@ -1,0 +1,93 @@
+// Packet featurizers: the byte views each representation-learning model
+// consumes (mirroring the per-model input policies of Appendix A.2), the
+// hand-crafted header feature vector the shallow baselines use (Table 12),
+// and the Q&A pretext targets of Pcap-Encoder (Table 10).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataset/task.h"
+#include "ml/matrix.h"
+
+namespace sugar::replearn {
+
+/// Byte-view policy: which slice of the packet becomes the model input and
+/// which fields are anonymized first. Bytes are scaled to [0,1].
+struct ByteViewSpec {
+  std::size_t length = 200;       // fixed input size, zero-padded
+  bool include_ip_header = true;  // ET-BERT drops it entirely
+  bool include_l4_header = true;
+  bool include_payload = true;    // Pcap-Encoder drops it entirely
+  bool zero_ip_addresses = false; // YaTC/NetMamba/TrafficFormer anonymization
+  bool zero_ports = false;
+  /// Repeat the view this many times (the paper's "Repeat" strategy that
+  /// feeds one packet to a 5-packet flow-embedder).
+  int repeat = 1;
+  /// Bit encoding: 8 features per byte instead of one byte/255 float. This
+  /// mirrors how token-based models treat bytes as categorical symbols —
+  /// exact byte patterns (the implicit flow ids!) become linearly
+  /// separable, which is what lets an unfrozen model memorize them.
+  bool bit_encode = false;
+
+  [[nodiscard]] std::size_t bytes_dim() const { return length * (bit_encode ? 8 : 1); }
+  [[nodiscard]] std::size_t dim() const {
+    return bytes_dim() * static_cast<std::size_t>(repeat);
+  }
+};
+
+/// Extracts one packet's byte view into out[0..spec.dim()).
+void extract_byte_view(const net::Packet& pkt, const net::ParsedPacket& parsed,
+                       const ByteViewSpec& spec, float* out);
+
+/// Byte-view matrix over a dataset subset.
+ml::Matrix byte_view_matrix(const dataset::PacketDataset& ds,
+                            const std::vector<std::size_t>& indices,
+                            const ByteViewSpec& spec);
+
+/// netFound-style multimodal per-packet features: normalized header fields,
+/// direction, log inter-arrival, plus the first 12 payload bytes.
+struct MultimodalSpec {
+  std::size_t payload_bytes = 12;
+  [[nodiscard]] std::size_t dim() const { return 14 + payload_bytes; }
+};
+
+/// `flow_context`, when provided, carries per-packet (direction,
+/// log-inter-arrival) pairs — filled by flow-level featurization so the
+/// netFound analog sees its multimodal signals; packet-level callers pass
+/// nullptr and get the paper's constant padding.
+struct FlowPacketContext {
+  float direction = 0.5f;        // 1 = client->server, 0 = reverse
+  float log_interarrival = 0.0f; // log1p(usec)/20, clamped to [0,1]
+};
+
+ml::Matrix multimodal_matrix(const dataset::PacketDataset& ds,
+                             const std::vector<std::size_t>& indices,
+                             const MultimodalSpec& spec,
+                             const std::vector<FlowPacketContext>* flow_context = nullptr);
+
+/// Hand-crafted header features for the shallow baselines (Table 12 fields:
+/// IP addresses/TOS/IHL/ID/checksum/flags/length/proto/version/TTL/frag,
+/// ports/timestamp/window/urgent/offset/flags/checksum/seq/ack for TCP, and
+/// UDP port/len/checksum). Missing-protocol fields are zero-padded.
+struct HeaderFeatureSpec {
+  bool include_ip_addresses = true;  // Table 8's "w/o IP addr" toggle
+};
+
+std::vector<std::string> header_feature_names(const HeaderFeatureSpec& spec = {});
+void extract_header_features(const net::Packet& pkt, const net::ParsedPacket& parsed,
+                             const HeaderFeatureSpec& spec, float* out);
+ml::Matrix header_feature_matrix(const dataset::PacketDataset& ds,
+                                 const std::vector<std::size_t>& indices,
+                                 const HeaderFeatureSpec& spec = {});
+
+/// Q&A pretext targets (Pcap-Encoder phase 2, Table 10): normalized values
+/// for the 8 retrieval/computational questions.
+std::vector<std::string> qa_target_names();
+std::size_t qa_target_dim();
+void extract_qa_targets(const net::Packet& pkt, const net::ParsedPacket& parsed,
+                        float* out);
+ml::Matrix qa_target_matrix(const dataset::PacketDataset& ds,
+                            const std::vector<std::size_t>& indices);
+
+}  // namespace sugar::replearn

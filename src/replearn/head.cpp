@@ -1,0 +1,145 @@
+#include "replearn/head.h"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <unordered_set>
+
+namespace sugar::replearn {
+
+DownstreamModel::DownstreamModel(std::unique_ptr<Encoder> encoder, int num_classes,
+                                 DownstreamConfig cfg)
+    : encoder_(std::move(encoder)), cfg_(cfg), num_classes_(num_classes) {
+  std::vector<std::size_t> dims{encoder_->embed_dim()};
+  dims.insert(dims.end(), cfg_.head_hidden.begin(), cfg_.head_hidden.end());
+  dims.push_back(static_cast<std::size_t>(num_classes));
+  head_ = ml::MlpNet(dims, cfg_.seed);
+}
+
+void DownstreamModel::fit(const ml::Matrix& x, const std::vector<int>& y,
+                          const std::vector<int>& groups) {
+  std::mt19937_64 rng(cfg_.seed ^ 0x7EAD);
+
+  // --- Hold out a validation share: whole flows (honest) or random samples.
+  std::vector<std::size_t> train_idx, val_idx;
+  if (cfg_.validation_fraction > 0 && x.rows() > 40) {
+    if (cfg_.flow_holdout_validation && groups.size() == x.rows()) {
+      std::vector<int> flow_ids(groups);
+      std::sort(flow_ids.begin(), flow_ids.end());
+      flow_ids.erase(std::unique(flow_ids.begin(), flow_ids.end()), flow_ids.end());
+      std::shuffle(flow_ids.begin(), flow_ids.end(), rng);
+      std::size_t n_val_flows = std::max<std::size_t>(
+          1, static_cast<std::size_t>(cfg_.validation_fraction *
+                                      static_cast<double>(flow_ids.size())));
+      std::unordered_set<int> val_flows(flow_ids.begin(),
+                                        flow_ids.begin() + static_cast<std::ptrdiff_t>(n_val_flows));
+      for (std::size_t i = 0; i < x.rows(); ++i)
+        (val_flows.count(groups[i]) ? val_idx : train_idx).push_back(i);
+    } else {
+      std::vector<std::size_t> order(x.rows());
+      std::iota(order.begin(), order.end(), 0);
+      std::shuffle(order.begin(), order.end(), rng);
+      std::size_t n_val = static_cast<std::size_t>(
+          cfg_.validation_fraction * static_cast<double>(order.size()));
+      val_idx.assign(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(n_val));
+      train_idx.assign(order.begin() + static_cast<std::ptrdiff_t>(n_val), order.end());
+    }
+  }
+  if (train_idx.empty()) {
+    train_idx.resize(x.rows());
+    std::iota(train_idx.begin(), train_idx.end(), 0);
+    val_idx.clear();
+  }
+
+  ml::Matrix x_val;
+  std::vector<int> y_val;
+  if (!val_idx.empty()) {
+    x_val = x.take_rows(val_idx);
+    y_val.reserve(val_idx.size());
+    for (std::size_t i : val_idx) y_val.push_back(y[i]);
+  }
+
+  // Frozen path: embeddings never change, so compute them once.
+  ml::Matrix frozen_emb;
+  if (cfg_.frozen) frozen_emb = encoder_->embed(x, /*training=*/false);
+
+  auto validation_accuracy = [&]() -> double {
+    if (val_idx.empty()) return 0.0;
+    ml::Matrix emb = cfg_.frozen ? frozen_emb.take_rows(val_idx)
+                                 : encoder_->embed(x_val, false);
+    ml::Matrix logits = head_.forward(emb, false);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < logits.rows(); ++i) {
+      const float* r = logits.row(i);
+      int pred = static_cast<int>(std::max_element(r, r + logits.cols()) - r);
+      if (pred == y_val[i]) ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(logits.rows());
+  };
+
+  double best_val = -1.0;
+  int stall = 0;
+  ml::MlpNet best_head;
+  std::unique_ptr<Encoder> best_encoder;
+
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    std::shuffle(train_idx.begin(), train_idx.end(), rng);
+    for (std::size_t start = 0; start < train_idx.size(); start += cfg_.batch_size) {
+      std::size_t end = std::min(train_idx.size(), start + cfg_.batch_size);
+      std::vector<std::size_t> idx(train_idx.begin() + static_cast<std::ptrdiff_t>(start),
+                                   train_idx.begin() + static_cast<std::ptrdiff_t>(end));
+      std::vector<int> yb(idx.size());
+      for (std::size_t i = 0; i < idx.size(); ++i) yb[i] = y[idx[i]];
+
+      ml::Matrix emb = cfg_.frozen ? frozen_emb.take_rows(idx)
+                                   : encoder_->embed(x.take_rows(idx), true);
+      head_.zero_grad();
+      ml::Matrix logits = head_.forward(emb, true);
+      ml::Matrix grad;
+      ml::softmax_cross_entropy(logits, yb, grad);
+      ml::Matrix grad_emb = head_.backward(grad);
+      head_.adam_step(cfg_.lr_head);
+
+      if (!cfg_.frozen) {
+        encoder_->zero_grad();
+        encoder_->backward_into(grad_emb);
+        encoder_->adam_step(cfg_.lr_encoder);
+      }
+    }
+
+    if (!val_idx.empty()) {
+      double acc = validation_accuracy();
+      if (acc > best_val + 1e-9) {
+        best_val = acc;
+        stall = 0;
+        best_head = head_;
+        if (!cfg_.frozen) best_encoder = encoder_->clone();
+      } else if (++stall >= cfg_.patience) {
+        break;
+      }
+    }
+  }
+
+  // Restore the best validation epoch.
+  if (best_val >= 0) {
+    head_ = std::move(best_head);
+    if (best_encoder) encoder_ = std::move(best_encoder);
+  }
+}
+
+std::vector<int> DownstreamModel::predict(const ml::Matrix& x) {
+  ml::Matrix emb = encoder_->embed(x, false);
+  ml::Matrix logits = head_.forward(emb, false);
+  std::vector<int> out(x.rows(), 0);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const float* r = logits.row(i);
+    out[i] = static_cast<int>(std::max_element(r, r + logits.cols()) - r);
+  }
+  return out;
+}
+
+ml::Matrix DownstreamModel::embeddings(const ml::Matrix& x) {
+  return encoder_->embed(x, false);
+}
+
+}  // namespace sugar::replearn

@@ -1,0 +1,46 @@
+#include "replearn/pretrain.h"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+namespace sugar::replearn {
+
+void pretrain_on_backbone(ModelBundle& bundle, const dataset::PacketDataset& backbone,
+                          const BackbonePretrainOptions& opts) {
+  std::vector<std::size_t> indices(backbone.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  if (indices.size() > opts.max_samples) {
+    std::mt19937_64 rng(opts.seed);
+    std::shuffle(indices.begin(), indices.end(), rng);
+    indices.resize(opts.max_samples);
+  }
+
+  ml::Matrix x;
+  if (bundle.mode == TaskMode::Flow) {
+    // Pre-train on flow windows assembled from the backbone's flows.
+    auto flows = backbone.flows();
+    std::vector<std::vector<std::size_t>> windows;
+    for (const auto& f : flows)
+      if (f.size() >= 2) windows.push_back(f);
+    if (windows.size() > opts.max_samples / 4) windows.resize(opts.max_samples / 4);
+    x = bundle.featurize_flows(backbone, windows);
+  } else {
+    x = bundle.featurize_packets(backbone, indices);
+  }
+
+  bundle.encoder->pretrain(x, opts.pretrain);
+
+  // Pcap-Encoder phase 2: Q&A pretext tasks on the same data.
+  if (bundle.kind == ModelKind::PcapEncoder && bundle.mode == TaskMode::Packet) {
+    ml::Matrix targets = qa_target_matrix(backbone, indices);
+    bundle.encoder->pretrain_supervised(x, targets, opts.pretrain);
+  } else if (bundle.kind == ModelKind::PcapEncoder) {
+    // Flow mode still pre-trains at packet level (the paper's §6.2 design).
+    ml::Matrix xp = bundle.featurize_packets(backbone, indices);
+    ml::Matrix targets = qa_target_matrix(backbone, indices);
+    bundle.encoder->pretrain_supervised(xp, targets, opts.pretrain);
+  }
+}
+
+}  // namespace sugar::replearn

@@ -1,0 +1,25 @@
+// Pre-training driver: runs a model bundle's self-supervised phase (and,
+// for Pcap-Encoder, the supervised Q&A phase) on an unlabelled backbone
+// trace — the stand-in for the paper's MAWI/UNSW/campus pre-training mix.
+#pragma once
+
+#include "dataset/task.h"
+#include "replearn/model_zoo.h"
+
+namespace sugar::replearn {
+
+struct BackbonePretrainOptions {
+  PretrainOptions pretrain;
+  /// Cap on pre-training samples (packets drawn from the backbone).
+  std::size_t max_samples = 8000;
+  std::uint64_t seed = 1009;
+};
+
+/// Pre-trains `bundle.encoder` in place on the backbone dataset. Packet
+/// views follow the bundle's input policy; flow-mode bundles pre-train on
+/// single-packet windows tiled to the flow view, mirroring how the surveyed
+/// models pre-train on bursts.
+void pretrain_on_backbone(ModelBundle& bundle, const dataset::PacketDataset& backbone,
+                          const BackbonePretrainOptions& opts);
+
+}  // namespace sugar::replearn

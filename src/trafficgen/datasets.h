@@ -1,0 +1,65 @@
+// Dataset builders emulating the three public benchmarks used by the paper:
+// ISCX-VPN, USTC-TFC and CSTNET-TLS1.3, plus the heterogeneous backbone
+// trace used for pre-training (the paper's MAWI/UNSW/campus mix). Every
+// builder returns a time-ordered packet trace with ground-truth labels.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "trafficgen/profiles.h"
+#include "trafficgen/rng.h"
+
+namespace sugar::trafficgen {
+
+/// Ground-truth annotation for one packet. Spurious (extraneous-protocol)
+/// packets carry -1 everywhere.
+struct PacketLabel {
+  int cls = -1;      // finest class (app id / site id)
+  int service = -1;  // ISCX service id; -1 elsewhere
+  int binary = -1;   // ISCX: VPN?; USTC: malware?; -1 for CSTN
+};
+
+struct GeneratedTrace {
+  std::string dataset_name;
+  std::vector<net::Packet> packets;
+  std::vector<PacketLabel> labels;   // parallel to packets
+  std::vector<int> flow_of;          // generator-truth flow id; -1 spurious
+  std::vector<std::string> class_names;
+  std::vector<std::string> service_names;  // ISCX only
+
+  [[nodiscard]] std::size_t size() const { return packets.size(); }
+  [[nodiscard]] std::size_t num_flows() const;
+  [[nodiscard]] std::size_t num_spurious() const;
+};
+
+struct GenOptions {
+  std::uint64_t seed = 1;
+  std::size_t flows_per_class = 20;
+  /// Fraction of the final trace made of Table-13 spurious packets
+  /// (ISCX ~5 %, USTC ~10 %, CSTN 0 %).
+  double spurious_fraction = 0.0;
+  /// ISCX: fraction of each app's flows captured through the VPN tunnel.
+  double vpn_fraction = 0.5;
+  /// CSTN public-dataset behaviour: drop the TCP three-way handshake and
+  /// the initial ClientHello, leaving an everything-encrypted trace.
+  bool strip_tls_handshake = false;
+};
+
+GeneratedTrace generate_iscx_vpn(const GenOptions& opts);
+GeneratedTrace generate_ustc_tfc(const GenOptions& opts);
+GeneratedTrace generate_cstn_tls120(const GenOptions& opts);
+
+/// Pre-training mix: flows sampled across all profiles of all datasets plus
+/// spurious/background packets. Unlabelled by design (labels are all -1)
+/// to mirror self-supervised pre-training data.
+GeneratedTrace generate_backbone(std::uint64_t seed, std::size_t n_flows);
+
+/// Generates the packets of a single flow for a profile (exposed for tests
+/// and micro-benchmarks). `vpn` wraps the flow in OpenVPN/UDP encapsulation.
+std::vector<net::Packet> generate_flow(const AppProfile& profile, bool vpn, Rng& rng,
+                                       std::uint64_t start_usec,
+                                       std::vector<std::size_t>* strip_indices = nullptr);
+
+}  // namespace sugar::trafficgen

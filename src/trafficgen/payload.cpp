@@ -1,0 +1,195 @@
+#include "trafficgen/payload.h"
+
+#include <algorithm>
+#include <string>
+
+namespace sugar::trafficgen {
+namespace {
+
+void append(std::vector<std::uint8_t>& out, std::string_view text) {
+  out.insert(out.end(), text.begin(), text.end());
+}
+
+void append_u16be(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void append_random(std::vector<std::uint8_t>& out, Rng& rng, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out.push_back(rng.u8());
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encrypted_payload(Rng& rng, std::size_t n) {
+  return rng.bytes(n);
+}
+
+std::vector<std::uint8_t> tls_record_payload(Rng& rng, std::size_t n) {
+  constexpr std::size_t kMaxRecord = 16384;
+  std::vector<std::uint8_t> out;
+  out.reserve(n + 5 * (n / kMaxRecord + 1));
+  std::size_t left = n;
+  while (left > 0) {
+    std::size_t rec = std::min(left, kMaxRecord);
+    out.push_back(0x17);  // application data
+    out.push_back(0x03);
+    out.push_back(0x03);
+    append_u16be(out, static_cast<std::uint16_t>(rec));
+    append_random(out, rng, rec);
+    left -= rec;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> tls_client_hello(Rng& rng, const std::string& sni) {
+  std::vector<std::uint8_t> body;
+  body.push_back(0x01);  // handshake type: client hello
+  // 3-byte handshake length patched below.
+  body.insert(body.end(), {0, 0, 0});
+  append_u16be(body, 0x0303);  // legacy version
+  append_random(body, rng, 32);  // client random
+  body.push_back(32);            // session id length
+  append_random(body, rng, 32);
+  append_u16be(body, 8);  // cipher suites length
+  for (std::uint16_t cs : {0x1301, 0x1302, 0x1303, 0xC02F}) append_u16be(body, cs);
+  body.push_back(1);  // compression methods
+  body.push_back(0);
+  // Extensions: optionally SNI.
+  std::vector<std::uint8_t> ext;
+  if (!sni.empty()) {
+    append_u16be(ext, 0x0000);  // server_name
+    append_u16be(ext, static_cast<std::uint16_t>(sni.size() + 5));
+    append_u16be(ext, static_cast<std::uint16_t>(sni.size() + 3));
+    ext.push_back(0);  // host_name
+    append_u16be(ext, static_cast<std::uint16_t>(sni.size()));
+    append(ext, sni);
+  }
+  append_u16be(ext, 0x002B);  // supported_versions
+  append_u16be(ext, 3);
+  ext.push_back(2);
+  append_u16be(ext, 0x0304);
+  append_u16be(body, static_cast<std::uint16_t>(ext.size()));
+  body.insert(body.end(), ext.begin(), ext.end());
+  std::size_t hs_len = body.size() - 4;
+  body[1] = static_cast<std::uint8_t>(hs_len >> 16);
+  body[2] = static_cast<std::uint8_t>(hs_len >> 8);
+  body[3] = static_cast<std::uint8_t>(hs_len);
+
+  std::vector<std::uint8_t> out;
+  out.push_back(0x16);  // handshake record
+  out.push_back(0x03);
+  out.push_back(0x01);
+  append_u16be(out, static_cast<std::uint16_t>(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::vector<std::uint8_t> tls_server_hello(Rng& rng) {
+  std::vector<std::uint8_t> body;
+  body.push_back(0x02);  // server hello
+  body.insert(body.end(), {0, 0, 0});
+  append_u16be(body, 0x0303);
+  append_random(body, rng, 32);
+  body.push_back(32);
+  append_random(body, rng, 32);
+  append_u16be(body, 0x1301);  // chosen cipher
+  body.push_back(0);           // compression
+  append_u16be(body, 6);       // extensions length
+  append_u16be(body, 0x002B);
+  append_u16be(body, 2);
+  append_u16be(body, 0x0304);
+  std::size_t hs_len = body.size() - 4;
+  body[1] = static_cast<std::uint8_t>(hs_len >> 16);
+  body[2] = static_cast<std::uint8_t>(hs_len >> 8);
+  body[3] = static_cast<std::uint8_t>(hs_len);
+
+  std::vector<std::uint8_t> out;
+  out.push_back(0x16);
+  out.push_back(0x03);
+  out.push_back(0x03);
+  append_u16be(out, static_cast<std::uint16_t>(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::vector<std::uint8_t> http_request_payload(Rng& rng, const std::string& host,
+                                               std::size_t body_len) {
+  static const char* kPaths[] = {"/", "/index.html", "/api/v1/sync", "/static/app.js",
+                                 "/images/logo.png"};
+  static const char* kAgents[] = {"Mozilla/5.0", "curl/7.88", "AppClient/2.3"};
+  std::vector<std::uint8_t> out;
+  append(out, body_len > 0 ? "POST " : "GET ");
+  append(out, kPaths[rng.uniform_int(0, 4)]);
+  append(out, " HTTP/1.1\r\nHost: ");
+  append(out, host);
+  append(out, "\r\nUser-Agent: ");
+  append(out, kAgents[rng.uniform_int(0, 2)]);
+  append(out, "\r\nAccept: */*\r\n");
+  if (body_len > 0) {
+    append(out, "Content-Length: " + std::to_string(body_len) + "\r\n\r\n");
+    append_random(out, rng, body_len);
+  } else {
+    append(out, "\r\n");
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> http_response_payload(Rng& rng, std::size_t body_len) {
+  std::vector<std::uint8_t> out;
+  append(out, "HTTP/1.1 200 OK\r\nServer: nginx/1.22\r\nContent-Type: text/html\r\n");
+  append(out, "Content-Length: " + std::to_string(body_len) + "\r\n\r\n");
+  // Body: compressible ASCII-ish filler rather than pure random, so
+  // plaintext traffic is byte-wise distinguishable from ciphertext.
+  for (std::size_t i = 0; i < body_len; ++i)
+    out.push_back(static_cast<std::uint8_t>(' ' + rng.uniform_int(0, 94)));
+  return out;
+}
+
+std::vector<std::uint8_t> openvpn_payload(Rng& rng, std::uint64_t session_id,
+                                          std::size_t n) {
+  std::vector<std::uint8_t> out;
+  out.push_back(0x30);  // P_DATA_V2 opcode/key id
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(session_id >> (8 * (7 - i))));
+  append_random(out, rng, n);
+  return out;
+}
+
+std::vector<std::uint8_t> c2_beacon_payload(Rng& rng, std::uint32_t family_magic,
+                                            std::size_t n) {
+  std::vector<std::uint8_t> out;
+  out.push_back(static_cast<std::uint8_t>(family_magic >> 24));
+  out.push_back(static_cast<std::uint8_t>(family_magic >> 16));
+  out.push_back(static_cast<std::uint8_t>(family_magic >> 8));
+  out.push_back(static_cast<std::uint8_t>(family_magic));
+  append_random(out, rng, n > 4 ? n - 4 : 0);
+  return out;
+}
+
+std::vector<std::uint8_t> dns_query_payload(Rng& rng, const std::string& qname) {
+  std::vector<std::uint8_t> out;
+  append_u16be(out, rng.u16());  // transaction id
+  append_u16be(out, 0x0100);     // standard query, RD
+  append_u16be(out, 1);          // QDCOUNT
+  append_u16be(out, 0);
+  append_u16be(out, 0);
+  append_u16be(out, 0);
+  // QNAME label encoding.
+  std::size_t start = 0;
+  while (start <= qname.size()) {
+    std::size_t dot = qname.find('.', start);
+    std::size_t end = dot == std::string::npos ? qname.size() : dot;
+    out.push_back(static_cast<std::uint8_t>(end - start));
+    for (std::size_t i = start; i < end; ++i)
+      out.push_back(static_cast<std::uint8_t>(qname[i]));
+    if (dot == std::string::npos) break;
+    start = dot + 1;
+  }
+  out.push_back(0);
+  append_u16be(out, 1);  // QTYPE A
+  append_u16be(out, 1);  // QCLASS IN
+  return out;
+}
+
+}  // namespace sugar::trafficgen

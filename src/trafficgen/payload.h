@@ -1,0 +1,52 @@
+// Application-payload byte generators. The central design point, taken from
+// the paper: encrypted payloads are generated as uniform random bytes, so
+// *by construction* no classifier can extract class signal from them — any
+// model that appears to is exploiting a shortcut elsewhere. Plaintext-style
+// generators exist so the VPN-binary and USTC-binary tasks keep their real
+// "easy" structure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trafficgen/rng.h"
+
+namespace sugar::trafficgen {
+
+/// Uniform random bytes — the model of robust encryption.
+std::vector<std::uint8_t> encrypted_payload(Rng& rng, std::size_t n);
+
+/// TLS 1.2/1.3-style application-data record framing around random bytes:
+/// type 0x17, version 0x0303, big-endian length, then ciphertext. Multiple
+/// records are emitted when n exceeds the record limit.
+std::vector<std::uint8_t> tls_record_payload(Rng& rng, std::size_t n);
+
+/// A TLS ClientHello-shaped handshake record, optionally carrying a
+/// plaintext SNI host name (the field the public CSTNET-TLS1.3 dataset
+/// removed).
+std::vector<std::uint8_t> tls_client_hello(Rng& rng, const std::string& sni);
+
+/// A TLS ServerHello-shaped handshake record.
+std::vector<std::uint8_t> tls_server_hello(Rng& rng);
+
+/// HTTP/1.1-style plaintext request (unencrypted traffic in ISCX/USTC).
+std::vector<std::uint8_t> http_request_payload(Rng& rng, const std::string& host,
+                                               std::size_t body_len);
+
+/// HTTP/1.1-style plaintext response.
+std::vector<std::uint8_t> http_response_payload(Rng& rng, std::size_t body_len);
+
+/// OpenVPN-over-UDP-shaped payload: opcode/key-id byte, session id, then
+/// ciphertext. Used for the VPN-encapsulated half of ISCX-VPN.
+std::vector<std::uint8_t> openvpn_payload(Rng& rng, std::uint64_t session_id,
+                                          std::size_t n);
+
+/// Malware C2 beacon payload: short magic prefix + random blob; the magic
+/// gives USTC-binary its (legitimately) easy separability.
+std::vector<std::uint8_t> c2_beacon_payload(Rng& rng, std::uint32_t family_magic,
+                                            std::size_t n);
+
+/// DNS-query-shaped UDP payload (for spurious/background traffic).
+std::vector<std::uint8_t> dns_query_payload(Rng& rng, const std::string& qname);
+
+}  // namespace sugar::trafficgen

@@ -1,0 +1,142 @@
+#include "trafficgen/profiles.h"
+
+namespace sugar::trafficgen {
+namespace {
+
+AppProfile app(std::string name, int id, Service svc, bool tcp,
+               std::vector<std::uint16_t> ports, std::uint8_t sub_a, std::uint8_t sub_b,
+               double req_mu, double resp_mu, double rounds, double gap_ms,
+               PayloadKind payload) {
+  AppProfile p;
+  p.name = std::move(name);
+  p.class_id = id;
+  p.service_id = static_cast<int>(svc);
+  p.use_tcp = tcp;
+  p.server_ports = std::move(ports);
+  p.subnet_a = sub_a;
+  p.subnet_b = sub_b;
+  p.subnet_c = static_cast<std::uint8_t>(id * 7 + 1);
+  p.req_mu = req_mu;
+  p.resp_mu = resp_mu;
+  p.mean_rounds = rounds;
+  p.gap_ms = gap_ms;
+  p.payload = payload;
+  // Server stack fingerprints vary by operator, weakly class-correlated.
+  p.server_ttl = (id % 3 == 0) ? 64 : (id % 3 == 1) ? 128 : 255;
+  p.server_window = static_cast<std::uint16_t>(0x2000 + (id % 8) * 0x1800);
+  p.mss = (id % 4 == 0) ? 1380 : 1460;
+  return p;
+}
+
+}  // namespace
+
+std::vector<AppProfile> iscx_vpn_profiles() {
+  using S = Service;
+  using PK = PayloadKind;
+  std::vector<AppProfile> v;
+  // name, id, service, tcp?, ports, subnet, req_mu, resp_mu, rounds, gap, payload
+  v.push_back(app("aim-chat", 0, S::Chat, true, {443}, 64, 12, 4.2, 4.6, 6, 1500, PK::TlsRecords));
+  v.push_back(app("email", 1, S::Email, true, {465, 587}, 17, 22, 5.8, 5.4, 2, 800, PK::TlsRecords));
+  v.push_back(app("facebook", 2, S::Web, true, {443}, 31, 13, 5.0, 7.2, 4, 400, PK::TlsRecords));
+  v.push_back(app("ftps", 3, S::FileTransfer, true, {990}, 92, 5, 5.2, 9.3, 3, 150, PK::TlsRecords));
+  v.push_back(app("gmail", 4, S::Email, true, {443}, 74, 125, 5.5, 6.4, 3, 900, PK::TlsRecords));
+  v.push_back(app("hangouts", 5, S::Voip, false, {19302}, 74, 126, 5.1, 5.1, 30, 20, PK::RawEncrypted));
+  v.push_back(app("icq-chat", 6, S::Chat, true, {443}, 94, 100, 4.0, 4.4, 7, 1800, PK::TlsRecords));
+  v.push_back(app("netflix", 7, S::Streaming, true, {443}, 45, 57, 4.8, 9.8, 8, 250, PK::TlsRecords));
+  v.push_back(app("scp", 8, S::FileTransfer, true, {22}, 130, 89, 5.0, 9.0, 3, 100, PK::RawEncrypted));
+  v.push_back(app("sftp", 9, S::FileTransfer, true, {22}, 130, 90, 5.3, 9.1, 3, 120, PK::RawEncrypted));
+  v.push_back(app("skype", 10, S::Voip, false, {3479}, 13, 107, 5.0, 5.0, 40, 20, PK::RawEncrypted));
+  v.push_back(app("spotify", 11, S::Streaming, true, {4070, 443}, 35, 186, 4.6, 8.8, 6, 300, PK::TlsRecords));
+  v.push_back(app("torrent", 12, S::FileTransfer, false, {6881}, 98, 76, 6.2, 8.5, 10, 60, PK::RawEncrypted));
+  v.push_back(app("vimeo", 13, S::Streaming, true, {443}, 151, 101, 4.9, 9.5, 7, 280, PK::TlsRecords));
+  v.push_back(app("voipbuster", 14, S::Voip, false, {5060}, 77, 72, 5.0, 5.0, 35, 20, PK::RawEncrypted));
+  v.push_back(app("youtube", 15, S::Streaming, true, {443}, 208, 65, 4.7, 10.0, 9, 220, PK::TlsRecords));
+  for (auto& p : v) {
+    p.tls_handshake = p.payload == PayloadKind::TlsRecords;
+    p.sni = p.name + ".example.com";
+  }
+  return v;
+}
+
+std::vector<AppProfile> ustc_tfc_profiles() {
+  using S = Service;
+  using PK = PayloadKind;
+  std::vector<AppProfile> v;
+  // --- 10 benign applications.
+  v.push_back(app("bittorrent", 0, S::FileTransfer, false, {6881}, 98, 30, 6.0, 8.4, 12, 80, PK::RawEncrypted));
+  v.push_back(app("facetime", 1, S::Voip, false, {16402}, 17, 110, 5.2, 5.2, 40, 20, PK::RawEncrypted));
+  v.push_back(app("ftp", 2, S::FileTransfer, true, {21}, 92, 6, 4.1, 8.8, 4, 200, PK::PlainHttp));
+  v.push_back(app("gmail", 3, S::Email, true, {443}, 74, 125, 5.5, 6.4, 3, 900, PK::TlsRecords));
+  v.push_back(app("mysql", 4, S::Web, true, {3306}, 10, 20, 4.8, 6.0, 8, 120, PK::RawEncrypted));
+  v.push_back(app("outlook", 5, S::Email, true, {443}, 40, 96, 5.6, 6.2, 3, 1000, PK::TlsRecords));
+  v.push_back(app("skype", 6, S::Voip, false, {3479}, 13, 107, 5.0, 5.0, 40, 20, PK::RawEncrypted));
+  v.push_back(app("smb", 7, S::FileTransfer, true, {445}, 192, 168, 5.4, 8.0, 6, 90, PK::RawEncrypted));
+  v.push_back(app("weibo", 8, S::Web, true, {443}, 114, 134, 5.1, 7.0, 5, 350, PK::TlsRecords));
+  v.push_back(app("wow", 9, S::Web, true, {3724}, 12, 129, 4.4, 5.6, 20, 150, PK::RawEncrypted));
+  // --- 10 malware families: characteristic C2 beacons, odd ports, regular
+  // timing — the structure that makes USTC-binary (legitimately) easy.
+  struct Mal {
+    const char* name;
+    std::uint16_t port;
+    std::uint32_t magic;
+    double beat_ms;
+  };
+  const Mal mal[] = {
+      {"cridex", 8080, 0xC41D3201u, 5000},  {"geodo", 8443, 0x6E0D0901u, 4000},
+      {"htbot", 80, 0x48B07A01u, 3000},     {"miuref", 443, 0x3141F701u, 6000},
+      {"neris", 6667, 0x4E331501u, 2500},   {"nsis-ay", 9001, 0x5A15AF01u, 7000},
+      {"shifu", 443, 0x5F1FA201u, 4500},    {"tinba", 80, 0x7B1A2D01u, 3500},
+      {"virut", 65500, 0x61C07901u, 2000},  {"zeus", 8081, 0x2E052201u, 5500},
+  };
+  for (int i = 0; i < 10; ++i) {
+    auto p = app(mal[i].name, 10 + i, S::Web, true, {mal[i].port},
+                 static_cast<std::uint8_t>(185 + i % 4),
+                 static_cast<std::uint8_t>(20 + i * 11), 4.3, 4.9, 5, mal[i].beat_ms,
+                 PK::C2Beacon);
+    p.malicious = true;
+    p.c2_magic = mal[i].magic;
+    // Malware VMs in the USTC testbed share an OS image: constant fingerprint.
+    p.server_ttl = 128;
+    p.server_window = 0x4000;
+    v.push_back(std::move(p));
+  }
+  return v;
+}
+
+std::vector<AppProfile> cstn_tls120_profiles() {
+  std::vector<AppProfile> v;
+  v.reserve(120);
+  for (int i = 0; i < 120; ++i) {
+    AppProfile p;
+    p.name = "site" + std::to_string(i);
+    p.class_id = i;
+    p.service_id = 0;
+    p.use_tcp = true;
+    p.server_ports = {443};
+    // Sites are spread over hosting providers; ~1/3 sit behind shared CDNs.
+    p.subnet_a = static_cast<std::uint8_t>(101 + (i * 13) % 100);
+    p.subnet_b = static_cast<std::uint8_t>((i * 37) % 256);
+    p.subnet_c = static_cast<std::uint8_t>((i * 91) % 256);
+    p.cdn_prob = 0.12;
+    // Page-weight and session-shape distributions are site-specific but
+    // overlapping: the header-only signal is real yet far from perfect, as
+    // in the paper (shallow w/o IP lands mid-range, not near-perfect).
+    p.req_mu = 4.2 + 0.040 * (i % 40);
+    p.req_sigma = 0.45;
+    p.resp_mu = 5.6 + 0.030 * i;
+    p.resp_sigma = 0.60;
+    p.mean_rounds = 2.0 + (i % 7) * 0.8;
+    p.gap_ms = 120 + (i % 11) * 40;
+    p.server_ttl = (i % 4 == 0) ? 128 : 64;
+    p.server_window = static_cast<std::uint16_t>(0x2000 + (i % 32) * 0x600);
+    p.mss = (i % 5 == 0) ? 1380 : 1460;
+    p.tos = (i % 3 == 0) ? static_cast<std::uint8_t>((i % 8) * 4) : 0;
+    p.payload = PayloadKind::TlsRecords;
+    p.tls_handshake = true;
+    p.sni = p.name + ".example.org";
+    v.push_back(std::move(p));
+  }
+  return v;
+}
+
+}  // namespace sugar::trafficgen

@@ -1,0 +1,83 @@
+// Per-class application behaviour profiles. A profile captures everything
+// that is *legitimately* class-correlated in a controlled-testbed dataset:
+// server addressing, ports, transport, payload framing, message-size and
+// session-shape distributions, and server-stack fingerprints (TTL, window,
+// MSS). The encrypted payload bytes themselves are always random.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sugar::trafficgen {
+
+enum class PayloadKind : std::uint8_t {
+  TlsRecords,   // TLS application-data records around random bytes
+  PlainHttp,    // plaintext HTTP request/response
+  OpenVpn,      // OpenVPN/UDP encapsulation, fully random inner bytes
+  C2Beacon,     // malware command-and-control beacons with a family magic
+  RawEncrypted, // bare random bytes (e.g., proprietary VoIP crypto)
+};
+
+/// ISCX-VPN service taxonomy (task VPN-service).
+enum class Service : std::uint8_t {
+  Web = 0,
+  Voip,
+  Streaming,
+  Chat,
+  Email,
+  FileTransfer,
+  kCount,
+};
+
+struct AppProfile {
+  std::string name;
+  int class_id = 0;    // finest-grained label within its dataset
+  int service_id = 0;  // ISCX service / USTC "malicious" flag
+  bool malicious = false;
+
+  bool use_tcp = true;
+  std::vector<std::uint16_t> server_ports;
+  /// Class-specific server subnet a.b.c.0/24.
+  std::uint8_t subnet_a = 0, subnet_b = 0, subnet_c = 0;
+  /// Probability the server is instead drawn from the shared CDN pool —
+  /// this is what keeps IP addresses an *imperfect* class feature.
+  double cdn_prob = 0.2;
+
+  /// Lognormal message sizes (bytes) per direction.
+  double req_mu = 5.0, req_sigma = 0.6;
+  double resp_mu = 6.5, resp_sigma = 0.9;
+  /// Request/response rounds per flow (geometric mean).
+  double mean_rounds = 3.0;
+  /// Mean think time between rounds, milliseconds.
+  double gap_ms = 200.0;
+
+  /// Server-stack fingerprint. The observed server TTL is this initial
+  /// value minus a per-flow random path length, so TTL is a fuzzy — not
+  /// exact — class signal.
+  std::uint8_t server_ttl = 64;
+  std::uint16_t server_window = 0xFFFF;
+  std::uint16_t mss = 1460;
+  /// DSCP/ToS marking (some operators mark traffic classes).
+  std::uint8_t tos = 0;
+
+  PayloadKind payload = PayloadKind::TlsRecords;
+  std::uint32_t c2_magic = 0;
+  /// Emit a ClientHello/ServerHello exchange before app data (TLS apps).
+  bool tls_handshake = false;
+  std::string sni;
+};
+
+/// The 16 ISCX-VPN applications with their service mapping. Flows are
+/// generated in both plain and VPN-encapsulated variants by the dataset
+/// builder.
+std::vector<AppProfile> iscx_vpn_profiles();
+
+/// The 20 USTC-TFC applications: 10 benign, 10 malware families.
+std::vector<AppProfile> ustc_tfc_profiles();
+
+/// 120 TLS 1.3 websites (CSTNET-TLS1.3-like): all TCP/443, varying server
+/// subnets, page-size distributions and session shapes.
+std::vector<AppProfile> cstn_tls120_profiles();
+
+}  // namespace sugar::trafficgen

@@ -1,0 +1,76 @@
+// Deterministic randomness utilities for the trace generators. Every
+// generator takes an explicit seed; nothing in the library touches global
+// RNG state, so traces are reproducible bit-for-bit across runs.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace sugar::trafficgen {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  std::mt19937_64& engine() { return engine_; }
+
+  std::uint64_t u64() { return engine_(); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(engine_()); }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(engine_()); }
+  std::uint8_t u8() { return static_cast<std::uint8_t>(engine_()); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>{lo, hi}(engine_);
+  }
+
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>{lo, hi}(engine_);
+  }
+
+  bool chance(double p) { return uniform() < p; }
+
+  double lognormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>{mu, sigma}(engine_);
+  }
+
+  double exponential(double mean) {
+    return mean <= 0 ? 0 : std::exponential_distribution<double>{1.0 / mean}(engine_);
+  }
+
+  /// Geometric count >= 1 with the given mean.
+  std::size_t geometric_count(double mean) {
+    if (mean <= 1.0) return 1;
+    double p = 1.0 / mean;
+    return 1 + static_cast<std::size_t>(
+                   std::geometric_distribution<int>{p}(engine_));
+  }
+
+  /// Index drawn from unnormalized weights.
+  std::size_t weighted_choice(const std::vector<double>& weights) {
+    return std::discrete_distribution<std::size_t>{weights.begin(), weights.end()}(
+        engine_);
+  }
+
+  /// Random bytes (the "encrypted payload": carries no signal by
+  /// construction).
+  std::vector<std::uint8_t> bytes(std::size_t n) {
+    std::vector<std::uint8_t> out(n);
+    for (auto& b : out) b = u8();
+    return out;
+  }
+
+  /// Child RNG with an independent stream derived from this one plus a salt;
+  /// used to give each flow its own deterministic stream.
+  Rng fork(std::uint64_t salt) {
+    std::uint64_t s = u64() ^ (salt * 0x9E3779B97F4A7C15ull);
+    return Rng{s};
+  }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace sugar::trafficgen

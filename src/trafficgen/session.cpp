@@ -1,0 +1,146 @@
+#include "trafficgen/session.h"
+
+namespace sugar::trafficgen {
+
+TcpSessionBuilder::TcpSessionBuilder(TcpSessionParams params, Rng& rng)
+    : params_(params), rng_(rng), now_usec_(params.start_usec) {
+  client_.ep = params_.client;
+  server_.ep = params_.server;
+  // Random initial sequence numbers: the implicit flow id.
+  client_.seq = rng_.u32();
+  server_.seq = rng_.u32();
+}
+
+std::uint32_t TcpSessionBuilder::tsval(const Side& s) const {
+  // 1 kHz timestamp clock per RFC 7323 suggestion.
+  return s.ep.ts_base + static_cast<std::uint32_t>((now_usec_ - params_.start_usec) / 1000);
+}
+
+void TcpSessionBuilder::emit(bool from_client, bool syn, bool fin, bool rst, bool psh,
+                             bool ack, std::vector<std::uint8_t> payload) {
+  Side& self = from_client ? client_ : server_;
+  Side& peer = from_client ? server_ : client_;
+
+  net::FrameSpec spec;
+  spec.eth.src = self.ep.mac;
+  spec.eth.dst = peer.ep.mac;
+
+  net::Ipv4Header ip;
+  ip.src = self.ep.ip;
+  ip.dst = peer.ep.ip;
+  ip.ttl = self.ep.ttl;
+  ip.tos = self.ep.tos;
+  ip.identification = self.ep.ip_id++;
+  ip.dont_fragment = true;
+  spec.ipv4 = ip;
+
+  net::TcpHeader tcp;
+  tcp.src_port = self.ep.port;
+  tcp.dst_port = peer.ep.port;
+  tcp.seq = self.seq;
+  tcp.ack = ack ? self.peer_ack : 0;
+  tcp.syn = syn;
+  tcp.fin = fin;
+  tcp.rst = rst;
+  tcp.psh = psh;
+  tcp.ack_flag = ack;
+  tcp.window = self.ep.window;
+  if (syn) {
+    tcp.options.mss = params_.mss;
+    if (params_.use_window_scale) tcp.options.window_scale = 7;
+    if (params_.use_sack) tcp.options.sack_permitted = true;
+  }
+  if (params_.use_timestamps)
+    tcp.options.timestamp = {{tsval(self), self.last_peer_tsval}};
+  spec.tcp = tcp;
+  spec.payload = std::move(payload);
+
+  std::size_t payload_len = spec.payload.size();
+  packets_.push_back(net::build_packet(spec, now_usec_));
+
+  // Advance sequence space: SYN and FIN each consume one sequence number.
+  self.seq += static_cast<std::uint32_t>(payload_len) + (syn ? 1 : 0) + (fin ? 1 : 0);
+  // The peer will acknowledge everything sent so far.
+  peer.peer_ack = self.seq;
+  peer.last_peer_tsval = params_.use_timestamps ? tsval(self) : 0;
+}
+
+void TcpSessionBuilder::handshake() {
+  handshake_indices_.push_back(packets_.size());
+  emit(true, /*syn=*/true, false, false, false, /*ack=*/false, {});
+  wait_usec(static_cast<std::uint64_t>(rng_.exponential(20'000)) + 1'000);  // RTT/2
+
+  handshake_indices_.push_back(packets_.size());
+  emit(false, /*syn=*/true, false, false, false, /*ack=*/true, {});
+  wait_usec(static_cast<std::uint64_t>(rng_.exponential(20'000)) + 1'000);
+
+  handshake_indices_.push_back(packets_.size());
+  emit(true, false, false, false, false, /*ack=*/true, {});
+  handshake_done_ = true;
+}
+
+void TcpSessionBuilder::send(bool from_client, std::vector<std::uint8_t> payload) {
+  // Segment at MSS.
+  std::size_t offset = 0;
+  std::size_t total = payload.size();
+  do {
+    std::size_t seg_len = std::min<std::size_t>(params_.mss, total - offset);
+    std::vector<std::uint8_t> seg(payload.begin() + static_cast<std::ptrdiff_t>(offset),
+                                  payload.begin() + static_cast<std::ptrdiff_t>(offset + seg_len));
+    bool last = offset + seg_len >= total;
+    emit(from_client, false, false, false, /*psh=*/last, /*ack=*/true, std::move(seg));
+    offset += seg_len;
+    wait_usec(static_cast<std::uint64_t>(rng_.exponential(300)) + 50);
+    if (rng_.chance(params_.ack_probability)) {
+      send_ack(!from_client);
+      wait_usec(static_cast<std::uint64_t>(rng_.exponential(500)) + 50);
+    }
+  } while (offset < total);
+}
+
+void TcpSessionBuilder::send_ack(bool from_client) {
+  emit(from_client, false, false, false, false, /*ack=*/true, {});
+}
+
+void TcpSessionBuilder::finish(bool client_first) {
+  emit(client_first, false, /*fin=*/true, false, false, /*ack=*/true, {});
+  wait_usec(static_cast<std::uint64_t>(rng_.exponential(10'000)) + 500);
+  emit(!client_first, false, /*fin=*/true, false, false, /*ack=*/true, {});
+  wait_usec(static_cast<std::uint64_t>(rng_.exponential(10'000)) + 500);
+  emit(client_first, false, false, false, false, /*ack=*/true, {});
+}
+
+void TcpSessionBuilder::abort(bool from_client) {
+  emit(from_client, false, false, /*rst=*/true, false, /*ack=*/true, {});
+}
+
+UdpSessionBuilder::UdpSessionBuilder(UdpSessionParams params, Rng& rng)
+    : params_(params), rng_(rng), now_usec_(params.start_usec) {}
+
+void UdpSessionBuilder::send(bool from_client, std::vector<std::uint8_t> payload) {
+  Endpoint& self = from_client ? params_.client : params_.server;
+  Endpoint& peer = from_client ? params_.server : params_.client;
+
+  net::FrameSpec spec;
+  spec.eth.src = self.mac;
+  spec.eth.dst = peer.mac;
+
+  net::Ipv4Header ip;
+  ip.src = self.ip;
+  ip.dst = peer.ip;
+  ip.ttl = self.ttl;
+  ip.tos = self.tos;
+  ip.identification = self.ip_id++;
+  ip.dont_fragment = true;
+  spec.ipv4 = ip;
+
+  net::UdpHeader udp;
+  udp.src_port = self.port;
+  udp.dst_port = peer.port;
+  spec.udp = udp;
+  spec.payload = std::move(payload);
+
+  packets_.push_back(net::build_packet(spec, now_usec_));
+}
+
+}  // namespace sugar::trafficgen

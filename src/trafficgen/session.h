@@ -1,0 +1,125 @@
+// TCP and UDP bi-flow synthesizers. A TcpSessionBuilder produces a fully
+// consistent connection: random ISNs, correct SEQ/ACK bookkeeping, the
+// RFC 7323 timestamp option with per-endpoint clocks, MSS segmentation,
+// delayed ACKs, and FIN teardown. The random ISNs and timestamp bases are
+// exactly the "implicit flow identifiers" whose leakage across a per-packet
+// split the paper exposes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/serializer.h"
+#include "trafficgen/rng.h"
+
+namespace sugar::trafficgen {
+
+struct Endpoint {
+  net::MacAddress mac;
+  net::Ipv4Address ip;
+  std::uint16_t port = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t tos = 0;
+  std::uint16_t window = 0xFFFF;
+  /// TCP timestamp clock: random base, 1 kHz tick (per-endpoint implicit id).
+  std::uint32_t ts_base = 0;
+  /// IPv4 identification counter (per-host, monotonically increasing).
+  std::uint16_t ip_id = 0;
+};
+
+struct TcpSessionParams {
+  Endpoint client;
+  Endpoint server;
+  std::uint64_t start_usec = 0;
+  std::uint16_t mss = 1460;
+  bool use_timestamps = true;
+  bool use_window_scale = true;
+  bool use_sack = true;
+  /// Probability that a data segment is followed by a pure ACK from the
+  /// peer (delayed-ACK model).
+  double ack_probability = 0.7;
+};
+
+class TcpSessionBuilder {
+ public:
+  TcpSessionBuilder(TcpSessionParams params, Rng& rng);
+
+  /// Emits SYN, SYN-ACK, ACK. Must be called first (unless the caller wants
+  /// a mid-stream capture, in which case skip it).
+  void handshake();
+
+  /// Advances the session clock.
+  void wait_usec(std::uint64_t usec) { now_usec_ += usec; }
+
+  /// Sends application bytes in one direction; the payload is segmented at
+  /// MSS. Pure ACKs from the peer are interleaved per ack_probability.
+  void send(bool from_client, std::vector<std::uint8_t> payload);
+
+  /// Emits a pure ACK from one side.
+  void send_ack(bool from_client);
+
+  /// FIN/ACK teardown from the given side.
+  void finish(bool client_first = true);
+
+  /// RST abort from the given side.
+  void abort(bool from_client);
+
+  [[nodiscard]] std::uint64_t now_usec() const { return now_usec_; }
+  [[nodiscard]] const std::vector<net::Packet>& packets() const { return packets_; }
+  std::vector<net::Packet> take() { return std::move(packets_); }
+
+  /// Indices (within packets()) of the 3 handshake packets; used by the
+  /// CSTNET-style "strip handshake" post-processing.
+  [[nodiscard]] const std::vector<std::size_t>& handshake_indices() const {
+    return handshake_indices_;
+  }
+
+ private:
+  struct Side {
+    Endpoint ep;
+    std::uint32_t seq = 0;     // next byte to send
+    std::uint32_t peer_ack = 0;  // highest peer byte seen (our ACK field)
+    std::uint32_t last_peer_tsval = 0;
+  };
+
+  void emit(bool from_client, bool syn, bool fin, bool rst, bool psh, bool ack,
+            std::vector<std::uint8_t> payload);
+  std::uint32_t tsval(const Side& s) const;
+
+  TcpSessionParams params_;
+  Rng& rng_;
+  Side client_;
+  Side server_;
+  std::uint64_t now_usec_ = 0;
+  std::vector<net::Packet> packets_;
+  std::vector<std::size_t> handshake_indices_;
+  bool handshake_done_ = false;
+};
+
+struct UdpSessionParams {
+  Endpoint client;
+  Endpoint server;
+  std::uint64_t start_usec = 0;
+};
+
+/// Stateless-transport counterpart: emits datagrams with per-host IP-ID
+/// progression.
+class UdpSessionBuilder {
+ public:
+  UdpSessionBuilder(UdpSessionParams params, Rng& rng);
+
+  void wait_usec(std::uint64_t usec) { now_usec_ += usec; }
+  void send(bool from_client, std::vector<std::uint8_t> payload);
+
+  [[nodiscard]] std::uint64_t now_usec() const { return now_usec_; }
+  std::vector<net::Packet> take() { return std::move(packets_); }
+
+ private:
+  UdpSessionParams params_;
+  Rng& rng_;
+  std::uint64_t now_usec_ = 0;
+  std::vector<net::Packet> packets_;
+};
+
+}  // namespace sugar::trafficgen

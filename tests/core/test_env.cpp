@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/env.h"
+
+namespace sugar::core {
+namespace {
+
+TEST(EnvConfig, ReadsScaleFromEnvironment) {
+  ::setenv("SUGAR_SCALE", "0.5", 1);
+  ::setenv("SUGAR_EPOCHS", "3", 1);
+  ::setenv("SUGAR_SEED", "99", 1);
+  auto cfg = EnvConfig::from_env();
+  EnvConfig def;
+  EXPECT_EQ(cfg.flows_per_class_tls, std::max<std::size_t>(2, def.flows_per_class_tls / 2));
+  EXPECT_EQ(cfg.downstream_epochs, 3);
+  EXPECT_EQ(cfg.seed, 99u);
+  ::unsetenv("SUGAR_SCALE");
+  ::unsetenv("SUGAR_EPOCHS");
+  ::unsetenv("SUGAR_SEED");
+}
+
+TEST(EnvConfig, IgnoresInvalidValues) {
+  ::setenv("SUGAR_SCALE", "not-a-number", 1);
+  ::setenv("SUGAR_EPOCHS", "-5", 1);
+  auto cfg = EnvConfig::from_env();
+  EnvConfig def;
+  EXPECT_EQ(cfg.flows_per_class_tls, def.flows_per_class_tls);
+  EXPECT_EQ(cfg.downstream_epochs, def.downstream_epochs);
+  ::unsetenv("SUGAR_SCALE");
+  ::unsetenv("SUGAR_EPOCHS");
+}
+
+TEST(BenchmarkEnv, CleaningReportsPerSource) {
+  EnvConfig cfg;
+  cfg.flows_per_class_iscx = 3;
+  cfg.flows_per_class_ustc = 3;
+  cfg.flows_per_class_tls = 2;
+  cfg.backbone_flows = 20;
+  BenchmarkEnv env(cfg);
+
+  const auto& iscx = env.cleaning_report(dataset::SourceDataset::IscxVpn);
+  EXPECT_NEAR(iscx.removed_spurious_fraction(), cfg.iscx_spurious, 0.04);
+  const auto& ustc = env.cleaning_report(dataset::SourceDataset::UstcTfc);
+  EXPECT_NEAR(ustc.removed_spurious_fraction(), cfg.ustc_spurious, 0.05);
+  const auto& cstn = env.cleaning_report(dataset::SourceDataset::CstnTls);
+  EXPECT_EQ(cstn.removed_spurious_total(), 0u) << "CSTN ships pre-cleaned";
+}
+
+TEST(BenchmarkEnv, BackboneCachedAndUnlabeled) {
+  EnvConfig cfg;
+  cfg.backbone_flows = 25;
+  BenchmarkEnv env(cfg);
+  const auto& a = env.backbone();
+  const auto& b = env.backbone();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GT(a.size(), 100u);
+  for (int l : a.label) EXPECT_EQ(l, 0);
+}
+
+TEST(BenchmarkEnv, SeedChangesData) {
+  EnvConfig c1;
+  c1.flows_per_class_tls = 2;
+  EnvConfig c2 = c1;
+  c2.seed = 2;
+  BenchmarkEnv e1(c1), e2(c2);
+  const auto& d1 = e1.task_dataset(dataset::TaskId::Tls120);
+  const auto& d2 = e2.task_dataset(dataset::TaskId::Tls120);
+  bool identical = d1.size() == d2.size();
+  if (identical)
+    for (std::size_t i = 0; i < d1.size() && identical; ++i)
+      identical = d1.packets[i].data == d2.packets[i].data;
+  EXPECT_FALSE(identical);
+}
+
+}  // namespace
+}  // namespace sugar::core

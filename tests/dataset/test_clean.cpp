@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "dataset/clean.h"
+#include "net/parser.h"
+
+namespace sugar::dataset {
+namespace {
+
+trafficgen::GeneratedTrace make_trace(double spurious) {
+  trafficgen::GenOptions o;
+  o.seed = 3;
+  o.flows_per_class = 2;
+  o.spurious_fraction = spurious;
+  return trafficgen::generate_ustc_tfc(o);
+}
+
+TEST(Clean, ExtraneousFilterRemovesAllSpurious) {
+  auto trace = make_trace(0.10);
+  std::size_t spurious_before = trace.num_spurious();
+  ASSERT_GT(spurious_before, 0u);
+  std::size_t total_before = trace.size();
+
+  CleaningOptions opts;
+  auto report = clean_trace(trace, opts);
+
+  EXPECT_EQ(trace.num_spurious(), 0u);
+  EXPECT_EQ(report.total_packets, total_before);
+  EXPECT_EQ(report.removed_spurious_total(), spurious_before);
+  EXPECT_EQ(trace.size(), total_before - spurious_before);
+  EXPECT_NEAR(report.removed_spurious_fraction(), 0.10, 0.03);
+
+  // Arrays stay parallel.
+  EXPECT_EQ(trace.packets.size(), trace.labels.size());
+  EXPECT_EQ(trace.packets.size(), trace.flow_of.size());
+
+  // Nothing left classifies as spurious.
+  for (const auto& pkt : trace.packets) {
+    auto outcome = net::parse_packet(pkt);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(net::classify_spurious(*outcome.parsed), net::SpuriousCategory::None);
+  }
+}
+
+TEST(Clean, CategoriesReported) {
+  auto trace = make_trace(0.15);
+  CleaningOptions opts;
+  auto report = clean_trace(trace, opts);
+  // Link-local dominates the injected mix.
+  EXPECT_GT(report.removed_by_category[static_cast<std::size_t>(
+                net::SpuriousCategory::LinkLocal)],
+            0u);
+  auto md = report.to_markdown();
+  EXPECT_NE(md.find("link-local"), std::string::npos);
+}
+
+TEST(Clean, MinPacketSizeFilterIsDistortive) {
+  auto trace = make_trace(0.0);
+  std::size_t before = trace.size();
+  CleaningOptions opts;
+  opts.filter_extraneous = false;
+  opts.min_packet_bytes = 80;  // ET-BERT's filter
+  auto report = clean_trace(trace, opts);
+  EXPECT_GT(report.removed_min_packet_size, 0u);
+  EXPECT_EQ(trace.size(), before - report.removed_min_packet_size);
+  // Everything surviving is >= 80 bytes; pure ACKs (64B frames) are gone —
+  // which is exactly why the paper rejects this filter.
+  for (const auto& pkt : trace.packets) EXPECT_GE(pkt.data.size(), 80u);
+}
+
+TEST(Clean, MinFlowPacketsFilter) {
+  auto trace = make_trace(0.0);
+  CleaningOptions opts;
+  opts.filter_extraneous = false;
+  opts.min_flow_packets = 10;
+  clean_trace(trace, opts);
+  std::map<int, std::size_t> flow_size;
+  for (int f : trace.flow_of) ++flow_size[f];
+  for (const auto& [f, n] : flow_size) EXPECT_GE(n, 10u);
+}
+
+TEST(Clean, MaxPacketsPerClassCap) {
+  auto trace = make_trace(0.0);
+  CleaningOptions opts;
+  opts.filter_extraneous = false;
+  opts.max_packets_per_class = 30;
+  auto report = clean_trace(trace, opts);
+  EXPECT_GT(report.removed_class_support, 0u);
+  std::map<int, std::size_t> per_class;
+  for (const auto& l : trace.labels) ++per_class[l.cls];
+  for (const auto& [cls, n] : per_class) EXPECT_LE(n, 30u);
+}
+
+TEST(Clean, NoopWhenDisabled) {
+  auto trace = make_trace(0.05);
+  std::size_t before = trace.size();
+  CleaningOptions opts;
+  opts.filter_extraneous = false;
+  auto report = clean_trace(trace, opts);
+  EXPECT_EQ(trace.size(), before);
+  EXPECT_EQ(report.removed_spurious_total(), 0u);
+}
+
+}  // namespace
+}  // namespace sugar::dataset

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dataset/clean.h"
+#include "dataset/task.h"
+
+namespace sugar::dataset {
+namespace {
+
+trafficgen::GeneratedTrace iscx_trace() {
+  trafficgen::GenOptions o;
+  o.seed = 21;
+  o.flows_per_class = 2;
+  o.spurious_fraction = 0.05;
+  auto trace = trafficgen::generate_iscx_vpn(o);
+  CleaningOptions copts;
+  clean_trace(trace, copts);
+  return trace;
+}
+
+TEST(Task, ThreeViewsOfOneTrace) {
+  auto trace = iscx_trace();
+  auto app = make_task_dataset(trace, TaskId::VpnApp);
+  auto service = make_task_dataset(trace, TaskId::VpnService);
+  auto binary = make_task_dataset(trace, TaskId::VpnBinary);
+
+  EXPECT_EQ(app.size(), service.size());
+  EXPECT_EQ(app.size(), binary.size());
+  EXPECT_EQ(app.num_classes, 16);
+  EXPECT_EQ(service.num_classes, 6);
+  EXPECT_EQ(binary.num_classes, 2);
+  EXPECT_EQ(binary.class_names[0], "non-VPN");
+
+  // Labels are consistent across views for the same packets.
+  for (std::size_t i = 0; i < app.size(); ++i) {
+    EXPECT_GE(app.label[i], 0);
+    EXPECT_LT(app.label[i], 16);
+    EXPECT_LT(service.label[i], 6);
+    EXPECT_LT(binary.label[i], 2);
+  }
+}
+
+TEST(Task, FlowIdsAreCanonical) {
+  auto trace = iscx_trace();
+  auto ds = make_task_dataset(trace, TaskId::VpnApp);
+  auto flows = ds.flows();
+  EXPECT_GT(flows.size(), 10u);
+  // Every flow has a single label.
+  auto labels = ds.flow_labels();
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    for (auto i : flows[f]) {
+      EXPECT_EQ(ds.label[i], labels[f]);
+      EXPECT_EQ(ds.flow_id[i], static_cast<int>(f));
+    }
+  }
+}
+
+TEST(Task, SubsetPreservesParallelism) {
+  auto trace = iscx_trace();
+  auto ds = make_task_dataset(trace, TaskId::VpnService);
+  std::vector<std::size_t> idx{0, 5, 10, 11, 12};
+  auto sub = ds.subset(idx);
+  ASSERT_EQ(sub.size(), idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    EXPECT_EQ(sub.packets[i].data, ds.packets[idx[i]].data);
+    EXPECT_EQ(sub.label[i], ds.label[idx[i]]);
+    EXPECT_EQ(sub.flow_id[i], ds.flow_id[idx[i]]);
+  }
+  EXPECT_EQ(sub.num_classes, ds.num_classes);
+}
+
+TEST(Task, UnlabeledDatasetKeepsEverything) {
+  auto trace = iscx_trace();
+  auto ds = make_unlabeled_dataset(trace);
+  EXPECT_EQ(ds.size(), trace.size());
+  for (int l : ds.label) EXPECT_EQ(l, 0);
+  EXPECT_EQ(ds.num_classes, 1);
+}
+
+TEST(Task, SpuriousPacketsExcludedFromTasks) {
+  trafficgen::GenOptions o;
+  o.seed = 22;
+  o.flows_per_class = 2;
+  o.spurious_fraction = 0.10;
+  auto trace = trafficgen::generate_ustc_tfc(o);  // NOT cleaned
+  auto ds = make_task_dataset(trace, TaskId::UstcApp);
+  // Task extraction itself must drop unlabeled packets even without the
+  // cleaning pass.
+  EXPECT_EQ(ds.size(), trace.size() - trace.num_spurious());
+  EXPECT_EQ(ds.num_classes, 20);
+}
+
+TEST(Task, ToStringRoundTrip) {
+  EXPECT_EQ(to_string(TaskId::Tls120), "TLS-120");
+  EXPECT_EQ(to_string(TaskId::VpnBinary), "VPN-binary");
+  EXPECT_EQ(source_of(TaskId::UstcBinary), SourceDataset::UstcTfc);
+  EXPECT_EQ(source_of(TaskId::Tls120), SourceDataset::CstnTls);
+}
+
+}  // namespace
+}  // namespace sugar::dataset

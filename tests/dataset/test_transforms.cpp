@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "dataset/transforms.h"
+
+namespace sugar::dataset {
+namespace {
+
+PacketDataset make_ds() {
+  trafficgen::GenOptions o;
+  o.seed = 8;
+  o.flows_per_class = 2;
+  auto trace = trafficgen::generate_cstn_tls120(o);
+  auto ds = make_task_dataset(trace, TaskId::Tls120);
+  // Work on a small slice to keep the test fast.
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < std::min<std::size_t>(ds.size(), 300); ++i)
+    idx.push_back(i);
+  return ds.subset(idx);
+}
+
+TEST(Transforms, WithoutImplicitIdsChangesSeqAckAndTimestamps) {
+  auto ds = make_ds();
+  auto original = ds;
+  apply_ablation(ds, AblationSpec::without_implicit_ids(), 3);
+
+  std::size_t tcp_count = 0, seq_changed = 0, ts_changed = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    if (!ds.parsed[i].tcp) continue;
+    ++tcp_count;
+    if (ds.parsed[i].tcp->seq != original.parsed[i].tcp->seq) ++seq_changed;
+    if (original.parsed[i].tcp->options.timestamp &&
+        ds.parsed[i].tcp->options.timestamp !=
+            original.parsed[i].tcp->options.timestamp)
+      ++ts_changed;
+    // Non-targeted fields untouched.
+    EXPECT_EQ(ds.parsed[i].tcp->window, original.parsed[i].tcp->window);
+    EXPECT_EQ(ds.parsed[i].ipv4->src, original.parsed[i].ipv4->src);
+    EXPECT_EQ(ds.parsed[i].payload_len, original.parsed[i].payload_len);
+  }
+  ASSERT_GT(tcp_count, 0u);
+  EXPECT_EQ(seq_changed, tcp_count);
+  EXPECT_GT(ts_changed, 0u);
+}
+
+TEST(Transforms, ZeroIpSpec) {
+  auto ds = make_ds();
+  apply_ablation(ds, {.zero_ip = true}, 4);
+  for (const auto& p : ds.parsed) {
+    if (!p.ipv4) continue;
+    EXPECT_EQ(p.ipv4->src.value, 0u);
+    EXPECT_EQ(p.ipv4->dst.value, 0u);
+  }
+}
+
+TEST(Transforms, ZeroHeaderKeepsParseCacheMeaningful) {
+  auto ds = make_ds();
+  auto original = ds;
+  apply_ablation(ds, {.zero_header = true}, 5);
+  // Raw bytes of the header region are zero; packet count unchanged.
+  EXPECT_EQ(ds.size(), original.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    std::size_t l3 = original.parsed[i].l3_offset;
+    EXPECT_EQ(ds.packets[i].data[l3], 0);
+  }
+}
+
+TEST(Transforms, StripPayloadShrinksPackets) {
+  auto ds = make_ds();
+  auto original = ds;
+  apply_ablation(ds, {.strip_payload = true}, 6);
+  bool any_shrunk = false;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_LE(ds.packets[i].data.size(), original.packets[i].data.size());
+    EXPECT_EQ(ds.parsed[i].payload_len, 0u);
+    any_shrunk = any_shrunk ||
+                 ds.packets[i].data.size() < original.packets[i].data.size();
+  }
+  EXPECT_TRUE(any_shrunk);
+}
+
+TEST(Transforms, EmptySpecIsNoop) {
+  auto ds = make_ds();
+  auto original = ds;
+  apply_ablation(ds, {}, 7);
+  for (std::size_t i = 0; i < ds.size(); ++i)
+    EXPECT_EQ(ds.packets[i].data, original.packets[i].data);
+}
+
+TEST(Transforms, AblationIsDeterministic) {
+  auto a = make_ds();
+  auto b = make_ds();
+  apply_ablation(a, AblationSpec::without_implicit_ids(), 99);
+  apply_ablation(b, AblationSpec::without_implicit_ids(), 99);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a.packets[i].data, b.packets[i].data);
+}
+
+}  // namespace
+}  // namespace sugar::dataset

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+
+namespace sugar::ml {
+namespace {
+
+TEST(Metrics, PerfectPrediction) {
+  std::vector<int> y{0, 1, 2, 0, 1, 2};
+  auto m = evaluate(y, y, 3);
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(m.macro_f1, 1.0);
+  EXPECT_DOUBLE_EQ(m.micro_f1, 1.0);
+}
+
+TEST(Metrics, KnownConfusion) {
+  // truth:  0 0 0 0 1 1
+  // pred:   0 0 1 1 1 0
+  std::vector<int> yt{0, 0, 0, 0, 1, 1};
+  std::vector<int> yp{0, 0, 1, 1, 1, 0};
+  auto m = evaluate(yt, yp, 2);
+  EXPECT_NEAR(m.accuracy, 3.0 / 6, 1e-12);
+  // class 0: tp=2 fp=1 fn=2 -> f1 = 4/7; class 1: tp=1 fp=2 fn=1 -> f1=2/5.
+  EXPECT_NEAR(m.macro_f1, (4.0 / 7 + 2.0 / 5) / 2, 1e-12);
+  // micro: tp=3, fp=3, fn=3 -> 6/12.
+  EXPECT_NEAR(m.micro_f1, 0.5, 1e-12);
+  EXPECT_EQ(m.confusion.at(0, 1), 2u);
+  EXPECT_EQ(m.confusion.at(1, 0), 1u);
+  EXPECT_EQ(m.confusion.total(), 6u);
+  EXPECT_EQ(m.confusion.correct(), 3u);
+}
+
+TEST(Metrics, MacroVsMicroOnImbalance) {
+  // 90 samples of class 0 all correct; 10 of class 1 all wrong.
+  std::vector<int> yt, yp;
+  for (int i = 0; i < 90; ++i) {
+    yt.push_back(0);
+    yp.push_back(0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    yt.push_back(1);
+    yp.push_back(0);
+  }
+  auto m = evaluate(yt, yp, 2);
+  EXPECT_NEAR(m.accuracy, 0.9, 1e-12);
+  // Micro F1 flatters the majority class; macro F1 exposes the failure —
+  // the distinction §4.2 of the paper insists on.
+  EXPECT_GT(m.micro_f1, 0.89);
+  EXPECT_LT(m.macro_f1, 0.5);
+}
+
+TEST(Metrics, AbsentClassesExcludedFromMacro) {
+  // num_classes=4 but classes 2,3 never appear: macro averages over 2.
+  std::vector<int> yt{0, 1, 0, 1};
+  std::vector<int> yp{0, 1, 0, 1};
+  auto m = evaluate(yt, yp, 4);
+  EXPECT_DOUBLE_EQ(m.macro_f1, 1.0);
+}
+
+TEST(Metrics, ClassInTruthNeverPredictedCountsAsZero) {
+  std::vector<int> yt{0, 1};
+  std::vector<int> yp{0, 0};
+  auto m = evaluate(yt, yp, 2);
+  // class 1: f1=0; class 0: tp=1 fp=1 fn=0 -> 2/3.
+  EXPECT_NEAR(m.macro_f1, (2.0 / 3 + 0) / 2, 1e-12);
+}
+
+TEST(Metrics, ToStringFormatsPercentages) {
+  std::vector<int> y{0, 1};
+  auto m = evaluate(y, y, 2);
+  EXPECT_EQ(m.to_string(), "AC=100.0 F1=100.0 (micro F1=100.0)");
+}
+
+}  // namespace
+}  // namespace sugar::ml

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "net/addr.h"
+
+namespace sugar::net {
+namespace {
+
+TEST(Ipv4Address, ParseAndFormat) {
+  auto a = Ipv4Address::parse("192.168.1.42");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->to_string(), "192.168.1.42");
+  EXPECT_EQ(a->octet(0), 192);
+  EXPECT_EQ(a->octet(3), 42);
+  EXPECT_FALSE(Ipv4Address::parse("256.0.0.1"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d"));
+}
+
+TEST(Ipv4Address, SubnetMembership) {
+  auto a = *Ipv4Address::parse("10.1.2.3");
+  EXPECT_TRUE(a.in_subnet(Ipv4Address::from_octets(10, 0, 0, 0), 8));
+  EXPECT_FALSE(a.in_subnet(Ipv4Address::from_octets(10, 2, 0, 0), 16));
+  EXPECT_TRUE(a.in_subnet(Ipv4Address::from_octets(10, 1, 2, 0), 24));
+  EXPECT_TRUE(a.in_subnet(a, 32));
+  EXPECT_TRUE(a.in_subnet(Ipv4Address{}, 0));
+}
+
+TEST(Ipv4Address, Classification) {
+  EXPECT_TRUE(Ipv4Address::parse("192.168.0.1")->is_private());
+  EXPECT_TRUE(Ipv4Address::parse("10.255.0.1")->is_private());
+  EXPECT_TRUE(Ipv4Address::parse("172.16.0.1")->is_private());
+  EXPECT_FALSE(Ipv4Address::parse("172.32.0.1")->is_private());
+  EXPECT_FALSE(Ipv4Address::parse("8.8.8.8")->is_private());
+  EXPECT_TRUE(Ipv4Address::parse("224.0.0.251")->is_multicast());
+  EXPECT_TRUE(Ipv4Address::parse("255.255.255.255")->is_broadcast());
+}
+
+TEST(Ipv6Address, ParseFull) {
+  auto a = Ipv6Address::parse("2001:0db8:0000:0000:0000:0000:0000:0001");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->octets[0], 0x20);
+  EXPECT_EQ(a->octets[1], 0x01);
+  EXPECT_EQ(a->octets[15], 0x01);
+}
+
+TEST(Ipv6Address, ParseCompressed) {
+  auto a = Ipv6Address::parse("2001:db8::1");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->octets[0], 0x20);
+  EXPECT_EQ(a->octets[15], 0x01);
+  EXPECT_EQ(a->octets[8], 0x00);
+
+  auto loopback = Ipv6Address::parse("::1");
+  ASSERT_TRUE(loopback);
+  EXPECT_EQ(loopback->octets[15], 1);
+
+  auto any = Ipv6Address::parse("::");
+  ASSERT_TRUE(any);
+  for (auto o : any->octets) EXPECT_EQ(o, 0);
+
+  EXPECT_FALSE(Ipv6Address::parse("1::2::3"));
+  EXPECT_FALSE(Ipv6Address::parse("1:2:3:4:5:6:7:8:9"));
+  EXPECT_FALSE(Ipv6Address::parse("zzzz::"));
+}
+
+TEST(Ipv6Address, RoundTrip) {
+  auto a = Ipv6Address::parse("fe80::a1b2:c3d4");
+  ASSERT_TRUE(a);
+  auto b = Ipv6Address::parse(a->to_string());
+  ASSERT_TRUE(b);
+  EXPECT_EQ(*a, *b);
+  EXPECT_TRUE(Ipv6Address::parse("ff02::1")->is_multicast());
+}
+
+TEST(MacAddress, ParseFormatAndFlags) {
+  auto m = MacAddress::parse("02:1a:4b:00:ff:10");
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->to_string(), "02:1a:4b:00:ff:10");
+  EXPECT_FALSE(m->is_broadcast());
+  EXPECT_FALSE(m->is_multicast());
+  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+  EXPECT_TRUE((MacAddress{{0x01, 0, 0x5E, 0, 0, 1}}.is_multicast()));
+  EXPECT_FALSE(MacAddress::parse("02:1a:4b:00:ff"));
+  EXPECT_FALSE(MacAddress::parse("02:1a:4b:00:ff:zz"));
+}
+
+TEST(IpAddress, TotalOrderAcrossFamilies) {
+  auto v4 = IpAddress::from_v4(*Ipv4Address::parse("10.0.0.1"));
+  auto v6 = IpAddress::from_v6(*Ipv6Address::parse("2001:db8::1"));
+  EXPECT_NE(v4, v6);
+  EXPECT_EQ(v4.v4().to_string(), "10.0.0.1");
+  EXPECT_EQ(v6.v6().to_string(), Ipv6Address::parse("2001:db8::1")->to_string());
+  // Deterministic ordering exists (used by bi-flow canonicalization).
+  EXPECT_TRUE((v4 < v6) || (v6 < v4));
+}
+
+}  // namespace
+}  // namespace sugar::net

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "net/flow.h"
+#include "net/serializer.h"
+
+namespace sugar::net {
+namespace {
+
+Packet make_tcp(Ipv4Address src, std::uint16_t sport, Ipv4Address dst,
+                std::uint16_t dport, std::uint64_t ts = 0) {
+  FrameSpec spec;
+  Ipv4Header ip;
+  ip.src = src;
+  ip.dst = dst;
+  spec.ipv4 = ip;
+  TcpHeader tcp;
+  tcp.src_port = sport;
+  tcp.dst_port = dport;
+  spec.tcp = tcp;
+  return build_packet(spec, ts);
+}
+
+TEST(FlowKey, BiFlowCanonicalization) {
+  auto a = Ipv4Address::from_octets(192, 168, 0, 1);
+  auto b = Ipv4Address::from_octets(10, 0, 0, 1);
+
+  Packet fwd = make_tcp(a, 50000, b, 443);
+  Packet rev = make_tcp(b, 443, a, 50000);
+
+  FlowKey k1, k2;
+  bool dir1 = false, dir2 = false;
+  ASSERT_TRUE(FlowKey::from_parsed(*parse_packet(fwd).parsed, k1, dir1));
+  ASSERT_TRUE(FlowKey::from_parsed(*parse_packet(rev).parsed, k2, dir2));
+
+  EXPECT_EQ(k1, k2) << "both directions must map to the same flow key";
+  EXPECT_NE(dir1, dir2) << "directions must be distinguished";
+  EXPECT_EQ(FlowKeyHash{}(k1), FlowKeyHash{}(k2));
+}
+
+TEST(FlowKey, DifferentPortsDifferentFlows) {
+  auto a = Ipv4Address::from_octets(192, 168, 0, 1);
+  auto b = Ipv4Address::from_octets(10, 0, 0, 1);
+  FlowKey k1, k2;
+  bool d;
+  FlowKey::from_parsed(*parse_packet(make_tcp(a, 50000, b, 443)).parsed, k1, d);
+  FlowKey::from_parsed(*parse_packet(make_tcp(a, 50001, b, 443)).parsed, k2, d);
+  EXPECT_NE(k1, k2);
+}
+
+TEST(FlowKey, KeylessPacketRejected) {
+  FrameSpec spec;
+  spec.arp = ArpHeader{};
+  auto parsed = *parse_packet(build_packet(spec, 0)).parsed;
+  FlowKey k;
+  bool d;
+  EXPECT_FALSE(FlowKey::from_parsed(parsed, k, d));
+}
+
+TEST(FlowTable, GroupsBidirectionalTraffic) {
+  auto client = Ipv4Address::from_octets(192, 168, 0, 1);
+  auto server = Ipv4Address::from_octets(10, 0, 0, 1);
+  auto other = Ipv4Address::from_octets(10, 0, 0, 2);
+
+  std::vector<Packet> trace;
+  trace.push_back(make_tcp(client, 50000, server, 443, 1));  // flow 0 ->
+  trace.push_back(make_tcp(server, 443, client, 50000, 2));  // flow 0 <-
+  trace.push_back(make_tcp(client, 50001, other, 80, 3));    // flow 1 ->
+  trace.push_back(make_tcp(client, 50000, server, 443, 4));  // flow 0 ->
+  FrameSpec arp_spec;
+  arp_spec.arp = ArpHeader{};
+  trace.push_back(build_packet(arp_spec, 5));  // keyless
+
+  auto table = assemble_flows(trace);
+  ASSERT_EQ(table.flows().size(), 2u);
+  EXPECT_EQ(table.flows()[0].size(), 3u);
+  EXPECT_EQ(table.flows()[1].size(), 1u);
+  EXPECT_EQ(table.keyless_packets().size(), 1u);
+  EXPECT_EQ(table.flow_of_packet(), (std::vector<int>{0, 0, 1, 0, -1}));
+
+  // Direction bookkeeping: packets 0 and 3 same direction, 1 opposite.
+  const auto& f0 = table.flows()[0];
+  EXPECT_EQ(f0.packets[0].forward, f0.packets[2].forward);
+  EXPECT_NE(f0.packets[0].forward, f0.packets[1].forward);
+  EXPECT_EQ(f0.first_ts_usec, 1u);
+  EXPECT_EQ(f0.last_ts_usec, 4u);
+}
+
+TEST(FlowTable, UdpAndTcpSameTupleAreDistinct) {
+  auto a = Ipv4Address::from_octets(1, 1, 1, 1);
+  auto b = Ipv4Address::from_octets(2, 2, 2, 2);
+  std::vector<Packet> trace;
+  trace.push_back(make_tcp(a, 1000, b, 2000));
+  FrameSpec spec;
+  Ipv4Header ip;
+  ip.src = a;
+  ip.dst = b;
+  spec.ipv4 = ip;
+  UdpHeader udp;
+  udp.src_port = 1000;
+  udp.dst_port = 2000;
+  spec.udp = udp;
+  trace.push_back(build_packet(spec, 0));
+  auto table = assemble_flows(trace);
+  EXPECT_EQ(table.flows().size(), 2u);
+}
+
+}  // namespace
+}  // namespace sugar::net

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "net/checksum.h"
+#include "net/mutate.h"
+#include "net/parser.h"
+#include "net/serializer.h"
+
+namespace sugar::net {
+namespace {
+
+Packet sample_tcp_packet() {
+  FrameSpec spec;
+  Ipv4Header ip;
+  ip.src = Ipv4Address::from_octets(192, 168, 0, 5);
+  ip.dst = Ipv4Address::from_octets(104, 16, 8, 7);
+  spec.ipv4 = ip;
+  TcpHeader tcp;
+  tcp.src_port = 50123;
+  tcp.dst_port = 443;
+  tcp.seq = 0x11111111;
+  tcp.ack = 0x22222222;
+  tcp.ack_flag = true;
+  tcp.options.timestamp = {{0xAAAAAAAA, 0xBBBBBBBB}};
+  tcp.options.mss = 1460;
+  spec.tcp = tcp;
+  spec.payload = {0xDE, 0xAD, 0xBE, 0xEF, 0x42};
+  return build_packet(spec, 77);
+}
+
+/// The invariant every mutation must preserve: the frame still parses and
+/// all checksums verify.
+void expect_consistent(const Packet& pkt) {
+  auto outcome = parse_packet(pkt);
+  ASSERT_TRUE(outcome.ok());
+  const auto& p = *outcome.parsed;
+  if (p.ipv4) {
+    auto hdr = std::span{pkt.data}.subspan(p.l3_offset, p.ipv4->header_len());
+    EXPECT_EQ(checksum(hdr), 0) << "IP checksum broken";
+  }
+  if (p.tcp && p.ipv4) {
+    auto seg = std::span{pkt.data}.subspan(p.l4_offset);
+    EXPECT_EQ(l4_checksum_v4(p.ipv4->src, p.ipv4->dst, 6, seg), 0)
+        << "TCP checksum broken";
+  }
+}
+
+TEST(Mutate, RandomizeSeqAckChangesOnlySeqAck) {
+  Packet pkt = sample_tcp_packet();
+  auto before = *parse_packet(pkt).parsed;
+  std::mt19937_64 rng(1);
+  ASSERT_TRUE(randomize_seq_ack(pkt, rng));
+  auto after = *parse_packet(pkt).parsed;
+
+  EXPECT_NE(after.tcp->seq, before.tcp->seq);
+  EXPECT_NE(after.tcp->ack, before.tcp->ack);
+  EXPECT_EQ(after.tcp->src_port, before.tcp->src_port);
+  EXPECT_EQ(after.tcp->window, before.tcp->window);
+  EXPECT_EQ(after.ipv4->src, before.ipv4->src);
+  EXPECT_EQ(after.tcp->options.timestamp, before.tcp->options.timestamp);
+  expect_consistent(pkt);
+}
+
+TEST(Mutate, RandomizeTimestampChangesOnlyTimestamps) {
+  Packet pkt = sample_tcp_packet();
+  auto before = *parse_packet(pkt).parsed;
+  std::mt19937_64 rng(2);
+  ASSERT_TRUE(randomize_tcp_timestamp(pkt, rng));
+  auto after = *parse_packet(pkt).parsed;
+
+  EXPECT_NE(after.tcp->options.timestamp, before.tcp->options.timestamp);
+  EXPECT_EQ(after.tcp->seq, before.tcp->seq);
+  EXPECT_EQ(*after.tcp->options.mss, 1460);
+  expect_consistent(pkt);
+}
+
+TEST(Mutate, TimestampAbsentReturnsFalse) {
+  FrameSpec spec;
+  Ipv4Header ip;
+  ip.src = Ipv4Address::from_octets(1, 2, 3, 4);
+  ip.dst = Ipv4Address::from_octets(5, 6, 7, 8);
+  spec.ipv4 = ip;
+  TcpHeader tcp;
+  tcp.src_port = 1;
+  tcp.dst_port = 2;
+  spec.tcp = tcp;
+  Packet pkt = build_packet(spec, 0);
+  std::mt19937_64 rng(3);
+  EXPECT_FALSE(randomize_tcp_timestamp(pkt, rng));
+}
+
+TEST(Mutate, ZeroIpAddresses) {
+  Packet pkt = sample_tcp_packet();
+  ASSERT_TRUE(zero_ip_addresses(pkt));
+  auto p = *parse_packet(pkt).parsed;
+  EXPECT_EQ(p.ipv4->src.value, 0u);
+  EXPECT_EQ(p.ipv4->dst.value, 0u);
+  expect_consistent(pkt);
+}
+
+TEST(Mutate, RandomizeIpAddresses) {
+  Packet pkt = sample_tcp_packet();
+  std::mt19937_64 rng(4);
+  ASSERT_TRUE(randomize_ip_addresses(pkt, rng));
+  auto p = *parse_packet(pkt).parsed;
+  EXPECT_NE(p.ipv4->src, Ipv4Address::from_octets(192, 168, 0, 5));
+  expect_consistent(pkt);
+}
+
+TEST(Mutate, ZeroPorts) {
+  Packet pkt = sample_tcp_packet();
+  ASSERT_TRUE(zero_ports(pkt));
+  auto p = *parse_packet(pkt).parsed;
+  EXPECT_EQ(*p.src_port(), 0);
+  EXPECT_EQ(*p.dst_port(), 0);
+  expect_consistent(pkt);
+}
+
+TEST(Mutate, ZeroPayloadKeepsLength) {
+  Packet pkt = sample_tcp_packet();
+  std::size_t len_before = pkt.data.size();
+  ASSERT_TRUE(zero_payload(pkt));
+  EXPECT_EQ(pkt.data.size(), len_before);
+  auto p = *parse_packet(pkt).parsed;
+  auto payload = p.payload_view(pkt);
+  for (auto b : payload) EXPECT_EQ(b, 0);
+  expect_consistent(pkt);
+}
+
+TEST(Mutate, StripPayloadTruncatesAndFixesLengths) {
+  Packet pkt = sample_tcp_packet();
+  ASSERT_TRUE(strip_payload(pkt));
+  auto outcome = parse_packet(pkt);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.parsed->payload_len, 0u);
+  EXPECT_EQ(outcome.parsed->ipv4->total_length,
+            pkt.data.size() - EthernetHeader::kSize);
+  expect_consistent(pkt);
+}
+
+TEST(Mutate, ZeroHeadersKeepsPayloadBytes) {
+  Packet pkt = sample_tcp_packet();
+  auto before = *parse_packet(pkt).parsed;
+  std::size_t payload_off = before.payload_offset;
+  ASSERT_TRUE(zero_headers(pkt));
+  // Header region zeroed...
+  for (std::size_t i = before.l3_offset; i < payload_off; ++i)
+    EXPECT_EQ(pkt.data[i], 0) << "at " << i;
+  // ...payload untouched.
+  EXPECT_EQ(pkt.data[payload_off], 0xDE);
+  EXPECT_EQ(pkt.data[payload_off + 4], 0x42);
+}
+
+TEST(Mutate, NonTcpRefusals) {
+  FrameSpec spec;
+  spec.arp = ArpHeader{};
+  Packet arp = build_packet(spec, 0);
+  std::mt19937_64 rng(5);
+  EXPECT_FALSE(randomize_seq_ack(arp, rng));
+  EXPECT_FALSE(zero_ports(arp));
+  EXPECT_FALSE(zero_ip_addresses(arp));
+}
+
+}  // namespace
+}  // namespace sugar::net

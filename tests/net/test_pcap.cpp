@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/pcap.h"
+#include "net/serializer.h"
+
+namespace sugar::net {
+namespace {
+
+std::vector<Packet> sample_packets() {
+  std::vector<Packet> pkts;
+  for (int i = 0; i < 5; ++i) {
+    FrameSpec spec;
+    Ipv4Header ip;
+    ip.src = Ipv4Address::from_octets(10, 0, 0, 1);
+    ip.dst = Ipv4Address::from_octets(10, 0, 0, 2);
+    spec.ipv4 = ip;
+    UdpHeader udp;
+    udp.src_port = 1000;
+    udp.dst_port = static_cast<std::uint16_t>(2000 + i);
+    spec.udp = udp;
+    spec.payload.assign(static_cast<std::size_t>(10 + i * 7),
+                        static_cast<std::uint8_t>(i));
+    pkts.push_back(build_packet(spec, 1'000'000ull * static_cast<std::uint64_t>(i) + 42));
+  }
+  return pkts;
+}
+
+TEST(Pcap, RoundTrip) {
+  auto pkts = sample_packets();
+  std::stringstream ss;
+  {
+    PcapWriter writer(ss);
+    writer.write_all(pkts);
+  }
+  PcapReader reader(ss);
+  EXPECT_EQ(reader.info().snaplen, 65535u);
+  EXPECT_EQ(reader.info().link_type, 1u);
+  EXPECT_FALSE(reader.info().nanosecond);
+
+  auto back = reader.read_all();
+  ASSERT_EQ(back.size(), pkts.size());
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    EXPECT_EQ(back[i].ts_usec, pkts[i].ts_usec);
+    EXPECT_EQ(back[i].data, pkts[i].data);
+  }
+}
+
+TEST(Pcap, SnaplenTruncates) {
+  auto pkts = sample_packets();
+  std::stringstream ss;
+  {
+    PcapWriter writer(ss, /*snaplen=*/50);
+    writer.write_all(pkts);
+  }
+  PcapReader reader(ss);
+  auto back = reader.read_all();
+  ASSERT_EQ(back.size(), pkts.size());
+  for (const auto& p : back) EXPECT_LE(p.data.size(), 50u);
+}
+
+TEST(Pcap, RejectsGarbage) {
+  std::stringstream empty;
+  EXPECT_THROW(PcapReader r(empty), PcapError);
+
+  std::stringstream bad;
+  bad.write("\x11\x22\x33\x44________________________", 28);
+  EXPECT_THROW(PcapReader r(bad), PcapError);
+}
+
+TEST(Pcap, TruncatedRecordEndsStream) {
+  auto pkts = sample_packets();
+  std::stringstream ss;
+  {
+    PcapWriter writer(ss);
+    writer.write_all(pkts);
+  }
+  std::string blob = ss.str();
+  blob.resize(blob.size() - 5);  // cut into the last record
+  std::stringstream cut(blob);
+  PcapReader reader(cut);
+  auto back = reader.read_all();
+  EXPECT_EQ(back.size(), pkts.size() - 1);
+}
+
+TEST(Pcap, ReadsSwappedEndianness) {
+  // Hand-build a big-endian (swapped relative to our writer) file with one
+  // 4-byte record.
+  auto be32 = [](std::uint32_t v) {
+    return std::string{static_cast<char>(v >> 24), static_cast<char>(v >> 16),
+                       static_cast<char>(v >> 8), static_cast<char>(v)};
+  };
+  auto be16 = [](std::uint16_t v) {
+    return std::string{static_cast<char>(v >> 8), static_cast<char>(v)};
+  };
+  std::string blob = be32(0xA1B2C3D4) + be16(2) + be16(4) + be32(0) + be32(0) +
+                     be32(65535) + be32(1) +
+                     be32(7) + be32(123) + be32(4) + be32(4) + "\xAA\xBB\xCC\xDD";
+  std::stringstream ss(blob);
+  PcapReader reader(ss);
+  EXPECT_TRUE(reader.info().swapped != (std::endian::native == std::endian::big));
+  Packet p;
+  ASSERT_TRUE(reader.next(p));
+  EXPECT_EQ(p.ts_usec, 7'000'123u);
+  ASSERT_EQ(p.data.size(), 4u);
+  EXPECT_EQ(p.data[0], 0xAA);
+}
+
+TEST(Pcap, NanosecondMagic) {
+  auto le32 = [](std::uint32_t v) {
+    return std::string{static_cast<char>(v), static_cast<char>(v >> 8),
+                       static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  };
+  auto le16 = [](std::uint16_t v) {
+    return std::string{static_cast<char>(v), static_cast<char>(v >> 8)};
+  };
+  std::string blob = le32(0xA1B23C4D) + le16(2) + le16(4) + le32(0) + le32(0) +
+                     le32(65535) + le32(1) +
+                     le32(1) + le32(500'000'000) + le32(2) + le32(2) + "\x01\x02";
+  std::stringstream ss(blob);
+  PcapReader reader(ss);
+  EXPECT_TRUE(reader.info().nanosecond);
+  Packet p;
+  ASSERT_TRUE(reader.next(p));
+  EXPECT_EQ(p.ts_usec, 1'500'000u);  // 1 s + 500 ms
+}
+
+TEST(Pcap, FileHelpers) {
+  auto pkts = sample_packets();
+  std::string path = ::testing::TempDir() + "/sugar_test.pcap";
+  write_pcap_file(path, pkts);
+  auto back = read_pcap_file(path);
+  ASSERT_EQ(back.size(), pkts.size());
+  EXPECT_EQ(back[2].data, pkts[2].data);
+  EXPECT_THROW(read_pcap_file("/nonexistent/zzz.pcap"), PcapError);
+}
+
+}  // namespace
+}  // namespace sugar::net

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "net/serializer.h"
+#include "replearn/featurize.h"
+
+namespace sugar::replearn {
+namespace {
+
+dataset::PacketDataset one_packet_dataset() {
+  net::FrameSpec spec;
+  net::Ipv4Header ip;
+  ip.src = net::Ipv4Address::from_octets(192, 168, 0, 9);
+  ip.dst = net::Ipv4Address::from_octets(104, 16, 8, 77);
+  ip.ttl = 57;
+  spec.ipv4 = ip;
+  net::TcpHeader tcp;
+  tcp.src_port = 51555;
+  tcp.dst_port = 443;
+  tcp.seq = 0xA1B2C3D4;
+  tcp.ack = 0x01020304;
+  tcp.ack_flag = true;
+  tcp.window = 0x1234;
+  tcp.options.timestamp = {{7, 9}};
+  spec.tcp = tcp;
+  spec.payload = {0xAA, 0xBB, 0xCC};
+
+  dataset::PacketDataset ds;
+  ds.num_classes = 1;
+  ds.packets.push_back(net::build_packet(spec, 0));
+  ds.parsed.push_back(*net::parse_packet(ds.packets[0]).parsed);
+  ds.label.push_back(0);
+  ds.flow_id.push_back(0);
+  return ds;
+}
+
+TEST(ByteView, HeaderOnlyExcludesPayload) {
+  auto ds = one_packet_dataset();
+  ByteViewSpec spec;
+  spec.length = 80;
+  spec.include_payload = false;
+  spec.bit_encode = false;
+  auto x = byte_view_matrix(ds, {0}, spec);
+  ASSERT_EQ(x.cols(), 80u);
+  // Payload byte 0xAA/255 must not appear anywhere.
+  for (std::size_t j = 0; j < x.cols(); ++j)
+    EXPECT_NE(x(0, j), static_cast<float>(0xAA) / 255.0f);
+  // First byte is the IPv4 version/IHL byte 0x45.
+  EXPECT_FLOAT_EQ(x(0, 0), static_cast<float>(0x45) / 255.0f);
+}
+
+TEST(ByteView, DropIpHeaderStartsAtTcp) {
+  auto ds = one_packet_dataset();
+  ByteViewSpec spec;
+  spec.length = 40;
+  spec.include_ip_header = false;
+  spec.bit_encode = false;
+  auto x = byte_view_matrix(ds, {0}, spec);
+  // First two bytes are the source port (51555 = 0xC963).
+  EXPECT_FLOAT_EQ(x(0, 0), static_cast<float>(0xC9) / 255.0f);
+  EXPECT_FLOAT_EQ(x(0, 1), static_cast<float>(0x63) / 255.0f);
+}
+
+TEST(ByteView, ZeroPortsAnonymizes) {
+  auto ds = one_packet_dataset();
+  ByteViewSpec spec;
+  spec.length = 40;
+  spec.include_ip_header = false;
+  spec.zero_ports = true;
+  spec.bit_encode = false;
+  auto x = byte_view_matrix(ds, {0}, spec);
+  EXPECT_FLOAT_EQ(x(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(x(0, 3), 0.0f);
+  // Seq number bytes survive at offset 4.
+  EXPECT_FLOAT_EQ(x(0, 4), static_cast<float>(0xA1) / 255.0f);
+}
+
+TEST(ByteView, ZeroIpAddresses) {
+  auto ds = one_packet_dataset();
+  ByteViewSpec spec;
+  spec.length = 40;
+  spec.zero_ip_addresses = true;
+  spec.bit_encode = false;
+  auto x = byte_view_matrix(ds, {0}, spec);
+  for (std::size_t j = 12; j < 20; ++j) EXPECT_FLOAT_EQ(x(0, j), 0.0f);
+  EXPECT_FLOAT_EQ(x(0, 8), 57.0f / 255.0f);  // TTL kept
+}
+
+TEST(ByteView, BitEncodeRoundTrip) {
+  auto ds = one_packet_dataset();
+  ByteViewSpec spec;
+  spec.length = 20;
+  spec.bit_encode = true;
+  ASSERT_EQ(spec.dim(), 160u);
+  auto x = byte_view_matrix(ds, {0}, spec);
+  // Reassemble byte 0 from its bits -> 0x45.
+  int byte0 = 0;
+  for (int b = 0; b < 8; ++b)
+    if (x(0, static_cast<std::size_t>(b)) > 0.5f) byte0 |= 1 << b;
+  EXPECT_EQ(byte0, 0x45);
+  for (std::size_t j = 0; j < x.cols(); ++j)
+    EXPECT_TRUE(x(0, j) == 0.0f || x(0, j) == 1.0f);
+}
+
+TEST(ByteView, RepeatTilesTheView) {
+  auto ds = one_packet_dataset();
+  ByteViewSpec spec;
+  spec.length = 30;
+  spec.repeat = 3;
+  spec.bit_encode = false;
+  ASSERT_EQ(spec.dim(), 90u);
+  auto x = byte_view_matrix(ds, {0}, spec);
+  for (std::size_t j = 0; j < 30; ++j) {
+    EXPECT_EQ(x(0, j), x(0, 30 + j));
+    EXPECT_EQ(x(0, j), x(0, 60 + j));
+  }
+}
+
+TEST(HeaderFeatures, ValuesMatchPacket) {
+  auto ds = one_packet_dataset();
+  auto names = header_feature_names({});
+  auto x = header_feature_matrix(ds, {0}, {});
+  ASSERT_EQ(x.cols(), names.size());
+  auto at = [&](const std::string& name) {
+    auto it = std::find(names.begin(), names.end(), name);
+    EXPECT_NE(it, names.end()) << name;
+    return x(0, static_cast<std::size_t>(it - names.begin()));
+  };
+  EXPECT_FLOAT_EQ(at("SRC IP0"), 192);
+  EXPECT_FLOAT_EQ(at("DST IP3"), 77);
+  EXPECT_FLOAT_EQ(at("IP TTL"), 57);
+  EXPECT_FLOAT_EQ(at("SRC Port"), 51555);
+  EXPECT_FLOAT_EQ(at("DST Port"), 443);
+  EXPECT_FLOAT_EQ(at("TCP Window"), 0x1234);
+  EXPECT_FLOAT_EQ(at("TCP TSval"), 7);
+  EXPECT_FLOAT_EQ(at("Payload Length"), 3);
+  EXPECT_FLOAT_EQ(at("IP Proto"), 6);
+}
+
+TEST(HeaderFeatures, WithoutIpDropsEightColumns) {
+  auto with = header_feature_names({.include_ip_addresses = true});
+  auto without = header_feature_names({.include_ip_addresses = false});
+  EXPECT_EQ(with.size(), without.size() + 8);
+  EXPECT_EQ(std::count(without.begin(), without.end(), "SRC IP0"), 0);
+}
+
+TEST(QaTargets, BitwiseAnswers) {
+  auto ds = one_packet_dataset();
+  auto names = qa_target_names();
+  ASSERT_EQ(qa_target_dim(), names.size());
+  auto t = qa_target_matrix(ds, {0});
+  ASSERT_EQ(t.cols(), names.size());
+  auto at = [&](const std::string& name) {
+    auto it = std::find(names.begin(), names.end(), name);
+    EXPECT_NE(it, names.end()) << name;
+    return t(0, static_cast<std::size_t>(it - names.begin()));
+  };
+  // src octet0 = 192 = 0b11000000: bit6 and bit7 set.
+  EXPECT_FLOAT_EQ(at("src_ip0_bit7"), 1.0f);
+  EXPECT_FLOAT_EQ(at("src_ip0_bit6"), 1.0f);
+  EXPECT_FLOAT_EQ(at("src_ip0_bit0"), 0.0f);
+  // dst octet3 = 77 = 0b01001101.
+  EXPECT_FLOAT_EQ(at("dst_ip3_bit0"), 1.0f);
+  EXPECT_FLOAT_EQ(at("dst_ip3_bit1"), 0.0f);
+  EXPECT_FLOAT_EQ(at("dst_ip3_bit6"), 1.0f);
+  // The serializer computes correct checksums, so checksum_ok = 1.
+  EXPECT_FLOAT_EQ(at("checksum_ok"), 1.0f);
+  EXPECT_FLOAT_EQ(at("payload_len"), 3.0f / 3000.0f);
+  EXPECT_FLOAT_EQ(at("dst_port"), 443.0f / 65535.0f);
+}
+
+TEST(QaTargets, CorruptChecksumDetected) {
+  auto ds = one_packet_dataset();
+  // Flip a byte in the IP header without recomputing the checksum.
+  ds.packets[0].data[net::EthernetHeader::kSize + 8] ^= 0xFF;  // TTL
+  ds.parsed[0] = *net::parse_packet(ds.packets[0]).parsed;
+  auto t = qa_target_matrix(ds, {0});
+  auto names = qa_target_names();
+  auto idx = static_cast<std::size_t>(
+      std::find(names.begin(), names.end(), "checksum_ok") - names.begin());
+  EXPECT_FLOAT_EQ(t(0, idx), 0.0f);
+}
+
+TEST(Multimodal, FieldsNormalized) {
+  auto ds = one_packet_dataset();
+  MultimodalSpec spec;
+  auto x = multimodal_matrix(ds, {0}, spec);
+  ASSERT_EQ(x.cols(), spec.dim());
+  for (std::size_t j = 0; j < x.cols(); ++j) {
+    EXPECT_GE(x(0, j), 0.0f);
+    EXPECT_LE(x(0, j), 1.1f);
+  }
+  // Payload bytes at the tail: 0xAA 0xBB 0xCC then padding.
+  EXPECT_FLOAT_EQ(x(0, 14), static_cast<float>(0xAA) / 255.0f);
+  EXPECT_FLOAT_EQ(x(0, 17), 0.0f);
+}
+
+}  // namespace
+}  // namespace sugar::replearn

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "trafficgen/payload.h"
+
+namespace sugar::trafficgen {
+namespace {
+
+TEST(Payload, EncryptedIsRequestedLength) {
+  Rng rng(1);
+  EXPECT_EQ(encrypted_payload(rng, 0).size(), 0u);
+  EXPECT_EQ(encrypted_payload(rng, 1500).size(), 1500u);
+}
+
+TEST(Payload, EncryptedLooksUniform) {
+  // Byte histogram of 64 KiB of "ciphertext" should be near-uniform — the
+  // property that guarantees zero class signal in the payload.
+  Rng rng(2);
+  auto data = encrypted_payload(rng, 65536);
+  std::array<int, 256> hist{};
+  for (auto b : data) ++hist[b];
+  double expected = 65536.0 / 256.0;
+  double chi2 = 0;
+  for (int h : hist) {
+    double d = h - expected;
+    chi2 += d * d / expected;
+  }
+  // 255 dof; far tail bound. Uniform data lands near 255.
+  EXPECT_LT(chi2, 360.0);
+}
+
+TEST(Payload, TlsRecordFraming) {
+  Rng rng(3);
+  auto data = tls_record_payload(rng, 1000);
+  ASSERT_GE(data.size(), 5u);
+  EXPECT_EQ(data[0], 0x17);  // application data
+  EXPECT_EQ(data[1], 0x03);
+  EXPECT_EQ(data[2], 0x03);
+  std::size_t rec_len = static_cast<std::size_t>(data[3]) << 8 | data[4];
+  EXPECT_EQ(rec_len, 1000u);
+  EXPECT_EQ(data.size(), 1005u);
+}
+
+TEST(Payload, TlsRecordSplitsAtLimit) {
+  Rng rng(4);
+  auto data = tls_record_payload(rng, 20000);  // > 16384: two records
+  EXPECT_EQ(data.size(), 20000u + 2 * 5);
+  std::size_t first = static_cast<std::size_t>(data[3]) << 8 | data[4];
+  EXPECT_EQ(first, 16384u);
+  std::size_t second_hdr = 5 + first;
+  EXPECT_EQ(data[second_hdr], 0x17);
+}
+
+TEST(Payload, ClientHelloCarriesSni) {
+  Rng rng(5);
+  auto hello = tls_client_hello(rng, "site42.example.org");
+  EXPECT_EQ(hello[0], 0x16);  // handshake record
+  EXPECT_EQ(hello[5], 0x01);  // client hello
+  std::string blob(hello.begin(), hello.end());
+  EXPECT_NE(blob.find("site42.example.org"), std::string::npos);
+
+  auto no_sni = tls_client_hello(rng, "");
+  std::string blob2(no_sni.begin(), no_sni.end());
+  EXPECT_EQ(blob2.find("example"), std::string::npos);
+  EXPECT_LT(no_sni.size(), hello.size());
+}
+
+TEST(Payload, ServerHelloShape) {
+  Rng rng(6);
+  auto hello = tls_server_hello(rng);
+  EXPECT_EQ(hello[0], 0x16);
+  EXPECT_EQ(hello[5], 0x02);  // server hello
+  std::size_t rec_len = static_cast<std::size_t>(hello[3]) << 8 | hello[4];
+  EXPECT_EQ(hello.size(), rec_len + 5);
+}
+
+TEST(Payload, HttpPlaintextStructure) {
+  Rng rng(7);
+  auto req = http_request_payload(rng, "host.test", 0);
+  std::string s(req.begin(), req.end());
+  EXPECT_EQ(s.rfind("GET ", 0), 0u);
+  EXPECT_NE(s.find("Host: host.test\r\n"), std::string::npos);
+  EXPECT_EQ(s.substr(s.size() - 4), "\r\n\r\n");
+
+  auto post = http_request_payload(rng, "host.test", 100);
+  std::string sp(post.begin(), post.end());
+  EXPECT_EQ(sp.rfind("POST ", 0), 0u);
+  EXPECT_NE(sp.find("Content-Length: 100"), std::string::npos);
+
+  auto resp = http_response_payload(rng, 50);
+  std::string sr(resp.begin(), resp.end());
+  EXPECT_EQ(sr.rfind("HTTP/1.1 200 OK", 0), 0u);
+  // Response body is printable ASCII (compressible plaintext, not
+  // ciphertext).
+  auto body_at = sr.find("\r\n\r\n") + 4;
+  for (std::size_t i = body_at; i < sr.size(); ++i)
+    EXPECT_TRUE(sr[i] >= ' ' && sr[i] <= '~');
+}
+
+TEST(Payload, OpenVpnSessionIdStable) {
+  Rng rng(8);
+  auto p1 = openvpn_payload(rng, 0x1122334455667788ull, 100);
+  auto p2 = openvpn_payload(rng, 0x1122334455667788ull, 200);
+  EXPECT_EQ(p1[0], 0x30);
+  // Same session id prefix across packets of a session.
+  EXPECT_TRUE(std::equal(p1.begin() + 1, p1.begin() + 9, p2.begin() + 1));
+  EXPECT_EQ(p1.size(), 109u);
+}
+
+TEST(Payload, C2BeaconMagic) {
+  Rng rng(9);
+  auto b = c2_beacon_payload(rng, 0xDEADBEEF, 64);
+  EXPECT_EQ(b[0], 0xDE);
+  EXPECT_EQ(b[1], 0xAD);
+  EXPECT_EQ(b[2], 0xBE);
+  EXPECT_EQ(b[3], 0xEF);
+  EXPECT_EQ(b.size(), 64u);
+}
+
+TEST(Payload, DnsQueryEncoding) {
+  Rng rng(10);
+  auto q = dns_query_payload(rng, "host.local");
+  // Flags = standard query w/ RD, QDCOUNT 1.
+  EXPECT_EQ(q[2], 0x01);
+  EXPECT_EQ(q[3], 0x00);
+  EXPECT_EQ(q[5], 1);
+  // QNAME label encoding: 4 "host" 5 "local" 0.
+  EXPECT_EQ(q[12], 4);
+  EXPECT_EQ(std::string(q.begin() + 13, q.begin() + 17), "host");
+  EXPECT_EQ(q[17], 5);
+  EXPECT_EQ(q[23], 0);
+}
+
+}  // namespace
+}  // namespace sugar::trafficgen

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "trafficgen/profiles.h"
+
+namespace sugar::trafficgen {
+namespace {
+
+TEST(Profiles, IscxInventory) {
+  auto v = iscx_vpn_profiles();
+  ASSERT_EQ(v.size(), 16u);
+  std::set<int> ids, services;
+  std::set<std::string> names;
+  for (const auto& p : v) {
+    ids.insert(p.class_id);
+    services.insert(p.service_id);
+    names.insert(p.name);
+    EXPECT_FALSE(p.server_ports.empty()) << p.name;
+    EXPECT_GT(p.mean_rounds, 0) << p.name;
+    EXPECT_FALSE(p.malicious);
+  }
+  EXPECT_EQ(ids.size(), 16u) << "class ids must be unique";
+  EXPECT_EQ(names.size(), 16u);
+  EXPECT_EQ(services.size(), static_cast<std::size_t>(Service::kCount));
+}
+
+TEST(Profiles, IscxTlsAppsCarrySni) {
+  for (const auto& p : iscx_vpn_profiles()) {
+    if (p.payload == PayloadKind::TlsRecords) {
+      EXPECT_TRUE(p.tls_handshake) << p.name;
+      EXPECT_FALSE(p.sni.empty()) << p.name;
+    }
+  }
+}
+
+TEST(Profiles, UstcInventory) {
+  auto v = ustc_tfc_profiles();
+  ASSERT_EQ(v.size(), 20u);
+  int malicious = 0;
+  std::set<int> ids;
+  for (const auto& p : v) {
+    ids.insert(p.class_id);
+    if (p.malicious) {
+      ++malicious;
+      EXPECT_NE(p.c2_magic, 0u) << p.name << " needs a C2 magic";
+      EXPECT_EQ(p.payload, PayloadKind::C2Beacon);
+    }
+  }
+  EXPECT_EQ(malicious, 10);
+  EXPECT_EQ(ids.size(), 20u);
+}
+
+TEST(Profiles, UstcPortsAvoidCleaningFilters) {
+  // No benign/malware profile may use a port the Table-13 cleaning filter
+  // removes — otherwise the filter would eat task traffic.
+  const std::set<std::uint16_t> filtered = {
+      53,   67,   68,   123,  137,  161,  546,  547,  5353, 5355,
+      1900, 3478, 5351, 6771, 17500, 5005, 5683, 1883, 179, 5900,
+      6000, 1863, 8333, 27960, 19};
+  for (const auto& profiles : {ustc_tfc_profiles(), iscx_vpn_profiles()}) {
+    for (const auto& p : profiles)
+      for (auto port : p.server_ports)
+        EXPECT_EQ(filtered.count(port), 0u)
+            << p.name << " uses filtered port " << port;
+  }
+}
+
+TEST(Profiles, TlsSiteInventory) {
+  auto v = cstn_tls120_profiles();
+  ASSERT_EQ(v.size(), 120u);
+  std::set<std::tuple<int, int, int>> subnets;
+  for (const auto& p : v) {
+    EXPECT_EQ(p.server_ports, std::vector<std::uint16_t>{443}) << p.name;
+    EXPECT_TRUE(p.use_tcp);
+    EXPECT_TRUE(p.tls_handshake);
+    EXPECT_EQ(p.payload, PayloadKind::TlsRecords);
+    subnets.insert({p.subnet_a, p.subnet_b, p.subnet_c});
+  }
+  // Class subnets must be distinct: they are the (imperfect) explicit class
+  // signal of the TLS-120 task.
+  EXPECT_EQ(subnets.size(), 120u);
+}
+
+TEST(Profiles, TlsSitesHaveDistinctSizeDistributions) {
+  auto v = cstn_tls120_profiles();
+  std::set<long> resp_mu_keys;
+  for (const auto& p : v)
+    resp_mu_keys.insert(std::lround(p.resp_mu * 1000));
+  // Response-size means spread over many distinct values (not all equal).
+  EXPECT_GT(resp_mu_keys.size(), 100u);
+}
+
+}  // namespace
+}  // namespace sugar::trafficgen

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "net/parser.h"
+#include "trafficgen/spurious.h"
+
+namespace sugar::trafficgen {
+namespace {
+
+using net::SpuriousCategory;
+
+/// Every generated spurious packet must be classified back into its own
+/// category by the cleaning taxonomy — generator and filter must agree.
+class SpuriousRoundTrip : public ::testing::TestWithParam<SpuriousCategory> {};
+
+TEST_P(SpuriousRoundTrip, ClassifierAgreesWithGenerator) {
+  Rng rng(17);
+  for (int i = 0; i < 20; ++i) {
+    auto pkt = make_spurious_packet(GetParam(), rng, 1000);
+    auto outcome = net::parse_packet(pkt);
+    SpuriousCategory got = SpuriousCategory::LinkManagement;
+    if (outcome.ok()) got = net::classify_spurious(*outcome.parsed);
+    EXPECT_EQ(got, GetParam()) << "iteration " << i;
+    EXPECT_NE(got, SpuriousCategory::None)
+        << "spurious packets must never look task-relevant";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCategories, SpuriousRoundTrip,
+    ::testing::Values(SpuriousCategory::LinkLocal, SpuriousCategory::NetworkManagement,
+                      SpuriousCategory::Nat, SpuriousCategory::RouteManagement,
+                      SpuriousCategory::ServiceManagement, SpuriousCategory::RealTime,
+                      SpuriousCategory::NetworkTime, SpuriousCategory::LinkManagement,
+                      SpuriousCategory::RemoteAccess, SpuriousCategory::IotManagement,
+                      SpuriousCategory::Quake, SpuriousCategory::Others),
+    [](const auto& info) {
+      std::string name = net::to_string(info.param);
+      for (auto& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+TEST(Spurious, WeightedMixDominatedByLinkLocal) {
+  Rng rng(5);
+  std::array<int, static_cast<std::size_t>(SpuriousCategory::kCount)> hist{};
+  for (int i = 0; i < 2000; ++i)
+    ++hist[static_cast<std::size_t>(random_spurious_category(rng))];
+  EXPECT_EQ(hist[static_cast<std::size_t>(SpuriousCategory::None)], 0);
+  EXPECT_GT(hist[static_cast<std::size_t>(SpuriousCategory::LinkLocal)],
+            hist[static_cast<std::size_t>(SpuriousCategory::Nat)]);
+  EXPECT_GT(hist[static_cast<std::size_t>(SpuriousCategory::NetworkManagement)],
+            hist[static_cast<std::size_t>(SpuriousCategory::NetworkTime)]);
+}
+
+TEST(Spurious, InjectionPreservesOrderAndCount) {
+  Rng gen_rng(6);
+  std::vector<net::Packet> trace;
+  for (int i = 0; i < 100; ++i) {
+    net::Packet p;
+    p.ts_usec = static_cast<std::uint64_t>(i) * 1000;
+    p.data.assign(60, 0);
+    trace.push_back(std::move(p));
+  }
+  Rng rng(7);
+  auto inserted = inject_spurious(trace, 0.20, rng);
+  EXPECT_NEAR(static_cast<double>(inserted.size()), 25.0, 8.0);
+  EXPECT_EQ(trace.size(), 100 + inserted.size());
+}
+
+}  // namespace
+}  // namespace sugar::trafficgen
