@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_splits.dir/bench_ablation_splits.cpp.o"
+  "CMakeFiles/bench_ablation_splits.dir/bench_ablation_splits.cpp.o.d"
+  "bench_ablation_splits"
+  "bench_ablation_splits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_splits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

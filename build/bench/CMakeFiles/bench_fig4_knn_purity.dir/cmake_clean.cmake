@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_knn_purity.dir/bench_fig4_knn_purity.cpp.o"
+  "CMakeFiles/bench_fig4_knn_purity.dir/bench_fig4_knn_purity.cpp.o.d"
+  "bench_fig4_knn_purity"
+  "bench_fig4_knn_purity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_knn_purity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

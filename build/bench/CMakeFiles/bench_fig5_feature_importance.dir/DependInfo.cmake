@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_feature_importance.cpp" "bench/CMakeFiles/bench_fig5_feature_importance.dir/bench_fig5_feature_importance.cpp.o" "gcc" "bench/CMakeFiles/bench_fig5_feature_importance.dir/bench_fig5_feature_importance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sugar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/replearn/CMakeFiles/sugar_replearn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/sugar_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sugar_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/trafficgen/CMakeFiles/sugar_trafficgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sugar_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

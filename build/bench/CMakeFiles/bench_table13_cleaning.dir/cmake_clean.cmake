@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table13_cleaning.dir/bench_table13_cleaning.cpp.o"
+  "CMakeFiles/bench_table13_cleaning.dir/bench_table13_cleaning.cpp.o.d"
+  "bench_table13_cleaning"
+  "bench_table13_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table13_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

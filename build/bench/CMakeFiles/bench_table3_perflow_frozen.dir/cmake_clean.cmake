@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_perflow_frozen.dir/bench_table3_perflow_frozen.cpp.o"
+  "CMakeFiles/bench_table3_perflow_frozen.dir/bench_table3_perflow_frozen.cpp.o.d"
+  "bench_table3_perflow_frozen"
+  "bench_table3_perflow_frozen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_perflow_frozen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_frozen_vs_unfrozen.dir/bench_table4_frozen_vs_unfrozen.cpp.o"
+  "CMakeFiles/bench_table4_frozen_vs_unfrozen.dir/bench_table4_frozen_vs_unfrozen.cpp.o.d"
+  "bench_table4_frozen_vs_unfrozen"
+  "bench_table4_frozen_vs_unfrozen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_frozen_vs_unfrozen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_perpacket.dir/bench_table5_perpacket.cpp.o"
+  "CMakeFiles/bench_table5_perpacket.dir/bench_table5_perpacket.cpp.o.d"
+  "bench_table5_perpacket"
+  "bench_table5_perpacket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_perpacket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_pcapencoder_ablation.dir/bench_table7_pcapencoder_ablation.cpp.o"
+  "CMakeFiles/bench_table7_pcapencoder_ablation.dir/bench_table7_pcapencoder_ablation.cpp.o.d"
+  "bench_table7_pcapencoder_ablation"
+  "bench_table7_pcapencoder_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_pcapencoder_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

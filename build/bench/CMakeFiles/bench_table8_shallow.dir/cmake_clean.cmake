@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_shallow.dir/bench_table8_shallow.cpp.o"
+  "CMakeFiles/bench_table8_shallow.dir/bench_table8_shallow.cpp.o.d"
+  "bench_table8_shallow"
+  "bench_table8_shallow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_shallow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

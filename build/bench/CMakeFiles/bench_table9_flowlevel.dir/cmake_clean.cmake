@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_flowlevel.dir/bench_table9_flowlevel.cpp.o"
+  "CMakeFiles/bench_table9_flowlevel.dir/bench_table9_flowlevel.cpp.o.d"
+  "bench_table9_flowlevel"
+  "bench_table9_flowlevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_flowlevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

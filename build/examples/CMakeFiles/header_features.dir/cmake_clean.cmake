@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/header_features.dir/header_features.cpp.o"
+  "CMakeFiles/header_features.dir/header_features.cpp.o.d"
+  "header_features"
+  "header_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/header_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

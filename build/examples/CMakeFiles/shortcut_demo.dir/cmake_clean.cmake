@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shortcut_demo.dir/shortcut_demo.cpp.o"
+  "CMakeFiles/shortcut_demo.dir/shortcut_demo.cpp.o.d"
+  "shortcut_demo"
+  "shortcut_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shortcut_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

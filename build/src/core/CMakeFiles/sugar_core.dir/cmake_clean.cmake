@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sugar_core.dir/env.cpp.o"
+  "CMakeFiles/sugar_core.dir/env.cpp.o.d"
+  "CMakeFiles/sugar_core.dir/pipeline.cpp.o"
+  "CMakeFiles/sugar_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/sugar_core.dir/report.cpp.o"
+  "CMakeFiles/sugar_core.dir/report.cpp.o.d"
+  "libsugar_core.a"
+  "libsugar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sugar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

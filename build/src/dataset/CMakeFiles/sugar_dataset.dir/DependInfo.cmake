@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/advanced_split.cpp" "src/dataset/CMakeFiles/sugar_dataset.dir/advanced_split.cpp.o" "gcc" "src/dataset/CMakeFiles/sugar_dataset.dir/advanced_split.cpp.o.d"
+  "/root/repo/src/dataset/audit.cpp" "src/dataset/CMakeFiles/sugar_dataset.dir/audit.cpp.o" "gcc" "src/dataset/CMakeFiles/sugar_dataset.dir/audit.cpp.o.d"
+  "/root/repo/src/dataset/clean.cpp" "src/dataset/CMakeFiles/sugar_dataset.dir/clean.cpp.o" "gcc" "src/dataset/CMakeFiles/sugar_dataset.dir/clean.cpp.o.d"
+  "/root/repo/src/dataset/split.cpp" "src/dataset/CMakeFiles/sugar_dataset.dir/split.cpp.o" "gcc" "src/dataset/CMakeFiles/sugar_dataset.dir/split.cpp.o.d"
+  "/root/repo/src/dataset/task.cpp" "src/dataset/CMakeFiles/sugar_dataset.dir/task.cpp.o" "gcc" "src/dataset/CMakeFiles/sugar_dataset.dir/task.cpp.o.d"
+  "/root/repo/src/dataset/transforms.cpp" "src/dataset/CMakeFiles/sugar_dataset.dir/transforms.cpp.o" "gcc" "src/dataset/CMakeFiles/sugar_dataset.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/sugar_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trafficgen/CMakeFiles/sugar_trafficgen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sugar_dataset.dir/advanced_split.cpp.o"
+  "CMakeFiles/sugar_dataset.dir/advanced_split.cpp.o.d"
+  "CMakeFiles/sugar_dataset.dir/audit.cpp.o"
+  "CMakeFiles/sugar_dataset.dir/audit.cpp.o.d"
+  "CMakeFiles/sugar_dataset.dir/clean.cpp.o"
+  "CMakeFiles/sugar_dataset.dir/clean.cpp.o.d"
+  "CMakeFiles/sugar_dataset.dir/split.cpp.o"
+  "CMakeFiles/sugar_dataset.dir/split.cpp.o.d"
+  "CMakeFiles/sugar_dataset.dir/task.cpp.o"
+  "CMakeFiles/sugar_dataset.dir/task.cpp.o.d"
+  "CMakeFiles/sugar_dataset.dir/transforms.cpp.o"
+  "CMakeFiles/sugar_dataset.dir/transforms.cpp.o.d"
+  "libsugar_dataset.a"
+  "libsugar_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sugar_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

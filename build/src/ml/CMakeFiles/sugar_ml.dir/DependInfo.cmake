@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/forest.cpp" "src/ml/CMakeFiles/sugar_ml.dir/forest.cpp.o" "gcc" "src/ml/CMakeFiles/sugar_ml.dir/forest.cpp.o.d"
+  "/root/repo/src/ml/gbdt.cpp" "src/ml/CMakeFiles/sugar_ml.dir/gbdt.cpp.o" "gcc" "src/ml/CMakeFiles/sugar_ml.dir/gbdt.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/sugar_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/sugar_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/ml/CMakeFiles/sugar_ml.dir/matrix.cpp.o" "gcc" "src/ml/CMakeFiles/sugar_ml.dir/matrix.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/sugar_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/sugar_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/ml/CMakeFiles/sugar_ml.dir/mlp.cpp.o" "gcc" "src/ml/CMakeFiles/sugar_ml.dir/mlp.cpp.o.d"
+  "/root/repo/src/ml/nn.cpp" "src/ml/CMakeFiles/sugar_ml.dir/nn.cpp.o" "gcc" "src/ml/CMakeFiles/sugar_ml.dir/nn.cpp.o.d"
+  "/root/repo/src/ml/preprocess.cpp" "src/ml/CMakeFiles/sugar_ml.dir/preprocess.cpp.o" "gcc" "src/ml/CMakeFiles/sugar_ml.dir/preprocess.cpp.o.d"
+  "/root/repo/src/ml/tree.cpp" "src/ml/CMakeFiles/sugar_ml.dir/tree.cpp.o" "gcc" "src/ml/CMakeFiles/sugar_ml.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sugar_ml.dir/forest.cpp.o"
+  "CMakeFiles/sugar_ml.dir/forest.cpp.o.d"
+  "CMakeFiles/sugar_ml.dir/gbdt.cpp.o"
+  "CMakeFiles/sugar_ml.dir/gbdt.cpp.o.d"
+  "CMakeFiles/sugar_ml.dir/knn.cpp.o"
+  "CMakeFiles/sugar_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/sugar_ml.dir/matrix.cpp.o"
+  "CMakeFiles/sugar_ml.dir/matrix.cpp.o.d"
+  "CMakeFiles/sugar_ml.dir/metrics.cpp.o"
+  "CMakeFiles/sugar_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/sugar_ml.dir/mlp.cpp.o"
+  "CMakeFiles/sugar_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/sugar_ml.dir/nn.cpp.o"
+  "CMakeFiles/sugar_ml.dir/nn.cpp.o.d"
+  "CMakeFiles/sugar_ml.dir/preprocess.cpp.o"
+  "CMakeFiles/sugar_ml.dir/preprocess.cpp.o.d"
+  "CMakeFiles/sugar_ml.dir/tree.cpp.o"
+  "CMakeFiles/sugar_ml.dir/tree.cpp.o.d"
+  "libsugar_ml.a"
+  "libsugar_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sugar_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsugar_ml.a"
+)

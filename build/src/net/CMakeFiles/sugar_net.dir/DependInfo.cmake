@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/addr.cpp" "src/net/CMakeFiles/sugar_net.dir/addr.cpp.o" "gcc" "src/net/CMakeFiles/sugar_net.dir/addr.cpp.o.d"
+  "/root/repo/src/net/bytes.cpp" "src/net/CMakeFiles/sugar_net.dir/bytes.cpp.o" "gcc" "src/net/CMakeFiles/sugar_net.dir/bytes.cpp.o.d"
+  "/root/repo/src/net/checksum.cpp" "src/net/CMakeFiles/sugar_net.dir/checksum.cpp.o" "gcc" "src/net/CMakeFiles/sugar_net.dir/checksum.cpp.o.d"
+  "/root/repo/src/net/flow.cpp" "src/net/CMakeFiles/sugar_net.dir/flow.cpp.o" "gcc" "src/net/CMakeFiles/sugar_net.dir/flow.cpp.o.d"
+  "/root/repo/src/net/headers.cpp" "src/net/CMakeFiles/sugar_net.dir/headers.cpp.o" "gcc" "src/net/CMakeFiles/sugar_net.dir/headers.cpp.o.d"
+  "/root/repo/src/net/mutate.cpp" "src/net/CMakeFiles/sugar_net.dir/mutate.cpp.o" "gcc" "src/net/CMakeFiles/sugar_net.dir/mutate.cpp.o.d"
+  "/root/repo/src/net/parser.cpp" "src/net/CMakeFiles/sugar_net.dir/parser.cpp.o" "gcc" "src/net/CMakeFiles/sugar_net.dir/parser.cpp.o.d"
+  "/root/repo/src/net/pcap.cpp" "src/net/CMakeFiles/sugar_net.dir/pcap.cpp.o" "gcc" "src/net/CMakeFiles/sugar_net.dir/pcap.cpp.o.d"
+  "/root/repo/src/net/proto.cpp" "src/net/CMakeFiles/sugar_net.dir/proto.cpp.o" "gcc" "src/net/CMakeFiles/sugar_net.dir/proto.cpp.o.d"
+  "/root/repo/src/net/serializer.cpp" "src/net/CMakeFiles/sugar_net.dir/serializer.cpp.o" "gcc" "src/net/CMakeFiles/sugar_net.dir/serializer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

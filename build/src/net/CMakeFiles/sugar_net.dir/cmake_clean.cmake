@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sugar_net.dir/addr.cpp.o"
+  "CMakeFiles/sugar_net.dir/addr.cpp.o.d"
+  "CMakeFiles/sugar_net.dir/bytes.cpp.o"
+  "CMakeFiles/sugar_net.dir/bytes.cpp.o.d"
+  "CMakeFiles/sugar_net.dir/checksum.cpp.o"
+  "CMakeFiles/sugar_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/sugar_net.dir/flow.cpp.o"
+  "CMakeFiles/sugar_net.dir/flow.cpp.o.d"
+  "CMakeFiles/sugar_net.dir/headers.cpp.o"
+  "CMakeFiles/sugar_net.dir/headers.cpp.o.d"
+  "CMakeFiles/sugar_net.dir/mutate.cpp.o"
+  "CMakeFiles/sugar_net.dir/mutate.cpp.o.d"
+  "CMakeFiles/sugar_net.dir/parser.cpp.o"
+  "CMakeFiles/sugar_net.dir/parser.cpp.o.d"
+  "CMakeFiles/sugar_net.dir/pcap.cpp.o"
+  "CMakeFiles/sugar_net.dir/pcap.cpp.o.d"
+  "CMakeFiles/sugar_net.dir/proto.cpp.o"
+  "CMakeFiles/sugar_net.dir/proto.cpp.o.d"
+  "CMakeFiles/sugar_net.dir/serializer.cpp.o"
+  "CMakeFiles/sugar_net.dir/serializer.cpp.o.d"
+  "libsugar_net.a"
+  "libsugar_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sugar_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

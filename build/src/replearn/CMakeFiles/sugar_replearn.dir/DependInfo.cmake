@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replearn/featurize.cpp" "src/replearn/CMakeFiles/sugar_replearn.dir/featurize.cpp.o" "gcc" "src/replearn/CMakeFiles/sugar_replearn.dir/featurize.cpp.o.d"
+  "/root/repo/src/replearn/head.cpp" "src/replearn/CMakeFiles/sugar_replearn.dir/head.cpp.o" "gcc" "src/replearn/CMakeFiles/sugar_replearn.dir/head.cpp.o.d"
+  "/root/repo/src/replearn/mae_encoder.cpp" "src/replearn/CMakeFiles/sugar_replearn.dir/mae_encoder.cpp.o" "gcc" "src/replearn/CMakeFiles/sugar_replearn.dir/mae_encoder.cpp.o.d"
+  "/root/repo/src/replearn/model_zoo.cpp" "src/replearn/CMakeFiles/sugar_replearn.dir/model_zoo.cpp.o" "gcc" "src/replearn/CMakeFiles/sugar_replearn.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/replearn/pcap_encoder.cpp" "src/replearn/CMakeFiles/sugar_replearn.dir/pcap_encoder.cpp.o" "gcc" "src/replearn/CMakeFiles/sugar_replearn.dir/pcap_encoder.cpp.o.d"
+  "/root/repo/src/replearn/pretrain.cpp" "src/replearn/CMakeFiles/sugar_replearn.dir/pretrain.cpp.o" "gcc" "src/replearn/CMakeFiles/sugar_replearn.dir/pretrain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/sugar_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/sugar_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/trafficgen/CMakeFiles/sugar_trafficgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sugar_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

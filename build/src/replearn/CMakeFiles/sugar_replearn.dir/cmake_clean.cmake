@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sugar_replearn.dir/featurize.cpp.o"
+  "CMakeFiles/sugar_replearn.dir/featurize.cpp.o.d"
+  "CMakeFiles/sugar_replearn.dir/head.cpp.o"
+  "CMakeFiles/sugar_replearn.dir/head.cpp.o.d"
+  "CMakeFiles/sugar_replearn.dir/mae_encoder.cpp.o"
+  "CMakeFiles/sugar_replearn.dir/mae_encoder.cpp.o.d"
+  "CMakeFiles/sugar_replearn.dir/model_zoo.cpp.o"
+  "CMakeFiles/sugar_replearn.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/sugar_replearn.dir/pcap_encoder.cpp.o"
+  "CMakeFiles/sugar_replearn.dir/pcap_encoder.cpp.o.d"
+  "CMakeFiles/sugar_replearn.dir/pretrain.cpp.o"
+  "CMakeFiles/sugar_replearn.dir/pretrain.cpp.o.d"
+  "libsugar_replearn.a"
+  "libsugar_replearn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sugar_replearn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trafficgen/datasets.cpp" "src/trafficgen/CMakeFiles/sugar_trafficgen.dir/datasets.cpp.o" "gcc" "src/trafficgen/CMakeFiles/sugar_trafficgen.dir/datasets.cpp.o.d"
+  "/root/repo/src/trafficgen/payload.cpp" "src/trafficgen/CMakeFiles/sugar_trafficgen.dir/payload.cpp.o" "gcc" "src/trafficgen/CMakeFiles/sugar_trafficgen.dir/payload.cpp.o.d"
+  "/root/repo/src/trafficgen/profiles.cpp" "src/trafficgen/CMakeFiles/sugar_trafficgen.dir/profiles.cpp.o" "gcc" "src/trafficgen/CMakeFiles/sugar_trafficgen.dir/profiles.cpp.o.d"
+  "/root/repo/src/trafficgen/session.cpp" "src/trafficgen/CMakeFiles/sugar_trafficgen.dir/session.cpp.o" "gcc" "src/trafficgen/CMakeFiles/sugar_trafficgen.dir/session.cpp.o.d"
+  "/root/repo/src/trafficgen/spurious.cpp" "src/trafficgen/CMakeFiles/sugar_trafficgen.dir/spurious.cpp.o" "gcc" "src/trafficgen/CMakeFiles/sugar_trafficgen.dir/spurious.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/sugar_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

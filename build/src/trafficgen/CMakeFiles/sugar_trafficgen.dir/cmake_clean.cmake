@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sugar_trafficgen.dir/datasets.cpp.o"
+  "CMakeFiles/sugar_trafficgen.dir/datasets.cpp.o.d"
+  "CMakeFiles/sugar_trafficgen.dir/payload.cpp.o"
+  "CMakeFiles/sugar_trafficgen.dir/payload.cpp.o.d"
+  "CMakeFiles/sugar_trafficgen.dir/profiles.cpp.o"
+  "CMakeFiles/sugar_trafficgen.dir/profiles.cpp.o.d"
+  "CMakeFiles/sugar_trafficgen.dir/session.cpp.o"
+  "CMakeFiles/sugar_trafficgen.dir/session.cpp.o.d"
+  "CMakeFiles/sugar_trafficgen.dir/spurious.cpp.o"
+  "CMakeFiles/sugar_trafficgen.dir/spurious.cpp.o.d"
+  "libsugar_trafficgen.a"
+  "libsugar_trafficgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sugar_trafficgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_env.cpp" "tests/CMakeFiles/sugar_tests.dir/core/test_env.cpp.o" "gcc" "tests/CMakeFiles/sugar_tests.dir/core/test_env.cpp.o.d"
+  "/root/repo/tests/core/test_pipeline.cpp" "tests/CMakeFiles/sugar_tests.dir/core/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/sugar_tests.dir/core/test_pipeline.cpp.o.d"
+  "/root/repo/tests/dataset/test_advanced_split.cpp" "tests/CMakeFiles/sugar_tests.dir/dataset/test_advanced_split.cpp.o" "gcc" "tests/CMakeFiles/sugar_tests.dir/dataset/test_advanced_split.cpp.o.d"
+  "/root/repo/tests/dataset/test_audit.cpp" "tests/CMakeFiles/sugar_tests.dir/dataset/test_audit.cpp.o" "gcc" "tests/CMakeFiles/sugar_tests.dir/dataset/test_audit.cpp.o.d"
+  "/root/repo/tests/dataset/test_clean.cpp" "tests/CMakeFiles/sugar_tests.dir/dataset/test_clean.cpp.o" "gcc" "tests/CMakeFiles/sugar_tests.dir/dataset/test_clean.cpp.o.d"
+  "/root/repo/tests/dataset/test_split.cpp" "tests/CMakeFiles/sugar_tests.dir/dataset/test_split.cpp.o" "gcc" "tests/CMakeFiles/sugar_tests.dir/dataset/test_split.cpp.o.d"
+  "/root/repo/tests/dataset/test_task.cpp" "tests/CMakeFiles/sugar_tests.dir/dataset/test_task.cpp.o" "gcc" "tests/CMakeFiles/sugar_tests.dir/dataset/test_task.cpp.o.d"
+  "/root/repo/tests/dataset/test_transforms.cpp" "tests/CMakeFiles/sugar_tests.dir/dataset/test_transforms.cpp.o" "gcc" "tests/CMakeFiles/sugar_tests.dir/dataset/test_transforms.cpp.o.d"
+  "/root/repo/tests/ml/test_knn_mlp.cpp" "tests/CMakeFiles/sugar_tests.dir/ml/test_knn_mlp.cpp.o" "gcc" "tests/CMakeFiles/sugar_tests.dir/ml/test_knn_mlp.cpp.o.d"
+  "/root/repo/tests/ml/test_matrix.cpp" "tests/CMakeFiles/sugar_tests.dir/ml/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/sugar_tests.dir/ml/test_matrix.cpp.o.d"
+  "/root/repo/tests/ml/test_metrics.cpp" "tests/CMakeFiles/sugar_tests.dir/ml/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/sugar_tests.dir/ml/test_metrics.cpp.o.d"
+  "/root/repo/tests/ml/test_nn.cpp" "tests/CMakeFiles/sugar_tests.dir/ml/test_nn.cpp.o" "gcc" "tests/CMakeFiles/sugar_tests.dir/ml/test_nn.cpp.o.d"
+  "/root/repo/tests/ml/test_tree.cpp" "tests/CMakeFiles/sugar_tests.dir/ml/test_tree.cpp.o" "gcc" "tests/CMakeFiles/sugar_tests.dir/ml/test_tree.cpp.o.d"
+  "/root/repo/tests/net/test_addr.cpp" "tests/CMakeFiles/sugar_tests.dir/net/test_addr.cpp.o" "gcc" "tests/CMakeFiles/sugar_tests.dir/net/test_addr.cpp.o.d"
+  "/root/repo/tests/net/test_bytes.cpp" "tests/CMakeFiles/sugar_tests.dir/net/test_bytes.cpp.o" "gcc" "tests/CMakeFiles/sugar_tests.dir/net/test_bytes.cpp.o.d"
+  "/root/repo/tests/net/test_checksum.cpp" "tests/CMakeFiles/sugar_tests.dir/net/test_checksum.cpp.o" "gcc" "tests/CMakeFiles/sugar_tests.dir/net/test_checksum.cpp.o.d"
+  "/root/repo/tests/net/test_flow.cpp" "tests/CMakeFiles/sugar_tests.dir/net/test_flow.cpp.o" "gcc" "tests/CMakeFiles/sugar_tests.dir/net/test_flow.cpp.o.d"
+  "/root/repo/tests/net/test_mutate.cpp" "tests/CMakeFiles/sugar_tests.dir/net/test_mutate.cpp.o" "gcc" "tests/CMakeFiles/sugar_tests.dir/net/test_mutate.cpp.o.d"
+  "/root/repo/tests/net/test_parser_serializer.cpp" "tests/CMakeFiles/sugar_tests.dir/net/test_parser_serializer.cpp.o" "gcc" "tests/CMakeFiles/sugar_tests.dir/net/test_parser_serializer.cpp.o.d"
+  "/root/repo/tests/net/test_pcap.cpp" "tests/CMakeFiles/sugar_tests.dir/net/test_pcap.cpp.o" "gcc" "tests/CMakeFiles/sugar_tests.dir/net/test_pcap.cpp.o.d"
+  "/root/repo/tests/replearn/test_encoders.cpp" "tests/CMakeFiles/sugar_tests.dir/replearn/test_encoders.cpp.o" "gcc" "tests/CMakeFiles/sugar_tests.dir/replearn/test_encoders.cpp.o.d"
+  "/root/repo/tests/replearn/test_featurize.cpp" "tests/CMakeFiles/sugar_tests.dir/replearn/test_featurize.cpp.o" "gcc" "tests/CMakeFiles/sugar_tests.dir/replearn/test_featurize.cpp.o.d"
+  "/root/repo/tests/replearn/test_head_zoo.cpp" "tests/CMakeFiles/sugar_tests.dir/replearn/test_head_zoo.cpp.o" "gcc" "tests/CMakeFiles/sugar_tests.dir/replearn/test_head_zoo.cpp.o.d"
+  "/root/repo/tests/replearn/test_pretrain.cpp" "tests/CMakeFiles/sugar_tests.dir/replearn/test_pretrain.cpp.o" "gcc" "tests/CMakeFiles/sugar_tests.dir/replearn/test_pretrain.cpp.o.d"
+  "/root/repo/tests/trafficgen/test_datasets.cpp" "tests/CMakeFiles/sugar_tests.dir/trafficgen/test_datasets.cpp.o" "gcc" "tests/CMakeFiles/sugar_tests.dir/trafficgen/test_datasets.cpp.o.d"
+  "/root/repo/tests/trafficgen/test_payload.cpp" "tests/CMakeFiles/sugar_tests.dir/trafficgen/test_payload.cpp.o" "gcc" "tests/CMakeFiles/sugar_tests.dir/trafficgen/test_payload.cpp.o.d"
+  "/root/repo/tests/trafficgen/test_profiles.cpp" "tests/CMakeFiles/sugar_tests.dir/trafficgen/test_profiles.cpp.o" "gcc" "tests/CMakeFiles/sugar_tests.dir/trafficgen/test_profiles.cpp.o.d"
+  "/root/repo/tests/trafficgen/test_session.cpp" "tests/CMakeFiles/sugar_tests.dir/trafficgen/test_session.cpp.o" "gcc" "tests/CMakeFiles/sugar_tests.dir/trafficgen/test_session.cpp.o.d"
+  "/root/repo/tests/trafficgen/test_spurious.cpp" "tests/CMakeFiles/sugar_tests.dir/trafficgen/test_spurious.cpp.o" "gcc" "tests/CMakeFiles/sugar_tests.dir/trafficgen/test_spurious.cpp.o.d"
+  "/root/repo/tests/trafficgen/test_trace_invariants.cpp" "tests/CMakeFiles/sugar_tests.dir/trafficgen/test_trace_invariants.cpp.o" "gcc" "tests/CMakeFiles/sugar_tests.dir/trafficgen/test_trace_invariants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sugar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/replearn/CMakeFiles/sugar_replearn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/sugar_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sugar_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/trafficgen/CMakeFiles/sugar_trafficgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sugar_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
