@@ -1,6 +1,7 @@
 // Shared helpers for the per-table bench binaries.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -26,5 +27,22 @@ inline const std::vector<dataset::TaskId> kHardTasks = {
     dataset::TaskId::VpnApp,
     dataset::TaskId::Tls120,
 };
+
+/// Prints the ingestion-health line for every source dataset the given tasks
+/// draw from; scenario tables append this so capture damage (malformed
+/// frames) is visible next to the accuracy numbers it may have biased.
+inline void print_ingest(core::BenchmarkEnv& env,
+                         const std::vector<dataset::TaskId>& tasks) {
+  std::vector<dataset::SourceDataset> seen;
+  std::vector<const dataset::CleaningReport*> reports;
+  for (auto task : tasks) {
+    auto src = dataset::source_of(task);
+    if (std::find(seen.begin(), seen.end(), src) != seen.end()) continue;
+    seen.push_back(src);
+    reports.push_back(&env.cleaning_report(src));
+  }
+  std::printf("\nIngestion health:\n");
+  core::print_ingest_summaries(reports);
+}
 
 }  // namespace sugar::bench

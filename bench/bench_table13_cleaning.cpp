@@ -51,6 +51,19 @@ int main() {
     table.add_row(std::move(row));
   }
 
+  {
+    std::vector<std::string> row{"Malformed frames"};
+    for (const auto* r : reports) {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%zu (%.2f%%)", r->removed_malformed,
+                    100.0 * r->malformed_fraction());
+      row.emplace_back(buf);
+    }
+    table.add_row(std::move(row));
+  }
+
   core::print_table("Table 13 — Extraneous-protocol filter census", table);
+  std::printf("\nIngestion health:\n");
+  core::print_ingest_summaries(reports);
   return 0;
 }

@@ -32,5 +32,6 @@ int main() {
 
   core::print_table(
       "Table 3 — Packet classification, per-flow split, frozen encoders", table);
+  bench::print_ingest(env, bench::kAllTasks);
   return 0;
 }

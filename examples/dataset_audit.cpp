@@ -9,6 +9,7 @@
 //   trace is generated, saved to /tmp/sugar_audit.pcap and fully audited.
 #include <iostream>
 
+#include "core/report.h"
 #include "dataset/audit.h"
 #include "dataset/clean.h"
 #include "dataset/split.h"
@@ -22,11 +23,16 @@ namespace {
 void census_only(const std::vector<net::Packet>& packets) {
   std::array<std::size_t, static_cast<std::size_t>(net::SpuriousCategory::kCount)>
       hist{};
+  std::array<std::size_t, net::kParseErrorCount> malformed{};
+  std::size_t n_malformed = 0;
   for (const auto& pkt : packets) {
     auto outcome = net::parse_packet(pkt);
-    auto cat = outcome.ok() ? net::classify_spurious(*outcome.parsed)
-                            : net::SpuriousCategory::LinkManagement;
-    ++hist[static_cast<std::size_t>(cat)];
+    if (!outcome.ok()) {
+      ++n_malformed;
+      ++malformed[static_cast<std::size_t>(*outcome.error)];
+      continue;
+    }
+    ++hist[static_cast<std::size_t>(net::classify_spurious(*outcome.parsed))];
   }
   std::cout << "protocol census over " << packets.size() << " packets:\n";
   for (std::size_t c = 0; c < hist.size(); ++c) {
@@ -34,14 +40,34 @@ void census_only(const std::vector<net::Packet>& packets) {
     std::cout << "  " << net::to_string(static_cast<net::SpuriousCategory>(c))
               << ": " << hist[c] << "\n";
   }
+  std::cout << "  malformed: " << n_malformed << "\n";
+  for (std::size_t e = 0; e < malformed.size(); ++e)
+    if (malformed[e] > 0)
+      std::cout << "    " << net::to_string(static_cast<net::ParseError>(e))
+                << ": " << malformed[e] << "\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc > 1) {
+    // Real captures are routinely damaged; read with forward resync and
+    // report what the reader had to skip rather than silently stopping.
     std::cout << "reading " << argv[1] << "\n";
-    auto packets = net::read_pcap_file(argv[1]);
+    net::PcapReadStats stats;
+    std::vector<net::Packet> packets;
+    try {
+      packets =
+          net::read_pcap_file(argv[1], net::ReadPolicy::SkipAndResync, &stats);
+    } catch (const net::PcapError& e) {
+      // Unreadable beyond repair (bad magic / unopenable): fail cleanly.
+      std::cerr << "dataset_audit: " << e.what() << "\n";
+      return 1;
+    }
+    std::cout << "pcap read: " << stats.records_ok << " ok, "
+              << stats.records_truncated << " truncated, " << stats.corrupt_headers
+              << " corrupt headers, " << stats.resyncs << " resyncs ("
+              << stats.bytes_skipped << " bytes skipped)\n";
     census_only(packets);
     return 0;
   }
@@ -67,6 +93,7 @@ int main(int argc, char** argv) {
   auto report = dataset::clean_trace(trace, copts);
   std::cout << "\ncleaning census (" << report.dataset_name << "):\n"
             << report.to_markdown();
+  std::cout << core::ingest_summary(report) << "\n";
 
   // 4. Audit the two split policies.
   auto ds = dataset::make_task_dataset(trace, dataset::TaskId::UstcApp);

@@ -1,32 +1,65 @@
 #include "core/env.h"
 
+#include <charconv>
 #include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string_view>
 
 namespace sugar::core {
+namespace {
+
+// Strict whole-string numeric parsing: "12x" or "" is malformed, not "12".
+// Malformed values warn on stderr and leave the default untouched, so a
+// typo'd SUGAR_* never silently runs a zero-sized benchmark.
+template <typename T>
+bool parse_env_number(const char* name, const char* s, T& out) {
+  std::string_view sv{s};
+  T value{};
+  auto [ptr, ec] = std::from_chars(sv.data(), sv.data() + sv.size(), value);
+  if (ec != std::errc{} || ptr != sv.data() + sv.size()) {
+    std::cerr << "sugar: ignoring malformed " << name << "='" << s << "'\n";
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
 
 EnvConfig EnvConfig::from_env() {
   EnvConfig cfg;
   if (const char* s = std::getenv("SUGAR_SCALE")) {
-    double scale = std::atof(s);
-    if (scale > 0) {
-      auto mul = [scale](std::size_t v) {
-        return std::max<std::size_t>(2, static_cast<std::size_t>(scale * static_cast<double>(v)));
-      };
-      cfg.flows_per_class_iscx = mul(cfg.flows_per_class_iscx);
-      cfg.flows_per_class_ustc = mul(cfg.flows_per_class_ustc);
-      cfg.flows_per_class_tls = mul(cfg.flows_per_class_tls);
-      cfg.backbone_flows = mul(cfg.backbone_flows);
-      cfg.max_train_packets = mul(cfg.max_train_packets);
-      cfg.max_test_packets = mul(cfg.max_test_packets);
-      cfg.pretrain_max_samples = mul(cfg.pretrain_max_samples);
+    double scale = 0;
+    if (parse_env_number("SUGAR_SCALE", s, scale)) {
+      if (scale > 0) {
+        auto mul = [scale](std::size_t v) {
+          return std::max<std::size_t>(2, static_cast<std::size_t>(scale * static_cast<double>(v)));
+        };
+        cfg.flows_per_class_iscx = mul(cfg.flows_per_class_iscx);
+        cfg.flows_per_class_ustc = mul(cfg.flows_per_class_ustc);
+        cfg.flows_per_class_tls = mul(cfg.flows_per_class_tls);
+        cfg.backbone_flows = mul(cfg.backbone_flows);
+        cfg.max_train_packets = mul(cfg.max_train_packets);
+        cfg.max_test_packets = mul(cfg.max_test_packets);
+        cfg.pretrain_max_samples = mul(cfg.pretrain_max_samples);
+      } else {
+        std::cerr << "sugar: ignoring non-positive SUGAR_SCALE='" << s << "'\n";
+      }
     }
   }
   if (const char* s = std::getenv("SUGAR_EPOCHS")) {
-    int e = std::atoi(s);
-    if (e > 0) cfg.downstream_epochs = e;
+    int e = 0;
+    if (parse_env_number("SUGAR_EPOCHS", s, e)) {
+      if (e > 0)
+        cfg.downstream_epochs = e;
+      else
+        std::cerr << "sugar: ignoring non-positive SUGAR_EPOCHS='" << s << "'\n";
+    }
   }
   if (const char* s = std::getenv("SUGAR_SEED")) {
-    cfg.seed = static_cast<std::uint64_t>(std::atoll(s));
+    std::uint64_t seed = 0;
+    if (parse_env_number("SUGAR_SEED", s, seed)) cfg.seed = seed;
   }
   return cfg;
 }

@@ -63,6 +63,13 @@ Partitions make_partitions(const dataset::PacketDataset& ds, std::size_t max_tra
   return parts;
 }
 
+IngestHealth ingest_health(BenchmarkEnv& env, dataset::TaskId task) {
+  const auto& census = env.cleaning_report(dataset::source_of(task));
+  return {.source_packets = census.total_packets,
+          .malformed_frames = census.removed_malformed,
+          .spurious_removed = census.removed_spurious_total()};
+}
+
 replearn::DownstreamConfig downstream_config(const EnvConfig& env_cfg,
                                              const ScenarioOptions& opts) {
   replearn::DownstreamConfig cfg;
@@ -123,6 +130,7 @@ ScenarioResult run_packet_scenario_with_bundle(BenchmarkEnv& env,
   result.audit = parts.audit;
   result.n_train = parts.train.size();
   result.n_test = parts.test.size();
+  result.ingest = ingest_health(env, task);
 
   auto t0 = Clock::now();
   dm.fit(x_train, parts.train.label, parts.train.flow_id);
@@ -179,6 +187,7 @@ ScenarioResult run_flow_scenario(BenchmarkEnv& env, dataset::TaskId task,
   result.audit = parts.audit;
   result.n_train = train_flows.size();
   result.n_test = test_flows.size();
+  result.ingest = ingest_health(env, task);
   if (train_flows.empty() || test_flows.empty()) return result;
 
   if (model == replearn::ModelKind::PcapEncoder) {
@@ -254,6 +263,7 @@ ShallowResult run_shallow_scenario(BenchmarkEnv& env, dataset::TaskId task,
       replearn::header_feature_matrix(parts.test, iota_indices(parts.test.size()), spec);
 
   ShallowResult result;
+  result.ingest = ingest_health(env, task);
   result.feature_names = replearn::header_feature_names(spec);
 
   std::vector<int> pred;

@@ -32,12 +32,28 @@ struct ScenarioOptions {
   std::size_t export_embeddings = 0;
 };
 
+/// Ingestion health of the source trace a scenario ran on, copied from the
+/// cleaning census so every result row can surface malformed-frame counts
+/// instead of silently training on a degraded capture.
+struct IngestHealth {
+  std::size_t source_packets = 0;    // trace size before cleaning
+  std::size_t malformed_frames = 0;  // frames the parser rejected
+  std::size_t spurious_removed = 0;  // Table-13 extraneous removals
+
+  [[nodiscard]] double malformed_fraction() const {
+    return source_packets == 0 ? 0.0
+                               : static_cast<double>(malformed_frames) /
+                                     static_cast<double>(source_packets);
+  }
+};
+
 struct ScenarioResult {
   ml::Metrics metrics;
   double train_seconds = 0;
   double test_seconds = 0;
   std::size_t n_train = 0;
   std::size_t n_test = 0;
+  IngestHealth ingest;
   dataset::LeakageReport audit;
   /// Present when options.export_embeddings > 0.
   std::optional<ml::Matrix> embeddings;
@@ -72,6 +88,7 @@ struct ShallowResult {
   ml::Metrics metrics;
   double train_seconds = 0;
   double test_seconds = 0;
+  IngestHealth ingest;
   std::vector<double> feature_importance;  // trees only
   std::vector<std::string> feature_names;
 };

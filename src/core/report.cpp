@@ -45,4 +45,33 @@ void print_table(const std::string& title, const MarkdownTable& table) {
   std::cout << "\n### " << title << "\n\n" << table.to_string() << std::flush;
 }
 
+std::string ingest_summary(const dataset::CleaningReport& census) {
+  std::ostringstream os;
+  os << "ingest " << census.dataset_name << ": " << census.total_packets
+     << " frames, " << census.removed_malformed << " malformed ("
+     << MarkdownTable::pct(census.malformed_fraction(), 2) << "%), "
+     << census.removed_spurious_total() << " spurious removed ("
+     << MarkdownTable::pct(census.removed_spurious_fraction(), 2) << "%)";
+  if (census.removed_malformed > 0) {
+    os << " [";
+    bool first = true;
+    for (std::size_t i = 0; i < census.malformed_by_error.size(); ++i) {
+      if (census.malformed_by_error[i] == 0) continue;
+      if (!first) os << ", ";
+      os << net::to_string(static_cast<net::ParseError>(i)) << "="
+         << census.malformed_by_error[i];
+      first = false;
+    }
+    os << "]";
+  }
+  return os.str();
+}
+
+void print_ingest_summaries(
+    const std::vector<const dataset::CleaningReport*>& censuses) {
+  for (const auto* c : censuses)
+    if (c) std::cout << "- " << ingest_summary(*c) << "\n";
+  std::cout << std::flush;
+}
+
 }  // namespace sugar::core

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "dataset/clean.h"
+
 namespace sugar::core {
 
 class MarkdownTable {
@@ -25,5 +27,14 @@ class MarkdownTable {
 
 /// Prints a titled table to stdout.
 void print_table(const std::string& title, const MarkdownTable& table);
+
+/// One-line ingestion-health summary of a cleaning census: totals, malformed
+/// frames (bucketed by ParseError when any exist) and spurious removals.
+/// Every scenario report prints this so capture damage is never invisible.
+std::string ingest_summary(const dataset::CleaningReport& census);
+
+/// Prints the ingest summaries of the given censuses to stdout.
+void print_ingest_summaries(
+    const std::vector<const dataset::CleaningReport*>& censuses);
 
 }  // namespace sugar::core

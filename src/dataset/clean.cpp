@@ -22,6 +22,12 @@ double CleaningReport::removed_spurious_fraction() const {
                    static_cast<double>(total_packets);
 }
 
+double CleaningReport::malformed_fraction() const {
+  return total_packets == 0 ? 0.0
+                            : static_cast<double>(removed_malformed) /
+                                  static_cast<double>(total_packets);
+}
+
 std::string CleaningReport::to_markdown() const {
   std::ostringstream os;
   os << "| Category | Removed | % |\n|---|---|---|\n";
@@ -36,6 +42,16 @@ std::string CleaningReport::to_markdown() const {
     os << "| " << net::to_string(static_cast<net::SpuriousCategory>(i)) << " | "
        << removed_by_category[i] << " | " << buf << " |\n";
   }
+  if (removed_malformed > 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f%%", 100.0 * malformed_fraction());
+    os << "| malformed | " << removed_malformed << " | " << buf << " |\n";
+    for (std::size_t i = 0; i < malformed_by_error.size(); ++i) {
+      if (malformed_by_error[i] == 0) continue;
+      os << "| &nbsp;&nbsp;" << net::to_string(static_cast<net::ParseError>(i))
+         << " | " << malformed_by_error[i] << " | |\n";
+    }
+  }
   return os.str();
 }
 
@@ -47,16 +63,23 @@ CleaningReport clean_trace(trafficgen::GeneratedTrace& trace,
 
   std::vector<bool> keep(trace.packets.size(), true);
 
-  // --- Extraneous-protocol filter (the recommended one).
-  if (opts.filter_extraneous) {
-    for (std::size_t i = 0; i < trace.packets.size(); ++i) {
-      auto outcome = net::parse_packet(trace.packets[i]);
-      net::SpuriousCategory cat = net::SpuriousCategory::LinkManagement;
-      if (outcome.ok()) cat = net::classify_spurious(*outcome.parsed);
-      if (cat != net::SpuriousCategory::None) {
-        keep[i] = false;
-        ++report.removed_by_category[static_cast<std::size_t>(cat)];
-      }
+  // --- Malformed-frame filter (always on: unparseable bytes can't be
+  // featurized, and hiding them inside a protocol category would make
+  // ingestion damage invisible in the census) and the extraneous-protocol
+  // filter (the recommended one).
+  for (std::size_t i = 0; i < trace.packets.size(); ++i) {
+    auto outcome = net::parse_packet(trace.packets[i]);
+    if (!outcome.ok()) {
+      keep[i] = false;
+      ++report.removed_malformed;
+      ++report.malformed_by_error[static_cast<std::size_t>(*outcome.error)];
+      continue;
+    }
+    if (!opts.filter_extraneous) continue;
+    net::SpuriousCategory cat = net::classify_spurious(*outcome.parsed);
+    if (cat != net::SpuriousCategory::None) {
+      keep[i] = false;
+      ++report.removed_by_category[static_cast<std::size_t>(cat)];
     }
   }
 

@@ -10,12 +10,16 @@
 #include <string>
 #include <vector>
 
+#include "net/parser.h"
 #include "net/proto.h"
 #include "trafficgen/datasets.h"
 
 namespace sugar::dataset {
 
-/// Per-category removal census (Table 13) plus totals.
+/// Per-category removal census (Table 13) plus totals. Malformed frames —
+/// bytes the parser rejects outright — are counted separately from the
+/// spurious-protocol taxonomy so ingestion damage is never silently folded
+/// into a protocol category.
 struct CleaningReport {
   std::string dataset_name;
   std::size_t total_packets = 0;
@@ -24,9 +28,13 @@ struct CleaningReport {
   std::size_t removed_min_packet_size = 0;
   std::size_t removed_short_flows = 0;
   std::size_t removed_class_support = 0;
+  /// Frames parse_packet rejected, bucketed by ParseError.
+  std::size_t removed_malformed = 0;
+  std::array<std::size_t, net::kParseErrorCount> malformed_by_error{};
 
   [[nodiscard]] std::size_t removed_spurious_total() const;
   [[nodiscard]] double removed_spurious_fraction() const;
+  [[nodiscard]] double malformed_fraction() const;
   [[nodiscard]] std::string to_markdown() const;
 };
 

@@ -1,0 +1,278 @@
+#include "net/fault.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "net/parser.h"
+
+namespace sugar::net {
+namespace {
+
+constexpr std::size_t kEthSize = 14;
+constexpr std::size_t kPcapGlobalHeader = 24;
+constexpr std::size_t kPcapRecordHeader = 16;
+
+std::uint32_t load_u32le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+std::uint32_t bswap32(std::uint32_t v) {
+  return v << 24 | (v & 0xFF00) << 8 | (v >> 8 & 0xFF00) | v >> 24;
+}
+
+/// Record boundaries of a serialized pcap blob (offsets of record headers).
+/// Tolerates truncated tails; stops at the first implausible length so fault
+/// sites always land inside the well-formed prefix.
+std::vector<std::size_t> record_offsets(const std::string& wire) {
+  std::vector<std::size_t> recs;
+  if (wire.size() < kPcapGlobalHeader) return recs;
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(wire.data());
+  std::uint32_t magic = load_u32le(bytes);
+  bool swap = false;
+  switch (magic) {
+    case 0xA1B2C3D4:
+    case 0xA1B23C4D:
+      break;
+    case 0xD4C3B2A1:
+    case 0x4D3CB2A1:
+      swap = true;
+      break;
+    default:
+      return recs;
+  }
+  std::size_t off = kPcapGlobalHeader;
+  while (off + kPcapRecordHeader <= wire.size()) {
+    std::uint32_t incl = load_u32le(bytes + off + 8);
+    if (swap) incl = bswap32(incl);
+    if (incl > (1u << 24)) break;  // already-corrupt length; stop walking
+    recs.push_back(off);
+    off += kPcapRecordHeader + incl;
+  }
+  return recs;
+}
+
+}  // namespace
+
+std::string to_string(FrameFault f) {
+  switch (f) {
+    case FrameFault::TruncateEthernet: return "truncate-ethernet";
+    case FrameFault::TruncateL3: return "truncate-l3";
+    case FrameFault::TruncateL4: return "truncate-l4";
+    case FrameFault::TruncatePayload: return "truncate-payload";
+    case FrameFault::TruncateRandom: return "truncate-random";
+    case FrameFault::BitFlip: return "bit-flip";
+    case FrameFault::LyingIpv4TotalLength: return "lying-ipv4-total-length";
+    case FrameFault::LyingIpv4Ihl: return "lying-ipv4-ihl";
+    case FrameFault::LyingTcpDataOffset: return "lying-tcp-data-offset";
+    case FrameFault::ZeroTcpOptionLength: return "zero-tcp-option-length";
+    case FrameFault::OversizedTcpOption: return "oversized-tcp-option";
+    case FrameFault::GarbageEtherType: return "garbage-ethertype";
+    case FrameFault::kCount: break;
+  }
+  return "?";
+}
+
+std::string to_string(StreamFault f) {
+  switch (f) {
+    case StreamFault::CorruptMagic: return "corrupt-magic";
+    case StreamFault::TruncateGlobalHeader: return "truncate-global-header";
+    case StreamFault::HostileSnaplen: return "hostile-snaplen";
+    case StreamFault::CorruptRecordLength: return "corrupt-record-length";
+    case StreamFault::ZeroLengthRecord: return "zero-length-record";
+    case StreamFault::MidRecordTruncate: return "mid-record-truncate";
+    case StreamFault::GarbageTail: return "garbage-tail";
+    case StreamFault::BitFlipAnywhere: return "bit-flip-anywhere";
+    case StreamFault::kCount: break;
+  }
+  return "?";
+}
+
+std::size_t FaultInjector::index_below(std::size_t n) {
+  if (n == 0) return 0;
+  return std::uniform_int_distribution<std::size_t>{0, n - 1}(rng_);
+}
+
+void FaultInjector::flip_bits(std::uint8_t* data, std::size_t size) {
+  if (size == 0) return;
+  std::size_t flips = 1 + index_below(8);
+  for (std::size_t i = 0; i < flips; ++i)
+    data[index_below(size)] ^= static_cast<std::uint8_t>(1u << index_below(8));
+}
+
+Packet FaultInjector::mutate_frame(const Packet& src, FrameFault fault) {
+  Packet out = src;
+  if (out.data.empty()) return out;
+
+  // Layer boundaries of the *well-formed* input frame; the mutations below
+  // use them as cut/overwrite sites.
+  auto clean = parse_packet(src);
+  std::size_t size = out.data.size();
+  std::size_t l3 = clean.ok() ? clean.parsed->l3_offset : kEthSize;
+  std::size_t l4 = clean.ok() ? clean.parsed->l4_offset : 0;
+  std::size_t payload = clean.ok() ? clean.parsed->payload_offset : 0;
+  bool has_ipv4 = clean.ok() && clean.parsed->ipv4.has_value();
+  bool has_tcp = clean.ok() && clean.parsed->tcp.has_value();
+  std::size_t tcp_hdr_len = has_tcp ? clean.parsed->tcp->header_len() : 0;
+
+  auto cut_within = [&](std::size_t lo, std::size_t hi) {
+    if (hi > size) hi = size;
+    if (lo >= hi) {
+      flip_bits(out.data.data(), size);
+      return;
+    }
+    out.data.resize(lo + index_below(hi - lo));
+  };
+
+  switch (fault) {
+    case FrameFault::TruncateEthernet:
+      cut_within(0, std::min(size, kEthSize));
+      break;
+    case FrameFault::TruncateL3:
+      cut_within(l3, l4 > l3 ? l4 : size);
+      break;
+    case FrameFault::TruncateL4:
+      cut_within(l4, payload > l4 ? payload : size);
+      break;
+    case FrameFault::TruncatePayload:
+      cut_within(payload, size);
+      break;
+    case FrameFault::TruncateRandom:
+      cut_within(0, size);
+      break;
+    case FrameFault::BitFlip:
+      flip_bits(out.data.data(), size);
+      break;
+    case FrameFault::LyingIpv4TotalLength:
+      if (has_ipv4 && l3 + 4 <= size) {
+        std::uint16_t lie = static_cast<std::uint16_t>(rng_());
+        out.data[l3 + 2] = static_cast<std::uint8_t>(lie >> 8);
+        out.data[l3 + 3] = static_cast<std::uint8_t>(lie);
+      } else {
+        flip_bits(out.data.data(), size);
+      }
+      break;
+    case FrameFault::LyingIpv4Ihl:
+      if (has_ipv4 && l3 < size) {
+        out.data[l3] =
+            static_cast<std::uint8_t>(0x40 | (rng_() & 0xF));  // version 4, lying IHL
+      } else {
+        flip_bits(out.data.data(), size);
+      }
+      break;
+    case FrameFault::LyingTcpDataOffset:
+      if (has_tcp && l4 + 13 <= size) {
+        out.data[l4 + 12] = static_cast<std::uint8_t>((rng_() & 0xF) << 4);
+      } else {
+        flip_bits(out.data.data(), size);
+      }
+      break;
+    case FrameFault::ZeroTcpOptionLength:
+      if (has_tcp && tcp_hdr_len > 20 && l4 + 22 <= size) {
+        out.data[l4 + 20] = static_cast<std::uint8_t>(2 + index_below(254));
+        out.data[l4 + 21] = 0;
+      } else {
+        flip_bits(out.data.data(), size);
+      }
+      break;
+    case FrameFault::OversizedTcpOption:
+      if (has_tcp && tcp_hdr_len > 20 && l4 + 22 <= size) {
+        out.data[l4 + 20] = static_cast<std::uint8_t>(2 + index_below(254));
+        out.data[l4 + 21] = 0xFF;
+      } else {
+        flip_bits(out.data.data(), size);
+      }
+      break;
+    case FrameFault::GarbageEtherType:
+      if (size >= kEthSize) {
+        out.data[12] = static_cast<std::uint8_t>(rng_());
+        out.data[13] = static_cast<std::uint8_t>(rng_());
+      } else {
+        flip_bits(out.data.data(), size);
+      }
+      break;
+    case FrameFault::kCount:
+      break;
+  }
+  return out;
+}
+
+Packet FaultInjector::mutate_frame(const Packet& src) {
+  auto f = static_cast<FrameFault>(
+      index_below(static_cast<std::size_t>(FrameFault::kCount)));
+  return mutate_frame(src, f);
+}
+
+std::string FaultInjector::mutate_stream(const std::string& wire, StreamFault fault) {
+  std::string out = wire;
+  auto* bytes = reinterpret_cast<std::uint8_t*>(out.data());
+  auto recs = record_offsets(out);
+
+  auto fallback_flip = [&] {
+    flip_bits(bytes, out.size());
+  };
+
+  switch (fault) {
+    case StreamFault::CorruptMagic:
+      if (out.size() >= 4) {
+        for (int i = 0; i < 4; ++i) bytes[i] = static_cast<std::uint8_t>(rng_());
+      }
+      break;
+    case StreamFault::TruncateGlobalHeader:
+      out.resize(index_below(std::min(out.size(), kPcapGlobalHeader)));
+      break;
+    case StreamFault::HostileSnaplen:
+      if (out.size() >= 20) {
+        for (std::size_t i = 16; i < 20; ++i) bytes[i] = 0xFF;
+      }
+      break;
+    case StreamFault::CorruptRecordLength:
+      if (!recs.empty()) {
+        // 0xFFFFFFFF is endianness-symmetric, so the lie survives swapped files.
+        std::size_t rec = recs[index_below(recs.size())];
+        for (std::size_t i = rec + 8; i < rec + 12; ++i) bytes[i] = 0xFF;
+      } else {
+        fallback_flip();
+      }
+      break;
+    case StreamFault::ZeroLengthRecord:
+      if (!recs.empty()) {
+        std::size_t rec = recs[index_below(recs.size())];
+        out.insert(rec, kPcapRecordHeader, '\0');
+      } else {
+        fallback_flip();
+      }
+      break;
+    case StreamFault::MidRecordTruncate:
+      if (!recs.empty()) {
+        std::size_t i = index_below(recs.size());
+        std::size_t lo = recs[i] + 1;  // inside the record header or its data
+        std::size_t hi = std::min(i + 1 < recs.size() ? recs[i + 1] : out.size(),
+                                  out.size());
+        if (lo < hi) out.resize(lo + index_below(hi - lo));
+      } else if (!out.empty()) {
+        out.resize(index_below(out.size()));
+      }
+      break;
+    case StreamFault::GarbageTail: {
+      std::size_t n = 16 + index_below(64);
+      for (std::size_t i = 0; i < n; ++i)
+        out.push_back(static_cast<char>(static_cast<std::uint8_t>(rng_())));
+      break;
+    }
+    case StreamFault::BitFlipAnywhere:
+      fallback_flip();
+      break;
+    case StreamFault::kCount:
+      break;
+  }
+  return out;
+}
+
+std::string FaultInjector::mutate_stream(const std::string& wire) {
+  auto f = static_cast<StreamFault>(
+      index_below(static_cast<std::size_t>(StreamFault::kCount)));
+  return mutate_stream(wire, f);
+}
+
+}  // namespace sugar::net

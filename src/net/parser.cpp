@@ -48,6 +48,22 @@ bool parse_tcp_options(ByteReader& r, std::size_t options_len, TcpOptions& out) 
 
 }  // namespace
 
+std::string to_string(ParseError e) {
+  switch (e) {
+    case ParseError::TruncatedEthernet: return "truncated-ethernet";
+    case ParseError::TruncatedArp: return "truncated-arp";
+    case ParseError::TruncatedIpv4: return "truncated-ipv4";
+    case ParseError::BadIpv4Header: return "bad-ipv4-header";
+    case ParseError::TruncatedIpv6: return "truncated-ipv6";
+    case ParseError::TruncatedTcp: return "truncated-tcp";
+    case ParseError::BadTcpHeader: return "bad-tcp-header";
+    case ParseError::TruncatedUdp: return "truncated-udp";
+    case ParseError::TruncatedIcmp: return "truncated-icmp";
+    case ParseError::kCount: break;
+  }
+  return "?";
+}
+
 ParseOutcome parse_packet(const Packet& pkt) {
   ByteReader r{pkt.bytes()};
   ParsedPacket out;

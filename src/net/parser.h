@@ -4,12 +4,13 @@
 #pragma once
 
 #include <optional>
+#include <string>
 
 #include "net/packet.h"
 
 namespace sugar::net {
 
-enum class ParseError {
+enum class ParseError : std::uint8_t {
   TruncatedEthernet,
   TruncatedArp,
   TruncatedIpv4,
@@ -19,7 +20,12 @@ enum class ParseError {
   BadTcpHeader,
   TruncatedUdp,
   TruncatedIcmp,
+  kCount,
 };
+
+constexpr std::size_t kParseErrorCount = static_cast<std::size_t>(ParseError::kCount);
+
+std::string to_string(ParseError e);
 
 struct ParseOutcome {
   std::optional<ParsedPacket> parsed;

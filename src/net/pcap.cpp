@@ -55,7 +55,8 @@ void put_u16(std::ostream& out, std::uint16_t v) {
 
 }  // namespace
 
-PcapReader::PcapReader(std::istream& in) : in_(in) {
+PcapReader::PcapReader(std::istream& in, ReadPolicy policy)
+    : in_(in), policy_(policy) {
   RawReader r{in_};
   std::uint32_t magic = 0;
   if (!r.u32(magic)) throw PcapError("pcap: empty stream");
@@ -91,22 +92,116 @@ PcapReader::PcapReader(std::istream& in) : in_(in) {
       !r.u32(sigfigs) || !r.u32(info_.snaplen) || !r.u32(info_.link_type))
     throw PcapError("pcap: truncated global header");
   if (info_.version_major != 2) throw PcapError("pcap: unsupported version");
+  // Never trust the claimed snaplen for allocation bounds: a hostile
+  // 0xFFFFFFFF (or a "no limit" 0) is clamped to kMaxSnaplen.
+  if (info_.snaplen == 0 || info_.snaplen > kMaxSnaplen) info_.snaplen = kMaxSnaplen;
+}
+
+bool PcapReader::plausible_record(std::uint32_t incl_len,
+                                  std::uint32_t orig_len) const {
+  // A credible classic-pcap record captures at most snaplen bytes of an
+  // original frame at least that long; the original can't be absurd either.
+  return incl_len <= info_.snaplen && orig_len >= incl_len &&
+         orig_len <= (1u << 26);
+}
+
+bool PcapReader::resync(std::streamoff from) {
+  constexpr std::streamoff kHdr = 16;
+  in_.clear();
+  in_.seekg(0, std::ios::end);
+  const std::streamoff end = in_.tellg();
+
+  auto header_at = [&](std::streamoff off, std::uint32_t& incl,
+                       std::uint32_t& orig) {
+    std::array<char, 16> hdr;
+    in_.clear();
+    in_.seekg(off);
+    in_.read(hdr.data(), kHdr);
+    if (in_.gcount() < kHdr) return false;
+    std::memcpy(&incl, hdr.data() + 8, 4);
+    std::memcpy(&orig, hdr.data() + 12, 4);
+    if (info_.swapped) {
+      incl = bswap32(incl);
+      orig = bswap32(orig);
+    }
+    return true;
+  };
+
+  for (std::streamoff off = from; off + kHdr <= end; ++off) {
+    std::uint32_t incl, orig;
+    if (!header_at(off, incl, orig) || !plausible_record(incl, orig)) continue;
+    // Runs of zero bytes (e.g. zeroed MAC addresses in frame data) decode as
+    // chains of plausible zero-length records; refuse to lock onto an empty
+    // candidate so resync lands on real capture data, not phantoms.
+    if (incl == 0) continue;
+    // A lone plausible 16-byte window is weak evidence (arbitrary payload
+    // bytes qualify). Demand a clean chain: the candidate record must end
+    // exactly at EOF or be followed by another plausible header.
+    std::streamoff rec_end = off + kHdr + static_cast<std::streamoff>(incl);
+    if (rec_end > end) continue;
+    if (rec_end != end) {
+      std::uint32_t incl2, orig2;
+      // The successor must be nonzero too: a window straddling a real record
+      // header reads its timestamp as a tiny incl_len, and the zero bytes
+      // after it then masquerade as an empty follow-up record.
+      if (!header_at(rec_end, incl2, orig2) || incl2 == 0 ||
+          !plausible_record(incl2, orig2))
+        continue;
+    }
+    // `from - 1` is where the corrupt header started; everything up to the
+    // resync point was skipped.
+    stats_.bytes_skipped += static_cast<std::size_t>(off - (from - 1));
+    ++stats_.resyncs;
+    in_.clear();
+    in_.seekg(off);
+    return true;
+  }
+  // No plausible header before EOF: the rest of the stream is skipped.
+  in_.clear();
+  in_.seekg(0, std::ios::end);
+  if (end > from - 1)
+    stats_.bytes_skipped += static_cast<std::size_t>(end - (from - 1));
+  return false;
 }
 
 bool PcapReader::next(Packet& out) {
-  RawReader r{in_, info_.swapped};
-  std::uint32_t ts_sec, ts_frac, incl_len, orig_len;
-  if (!r.u32(ts_sec)) return false;  // clean EOF
-  if (!r.u32(ts_frac) || !r.u32(incl_len) || !r.u32(orig_len)) return false;
-  if (incl_len > info_.snaplen + 65536) return false;  // corrupt record header
+  if (done_) return false;
+  for (;;) {
+    std::streamoff rec_start = in_.tellg();
+    RawReader r{in_, info_.swapped};
+    std::uint32_t ts_sec, ts_frac, incl_len, orig_len;
+    if (!r.u32(ts_sec)) {  // clean EOF
+      done_ = true;
+      return false;
+    }
+    if (!r.u32(ts_frac) || !r.u32(incl_len) || !r.u32(orig_len)) {
+      ++stats_.records_truncated;  // partial trailing record header
+      done_ = true;
+      return false;
+    }
+    if (!plausible_record(incl_len, orig_len)) {
+      ++stats_.corrupt_headers;
+      if (policy_ == ReadPolicy::Strict || rec_start < 0 || !resync(rec_start + 1)) {
+        done_ = true;
+        return false;
+      }
+      continue;  // re-read the header at the resynced position
+    }
 
-  out.data.resize(incl_len);
-  if (!in_.read(reinterpret_cast<char*>(out.data.data()),
-                static_cast<std::streamsize>(incl_len)))
-    return false;
-  std::uint64_t usec = info_.nanosecond ? ts_frac / 1000 : ts_frac;
-  out.ts_usec = static_cast<std::uint64_t>(ts_sec) * 1'000'000 + usec;
-  return true;
+    out.data.resize(incl_len);
+    if (incl_len > 0 &&
+        !in_.read(reinterpret_cast<char*>(out.data.data()),
+                  static_cast<std::streamsize>(incl_len))) {
+      out.data.resize(static_cast<std::size_t>(in_.gcount()));
+      ++stats_.records_truncated;  // data cut short by EOF
+      done_ = true;
+      return false;
+    }
+    std::uint64_t usec = info_.nanosecond ? ts_frac / 1000 : ts_frac;
+    out.ts_usec = static_cast<std::uint64_t>(ts_sec) * 1'000'000 + usec;
+    ++stats_.records_ok;
+    return true;
+  }
 }
 
 std::vector<Packet> PcapReader::read_all() {
@@ -142,10 +237,17 @@ void PcapWriter::write_all(const std::vector<Packet>& pkts) {
 }
 
 std::vector<Packet> read_pcap_file(const std::string& path) {
+  return read_pcap_file(path, ReadPolicy::Strict);
+}
+
+std::vector<Packet> read_pcap_file(const std::string& path, ReadPolicy policy,
+                                   PcapReadStats* stats) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw PcapError("pcap: cannot open " + path);
-  PcapReader reader(in);
-  return reader.read_all();
+  PcapReader reader(in, policy);
+  auto pkts = reader.read_all();
+  if (stats) *stats = reader.stats();
+  return pkts;
 }
 
 void write_pcap_file(const std::string& path, const std::vector<Packet>& pkts) {

@@ -20,6 +20,11 @@ class PcapError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Upper bound accepted for the global-header snaplen. Larger claimed values
+/// (a hostile 0xFFFFFFFF, say) are clamped so per-record allocation bounds
+/// never trust the file. 256 KiB comfortably covers jumbo frames.
+constexpr std::uint32_t kMaxSnaplen = 256 * 1024;
+
 struct PcapFileInfo {
   std::uint16_t version_major = 2;
   std::uint16_t version_minor = 4;
@@ -29,13 +34,41 @@ struct PcapFileInfo {
   bool swapped = false;  // file endianness != big-endian encoding in magic
 };
 
-/// Streaming reader. Throws PcapError on malformed global headers; truncated
-/// trailing records end the stream silently (matching libpcap behaviour).
+/// How the reader reacts to a corrupt record header mid-stream.
+enum class ReadPolicy : std::uint8_t {
+  /// Stop at the first implausible record header (libpcap-like). The
+  /// corruption is still counted in stats(), never silent.
+  Strict,
+  /// Scan forward byte-by-byte for the next plausible record header and
+  /// resume reading there. Recovers the tail of damaged captures.
+  SkipAndResync,
+};
+
+/// Ingestion census. Every record header the reader encounters lands in
+/// exactly one of the first three counters, so
+/// records_ok + records_truncated + corrupt_headers == total_records().
+struct PcapReadStats {
+  std::size_t records_ok = 0;         // fully read records
+  std::size_t records_truncated = 0;  // header or data cut short by EOF
+  std::size_t corrupt_headers = 0;    // implausible record headers
+  std::size_t resyncs = 0;            // successful forward resyncs
+  std::size_t bytes_skipped = 0;      // bytes scanned over while resyncing
+
+  [[nodiscard]] std::size_t total_records() const {
+    return records_ok + records_truncated + corrupt_headers;
+  }
+};
+
+/// Streaming reader. Throws PcapError on malformed global headers; damaged
+/// records are counted in stats() and handled per the ReadPolicy instead of
+/// silently ending the stream.
 class PcapReader {
  public:
-  explicit PcapReader(std::istream& in);
+  explicit PcapReader(std::istream& in, ReadPolicy policy = ReadPolicy::Strict);
 
   [[nodiscard]] const PcapFileInfo& info() const { return info_; }
+  [[nodiscard]] const PcapReadStats& stats() const { return stats_; }
+  [[nodiscard]] ReadPolicy policy() const { return policy_; }
 
   /// Reads the next record into out. Returns false at end of stream.
   bool next(Packet& out);
@@ -44,8 +77,17 @@ class PcapReader {
   std::vector<Packet> read_all();
 
  private:
+  [[nodiscard]] bool plausible_record(std::uint32_t incl_len,
+                                      std::uint32_t orig_len) const;
+  /// Scans forward from `from` for a plausible record header; positions the
+  /// stream there and returns true, or consumes the rest and returns false.
+  bool resync(std::streamoff from);
+
   std::istream& in_;
   PcapFileInfo info_;
+  PcapReadStats stats_;
+  ReadPolicy policy_;
+  bool done_ = false;
 };
 
 /// Streaming writer; emits the global header on construction.
@@ -64,6 +106,9 @@ class PcapWriter {
 
 /// File-path conveniences.
 std::vector<Packet> read_pcap_file(const std::string& path);
+/// As above with an explicit policy; fills *stats when non-null.
+std::vector<Packet> read_pcap_file(const std::string& path, ReadPolicy policy,
+                                   PcapReadStats* stats = nullptr);
 void write_pcap_file(const std::string& path, const std::vector<Packet>& pkts);
 
 }  // namespace sugar::net

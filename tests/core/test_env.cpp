@@ -32,6 +32,22 @@ TEST(EnvConfig, IgnoresInvalidValues) {
   ::unsetenv("SUGAR_EPOCHS");
 }
 
+TEST(EnvConfig, RejectsTrailingGarbageStrictly) {
+  // atoi-style parsing would read "12" out of "12x"; the strict parser
+  // refuses the whole value and keeps the default instead.
+  ::setenv("SUGAR_EPOCHS", "12x", 1);
+  ::setenv("SUGAR_SEED", "99abc", 1);
+  ::setenv("SUGAR_SCALE", "1.5qq", 1);
+  auto cfg = EnvConfig::from_env();
+  EnvConfig def;
+  EXPECT_EQ(cfg.downstream_epochs, def.downstream_epochs);
+  EXPECT_EQ(cfg.seed, def.seed);
+  EXPECT_EQ(cfg.flows_per_class_tls, def.flows_per_class_tls);
+  ::unsetenv("SUGAR_EPOCHS");
+  ::unsetenv("SUGAR_SEED");
+  ::unsetenv("SUGAR_SCALE");
+}
+
 TEST(BenchmarkEnv, CleaningReportsPerSource) {
   EnvConfig cfg;
   cfg.flows_per_class_iscx = 3;

@@ -54,6 +54,10 @@ TEST_F(PipelineTest, PacketScenarioRunsAndAuditsClean) {
   EXPECT_GE(r.metrics.accuracy, 0.0);
   EXPECT_LE(r.metrics.accuracy, 1.0);
   EXPECT_GT(r.train_seconds, 0.0);
+  // Every scenario surfaces the source trace's ingestion health.
+  EXPECT_GT(r.ingest.source_packets, 0u);
+  EXPECT_EQ(r.ingest.malformed_frames, 0u) << "synthetic traces parse cleanly";
+  EXPECT_GT(r.ingest.spurious_removed, 0u);
 }
 
 TEST_F(PipelineTest, PerPacketScenarioAuditsLeaky) {

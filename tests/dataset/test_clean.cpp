@@ -98,6 +98,39 @@ TEST(Clean, NoopWhenDisabled) {
   auto report = clean_trace(trace, opts);
   EXPECT_EQ(trace.size(), before);
   EXPECT_EQ(report.removed_spurious_total(), 0u);
+  EXPECT_EQ(report.removed_malformed, 0u);
+}
+
+TEST(Clean, MalformedFramesLandInTheCensus) {
+  auto trace = make_trace(0.0);
+  std::size_t before = trace.size();
+  ASSERT_GE(before, 8u);
+  // Maul a few frames: truncate inside the Ethernet header and inside IPv4.
+  trace.packets[0].data.resize(6);   // TruncatedEthernet
+  trace.packets[3].data.resize(11);  // TruncatedEthernet
+  trace.packets[5].data.resize(18);  // TruncatedIpv4 (Ethernet survives)
+
+  CleaningOptions opts;
+  auto report = clean_trace(trace, opts);
+
+  EXPECT_EQ(report.removed_malformed, 3u);
+  EXPECT_EQ(report.malformed_by_error[static_cast<std::size_t>(
+                net::ParseError::TruncatedEthernet)],
+            2u);
+  EXPECT_EQ(report.malformed_by_error[static_cast<std::size_t>(
+                net::ParseError::TruncatedIpv4)],
+            1u);
+  // Damage is reported separately, never folded into a protocol category.
+  EXPECT_EQ(report.removed_spurious_total(), 0u);
+  EXPECT_EQ(trace.size(), before - 3);
+  EXPECT_GT(report.malformed_fraction(), 0.0);
+  auto md = report.to_markdown();
+  EXPECT_NE(md.find("malformed"), std::string::npos);
+  EXPECT_NE(md.find("truncated-ethernet"), std::string::npos);
+
+  // Arrays stay parallel after compaction.
+  EXPECT_EQ(trace.packets.size(), trace.labels.size());
+  EXPECT_EQ(trace.packets.size(), trace.flow_of.size());
 }
 
 }  // namespace

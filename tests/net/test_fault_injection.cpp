@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/fault.h"
+#include "net/parser.h"
+#include "net/pcap.h"
+#include "net/serializer.h"
+
+namespace sugar::net {
+namespace {
+
+Packet tcp_packet_with_options(std::uint8_t salt) {
+  FrameSpec spec;
+  Ipv4Header ip;
+  ip.src = Ipv4Address::from_octets(10, 0, 0, salt);
+  ip.dst = Ipv4Address::from_octets(192, 168, 1, salt);
+  spec.ipv4 = ip;
+  TcpHeader tcp;
+  tcp.src_port = 443;
+  tcp.dst_port = static_cast<std::uint16_t>(50000 + salt);
+  tcp.seq = 0x1000u * salt;
+  tcp.options.mss = 1460;
+  tcp.options.timestamp = {{0xAABB0000u + salt, 0x1122u}};
+  spec.tcp = tcp;
+  spec.payload.assign(40 + salt, 0xEE);
+  return build_packet(spec, 1'700'000'000'000'000ull + salt);
+}
+
+Packet udp_packet(std::uint8_t salt) {
+  FrameSpec spec;
+  Ipv4Header ip;
+  ip.src = Ipv4Address::from_octets(10, 0, 1, salt);
+  ip.dst = Ipv4Address::from_octets(10, 0, 2, salt);
+  spec.ipv4 = ip;
+  UdpHeader udp;
+  udp.src_port = 53;
+  udp.dst_port = static_cast<std::uint16_t>(40000 + salt);
+  spec.udp = udp;
+  spec.payload.assign(20 + salt, 0xEE);
+  return build_packet(spec, 1'700'000'000'500'000ull + salt);
+}
+
+std::string serialize_pcap(const std::vector<Packet>& pkts) {
+  std::stringstream ss;
+  PcapWriter writer(ss);
+  writer.write_all(pkts);
+  return ss.str();
+}
+
+/// The core parse invariants every mutant must satisfy.
+void expect_parse_invariants(const Packet& mutant, const char* context) {
+  auto outcome = parse_packet(mutant);
+  ASSERT_NE(outcome.parsed.has_value(), outcome.error.has_value()) << context;
+  if (outcome.error) {
+    EXPECT_LT(static_cast<std::size_t>(*outcome.error), kParseErrorCount) << context;
+    return;
+  }
+  const auto& p = *outcome.parsed;
+  auto cat = classify_spurious(p);
+  EXPECT_LT(static_cast<std::size_t>(cat),
+            static_cast<std::size_t>(SpuriousCategory::kCount))
+      << context;
+  EXPECT_LE(p.header_view(mutant).size(), mutant.data.size()) << context;
+  EXPECT_LE(p.payload_view(mutant).size(), mutant.data.size()) << context;
+  EXPECT_LE(p.l3_offset, mutant.data.size()) << context;
+}
+
+TEST(FaultInjection, Deterministic) {
+  Packet base = tcp_packet_with_options(1);
+  FaultInjector a(77), b(77);
+  for (int i = 0; i < 50; ++i) {
+    Packet ma = a.mutate_frame(base);
+    Packet mb = b.mutate_frame(base);
+    ASSERT_EQ(ma.data, mb.data) << "seeded mutation must be replayable";
+  }
+  std::string wire = serialize_pcap({base, udp_packet(2)});
+  FaultInjector c(99), d(99);
+  for (int i = 0; i < 50; ++i) ASSERT_EQ(c.mutate_stream(wire), d.mutate_stream(wire));
+}
+
+TEST(FaultInjection, TargetedFaultsHitTheTaxonomy) {
+  FaultInjector inj(5);
+  Packet base = tcp_packet_with_options(3);
+
+  // Cutting inside the Ethernet header must yield TruncatedEthernet.
+  Packet cut = inj.mutate_frame(base, FrameFault::TruncateEthernet);
+  auto outcome = parse_packet(cut);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(*outcome.error, ParseError::TruncatedEthernet);
+
+  // A zero option-length must be rejected as BadTcpHeader, never spin.
+  Packet zopt = inj.mutate_frame(base, FrameFault::ZeroTcpOptionLength);
+  outcome = parse_packet(zopt);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(*outcome.error, ParseError::BadTcpHeader);
+
+  // An option length overrunning the header must be rejected too.
+  Packet oopt = inj.mutate_frame(base, FrameFault::OversizedTcpOption);
+  outcome = parse_packet(oopt);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(*outcome.error, ParseError::BadTcpHeader);
+}
+
+// The bounded deterministic fuzz pass: 50k mutated frames through
+// parse_packet + classify_spurious. Crashes/UB fail the test (and the
+// SUGAR_SANITIZE build catches anything subtler).
+TEST(FaultInjection, FrameFuzz50k) {
+  std::vector<Packet> corpus = {tcp_packet_with_options(1), udp_packet(2),
+                                tcp_packet_with_options(9), udp_packet(17)};
+  FaultInjector inj(2024);
+  std::size_t rejected = 0, parsed = 0;
+  for (std::size_t i = 0; i < 50'000; ++i) {
+    auto fault =
+        static_cast<FrameFault>(i % static_cast<std::size_t>(FrameFault::kCount));
+    Packet mutant = inj.mutate_frame(corpus[i % corpus.size()], fault);
+    auto outcome = parse_packet(mutant);
+    ASSERT_NE(outcome.parsed.has_value(), outcome.error.has_value())
+        << to_string(fault) << " @" << i;
+    if (outcome.ok()) {
+      ++parsed;
+      expect_parse_invariants(mutant, to_string(fault).c_str());
+    } else {
+      ++rejected;
+      ASSERT_LT(static_cast<std::size_t>(*outcome.error), kParseErrorCount);
+    }
+  }
+  // The mutation mix must exercise both sides of the taxonomy heavily.
+  EXPECT_GT(rejected, 5'000u);
+  EXPECT_GT(parsed, 5'000u);
+}
+
+// Mutated pcap streams through both read policies: no crash, no unbounded
+// allocation, and the stats counters always sum to records encountered.
+TEST(FaultInjection, StreamFuzz) {
+  std::vector<Packet> pkts;
+  for (std::uint8_t i = 0; i < 6; ++i)
+    pkts.push_back(i % 2 ? tcp_packet_with_options(i) : udp_packet(i));
+  std::string wire = serialize_pcap(pkts);
+
+  FaultInjector inj(31337);
+  std::size_t rejected_headers = 0, total_ok = 0;
+  for (std::size_t i = 0; i < 2'000; ++i) {
+    auto fault = static_cast<StreamFault>(
+        i % static_cast<std::size_t>(StreamFault::kCount));
+    std::string mutant = inj.mutate_stream(wire, fault);
+    for (auto policy : {ReadPolicy::Strict, ReadPolicy::SkipAndResync}) {
+      std::stringstream ss(mutant);
+      try {
+        PcapReader reader(ss, policy);
+        auto got = reader.read_all();
+        const auto& st = reader.stats();
+        ASSERT_EQ(got.size(), st.records_ok) << to_string(fault) << " @" << i;
+        ASSERT_EQ(st.total_records(),
+                  st.records_ok + st.records_truncated + st.corrupt_headers);
+        ASSERT_LE(st.bytes_skipped, mutant.size());
+        for (const auto& p : got) ASSERT_LE(p.data.size(), kMaxSnaplen);
+        total_ok += st.records_ok;
+      } catch (const PcapError&) {
+        ++rejected_headers;  // malformed global header: rejection is correct
+      }
+    }
+  }
+  EXPECT_GT(rejected_headers, 0u);  // CorruptMagic / TruncateGlobalHeader hit
+  EXPECT_GT(total_ok, 0u);          // plenty of records still ingested
+}
+
+// End-to-end degradation: a trace whose frames were mauled still cleans
+// without crashing, and every rejected frame lands in the malformed census.
+TEST(FaultInjection, MutatedFramesSurfaceInCleaningTaxonomy) {
+  FaultInjector inj(7);
+  std::size_t rejected = 0;
+  for (std::size_t i = 0; i < 1'000; ++i) {
+    Packet mutant = inj.mutate_frame(tcp_packet_with_options(1));
+    auto outcome = parse_packet(mutant);
+    if (!outcome.ok()) {
+      ++rejected;
+      EXPECT_LT(static_cast<std::size_t>(*outcome.error), kParseErrorCount);
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+}
+
+}  // namespace
+}  // namespace sugar::net

@@ -82,6 +82,153 @@ TEST(Pcap, TruncatedRecordEndsStream) {
   PcapReader reader(cut);
   auto back = reader.read_all();
   EXPECT_EQ(back.size(), pkts.size() - 1);
+  // The damage is counted, never silent.
+  EXPECT_EQ(reader.stats().records_ok, pkts.size() - 1);
+  EXPECT_EQ(reader.stats().records_truncated, 1u);
+  EXPECT_EQ(reader.stats().total_records(), pkts.size());
+}
+
+TEST(Pcap, MidRecordTruncationCounted) {
+  auto pkts = sample_packets();
+  std::stringstream ss;
+  {
+    PcapWriter writer(ss);
+    writer.write_all(pkts);
+  }
+  std::string blob = ss.str();
+  // Cut inside the *data* of the second record: global header (24) + record 1
+  // (16 + data) + record 2 header (16) + 3 bytes of its data.
+  std::size_t cut = 24 + 16 + pkts[0].data.size() + 16 + 3;
+  ASSERT_LT(cut, blob.size());
+  blob.resize(cut);
+  std::stringstream in(blob);
+  PcapReader reader(in);
+  auto back = reader.read_all();
+  EXPECT_EQ(back.size(), 1u);
+  EXPECT_EQ(reader.stats().records_ok, 1u);
+  EXPECT_EQ(reader.stats().records_truncated, 1u);
+  EXPECT_EQ(reader.stats().corrupt_headers, 0u);
+  EXPECT_EQ(reader.stats().total_records(), 2u);
+}
+
+TEST(Pcap, ZeroLengthRecordsAreRead) {
+  auto le32 = [](std::uint32_t v) {
+    return std::string{static_cast<char>(v), static_cast<char>(v >> 8),
+                       static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  };
+  auto le16 = [](std::uint16_t v) {
+    return std::string{static_cast<char>(v), static_cast<char>(v >> 8)};
+  };
+  // Global header + zero-length record + one 2-byte record.
+  std::string blob = le32(0xA1B2C3D4) + le16(2) + le16(4) + le32(0) + le32(0) +
+                     le32(65535) + le32(1) +
+                     le32(9) + le32(1) + le32(0) + le32(0) +
+                     le32(10) + le32(2) + le32(2) + le32(2) + "\xAB\xCD";
+  std::stringstream ss(blob);
+  PcapReader reader(ss);
+  auto back = reader.read_all();
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_TRUE(back[0].data.empty());
+  EXPECT_EQ(back[0].ts_usec, 9'000'001u);
+  ASSERT_EQ(back[1].data.size(), 2u);
+  EXPECT_EQ(reader.stats().records_ok, 2u);
+  EXPECT_EQ(reader.stats().total_records(), 2u);
+}
+
+TEST(Pcap, SnaplenCappedAgainstHostileGlobalHeader) {
+  auto le32 = [](std::uint32_t v) {
+    return std::string{static_cast<char>(v), static_cast<char>(v >> 8),
+                       static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  };
+  auto le16 = [](std::uint16_t v) {
+    return std::string{static_cast<char>(v), static_cast<char>(v >> 8)};
+  };
+  // Hostile snaplen 0xFFFFFFFF plus a record claiming a 256 MiB payload.
+  std::string blob = le32(0xA1B2C3D4) + le16(2) + le16(4) + le32(0) + le32(0) +
+                     le32(0xFFFFFFFF) + le32(1) +
+                     le32(1) + le32(0) + le32(0x10000000) + le32(0x10000000);
+  std::stringstream ss(blob);
+  PcapReader reader(ss);
+  EXPECT_EQ(reader.info().snaplen, kMaxSnaplen);
+  Packet p;
+  // The lying incl_len must be rejected as a corrupt header, not allocated.
+  EXPECT_FALSE(reader.next(p));
+  EXPECT_EQ(reader.stats().corrupt_headers, 1u);
+  EXPECT_EQ(reader.stats().records_ok, 0u);
+
+  // A snaplen of 0 ("no limit") gets the same cap.
+  std::string blob0 = le32(0xA1B2C3D4) + le16(2) + le16(4) + le32(0) + le32(0) +
+                      le32(0) + le32(1);
+  std::stringstream ss0(blob0);
+  PcapReader reader0(ss0);
+  EXPECT_EQ(reader0.info().snaplen, kMaxSnaplen);
+}
+
+TEST(Pcap, SwappedNanosecondMagicWithGarbageTail) {
+  auto be32 = [](std::uint32_t v) {
+    return std::string{static_cast<char>(v >> 24), static_cast<char>(v >> 16),
+                       static_cast<char>(v >> 8), static_cast<char>(v)};
+  };
+  auto be16 = [](std::uint16_t v) {
+    return std::string{static_cast<char>(v >> 8), static_cast<char>(v)};
+  };
+  // Big-endian nanosecond file: one valid 4-byte record, then a garbage tail.
+  std::string blob = be32(0xA1B23C4D) + be16(2) + be16(4) + be32(0) + be32(0) +
+                     be32(65535) + be32(1) +
+                     be32(3) + be32(250'000'000) + be32(4) + be32(4) +
+                     "\x01\x02\x03\x04";
+  blob += std::string(40, '\xEE');  // garbage: implausible as record headers
+  std::stringstream ss(blob);
+  PcapReader reader(ss, ReadPolicy::SkipAndResync);
+  EXPECT_TRUE(reader.info().nanosecond);
+  EXPECT_TRUE(reader.info().swapped != (std::endian::native == std::endian::big));
+  auto back = reader.read_all();
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].ts_usec, 3'250'000u);
+  const auto& st = reader.stats();
+  EXPECT_EQ(st.records_ok, 1u);
+  EXPECT_EQ(st.corrupt_headers, 1u);  // the garbage tail, counted once
+  EXPECT_EQ(st.total_records(), 2u);
+  EXPECT_GT(st.bytes_skipped, 0u);
+}
+
+TEST(Pcap, ResyncRecoversRecordsAfterCorruptHeader) {
+  auto pkts = sample_packets();
+  std::stringstream ss;
+  {
+    PcapWriter writer(ss);
+    writer.write_all(pkts);
+  }
+  std::string blob = ss.str();
+  // Corrupt the incl_len of record 2 (0xFFFFFFFF is endianness-symmetric).
+  std::size_t rec2 = 24 + 16 + pkts[0].data.size();
+  for (std::size_t i = rec2 + 8; i < rec2 + 12; ++i) blob[i] = '\xFF';
+
+  {  // Strict: stop at the corruption, but count it.
+    std::stringstream in(blob);
+    PcapReader reader(in, ReadPolicy::Strict);
+    auto back = reader.read_all();
+    EXPECT_EQ(back.size(), 1u);
+    EXPECT_EQ(reader.stats().corrupt_headers, 1u);
+    EXPECT_EQ(reader.stats().total_records(), 2u);
+  }
+  {  // SkipAndResync: recover every record after the damaged one.
+    std::stringstream in(blob);
+    PcapReader reader(in, ReadPolicy::SkipAndResync);
+    auto back = reader.read_all();
+    ASSERT_EQ(back.size(), pkts.size() - 1);
+    EXPECT_EQ(back[0].data, pkts[0].data);
+    for (std::size_t i = 1; i < back.size(); ++i) {
+      EXPECT_EQ(back[i].data, pkts[i + 1].data);
+      EXPECT_EQ(back[i].ts_usec, pkts[i + 1].ts_usec);
+    }
+    const auto& st = reader.stats();
+    EXPECT_EQ(st.records_ok, pkts.size() - 1);
+    EXPECT_EQ(st.corrupt_headers, 1u);
+    EXPECT_EQ(st.resyncs, 1u);
+    EXPECT_GT(st.bytes_skipped, 0u);
+    EXPECT_EQ(st.total_records(), pkts.size());
+  }
 }
 
 TEST(Pcap, ReadsSwappedEndianness) {
