@@ -6,7 +6,8 @@
 
 using namespace sugar;
 
-int main() {
+int main(int argc, char** argv) {
+  auto sup = bench::make_supervisor("ablation_metrics", argc, argv);
   core::BenchmarkEnv env;
 
   core::MarkdownTable table{
@@ -18,20 +19,23 @@ int main() {
     core::ScenarioOptions opts;
     opts.split = dataset::SplitPolicy::PerFlow;
     opts.frozen = true;
-    auto r = core::run_packet_scenario(env, dataset::TaskId::UstcApp, kind, opts);
-    double gap = r.metrics.micro_f1 - r.metrics.macro_f1;
-    table.add_row({replearn::to_string(kind),
-                   core::MarkdownTable::pct(r.metrics.accuracy),
-                   core::MarkdownTable::pct(r.metrics.micro_f1),
-                   core::MarkdownTable::pct(r.metrics.macro_f1),
-                   core::MarkdownTable::pct(gap)});
-    std::fprintf(stderr, "[metrics] %s: %s\n", replearn::to_string(kind).c_str(),
-                 r.metrics.to_string().c_str());
+    auto outcome =
+        bench::run_packet_cell(sup, env, "ablation_metrics",
+                               replearn::to_string(kind), "ustc-app",
+                               dataset::TaskId::UstcApp, kind, opts);
+    const auto& s = outcome.summary;
+    table.add_row(
+        {replearn::to_string(kind), bench::cell_pct_ac(outcome),
+         core::RunSupervisor::format_cell(outcome,
+                                          core::MarkdownTable::pct(s.micro_f1)),
+         bench::cell_pct_f1(outcome),
+         core::RunSupervisor::format_cell(
+             outcome, core::MarkdownTable::pct(s.micro_f1 - s.macro_f1))});
   }
 
   core::print_table(
       "Ablation — micro vs macro F1 on the natural (imbalanced) test set: the "
       "micro score flatters majority classes",
       table);
-  return 0;
+  return sup.finalize() ? 0 : 1;
 }

@@ -16,8 +16,14 @@ using namespace sugar;
 namespace {
 
 ml::Metrics rf_under_split(const dataset::PacketDataset& ds,
-                           const dataset::SplitIndices& split, std::uint64_t seed) {
+                           const dataset::SplitIndices& split, std::uint64_t seed,
+                           const ml::CancelToken* cancel) {
   auto train_idx = dataset::balance_train(ds, split.train, seed);
+  if (train_idx.empty() || split.test.empty())
+    throw core::RunError(core::RunErrorKind::kEmptyPartition,
+                         "split left train=" + std::to_string(train_idx.size()) +
+                             " / test=" + std::to_string(split.test.size()) +
+                             " samples");
   auto dtr = ds.subset(train_idx);
   auto dte = ds.subset(split.test);
   std::vector<std::size_t> itr(dtr.size()), ite(dte.size());
@@ -25,50 +31,60 @@ ml::Metrics rf_under_split(const dataset::PacketDataset& ds,
   std::iota(ite.begin(), ite.end(), 0);
   auto x_train = replearn::header_feature_matrix(dtr, itr, {});
   auto x_test = replearn::header_feature_matrix(dte, ite, {});
-  ml::RandomForest rf;
+  ml::ForestConfig cfg;
+  cfg.cancel = cancel;
+  ml::RandomForest rf(cfg);
   rf.fit(x_train, dtr.label, ds.num_classes);
   return ml::evaluate(dte.label, rf.predict(x_test), ds.num_classes);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto sup = bench::make_supervisor("ablation_splits", argc, argv);
   core::BenchmarkEnv env;
   const auto& ds = env.task_dataset(dataset::TaskId::VpnApp);
 
   core::MarkdownTable table{{"Split policy", "AC", "F1", "audit"}};
 
-  for (auto policy : {dataset::SplitPolicy::PerPacket, dataset::SplitPolicy::PerFlow}) {
-    dataset::SplitOptions opts;
-    opts.policy = policy;
-    auto split = dataset::split_dataset(ds, opts);
-    auto audit = dataset::audit_split(ds, split);
-    auto m = rf_under_split(ds, split, 3);
-    table.add_row({dataset::to_string(policy), core::MarkdownTable::pct(m.accuracy),
-                   core::MarkdownTable::pct(m.macro_f1),
-                   audit.clean() ? "clean" : "LEAKY"});
-    std::fprintf(stderr, "[splits] %s: %s\n", dataset::to_string(policy).c_str(),
-                 m.to_string().c_str());
-  }
+  auto add_policy_row = [&](const std::string& name, auto make_split) {
+    core::CellSpec spec{"ablation_splits", name, "rf",
+                        core::generic_cell_key({"ablation_splits", name, "seed=3"})};
+    auto outcome = sup.run_cell(spec, [&](core::CellContext& ctx) {
+      auto split = make_split();
+      auto audit = dataset::audit_split(ds, split);
+      auto s = core::summarize(rf_under_split(ds, split, 3, ctx.cancel));
+      s.extra.set("audit_clean", core::Json(audit.clean()));
+      return s;
+    });
+    std::string audit_text = "?";
+    if (outcome.ok()) {
+      const core::Json* clean = outcome.summary.extra.find("audit_clean");
+      audit_text = clean && clean->bool_or(false) ? "clean" : "LEAKY";
+    }
+    table.add_row({name, bench::cell_pct_ac(outcome), bench::cell_pct_f1(outcome),
+                   core::RunSupervisor::format_cell(outcome, audit_text)});
+  };
+
+  for (auto policy : {dataset::SplitPolicy::PerPacket, dataset::SplitPolicy::PerFlow})
+    add_policy_row(dataset::to_string(policy), [&, policy] {
+      dataset::SplitOptions opts;
+      opts.policy = policy;
+      return dataset::split_dataset(ds, opts);
+    });
 
   for (auto policy :
        {dataset::AdvancedSplitPolicy::PerClient, dataset::AdvancedSplitPolicy::PerTime,
-        dataset::AdvancedSplitPolicy::PerSession}) {
-    dataset::AdvancedSplitOptions opts;
-    opts.policy = policy;
-    auto split = dataset::advanced_split(ds, opts);
-    auto audit = dataset::audit_split(ds, split);
-    auto m = rf_under_split(ds, split, 3);
-    table.add_row({dataset::to_string(policy), core::MarkdownTable::pct(m.accuracy),
-                   core::MarkdownTable::pct(m.macro_f1),
-                   audit.clean() ? "clean" : "LEAKY"});
-    std::fprintf(stderr, "[splits] %s: %s\n", dataset::to_string(policy).c_str(),
-                 m.to_string().c_str());
-  }
+        dataset::AdvancedSplitPolicy::PerSession})
+    add_policy_row(dataset::to_string(policy), [&, policy] {
+      dataset::AdvancedSplitOptions opts;
+      opts.policy = policy;
+      return dataset::advanced_split(ds, opts);
+    });
 
   core::print_table(
       "Ablation — RF baseline (VPN-app) under five split policies (extension of "
       "paper §4.1)",
       table);
-  return 0;
+  return sup.finalize() ? 0 : 1;
 }

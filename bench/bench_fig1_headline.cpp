@@ -7,32 +7,32 @@
 
 using namespace sugar;
 
-int main() {
+int main(int argc, char** argv) {
+  auto sup = bench::make_supervisor("fig1", argc, argv);
   core::BenchmarkEnv env;
   const auto task = dataset::TaskId::Tls120;
 
   core::MarkdownTable table{
       {"Model", "per-packet unfrozen", "per-flow unfrozen", "per-flow frozen"}};
 
+  const struct {
+    const char* name;
+    dataset::SplitPolicy split;
+    bool frozen;
+  } regimes[] = {{"per-packet unfrozen", dataset::SplitPolicy::PerPacket, false},
+                 {"per-flow unfrozen", dataset::SplitPolicy::PerFlow, false},
+                 {"per-flow frozen", dataset::SplitPolicy::PerFlow, true}};
+
   auto deep_row = [&](replearn::ModelKind kind) {
     std::vector<std::string> row{replearn::to_string(kind)};
-    const struct {
-      dataset::SplitPolicy split;
-      bool frozen;
-    } regimes[] = {{dataset::SplitPolicy::PerPacket, false},
-                   {dataset::SplitPolicy::PerFlow, false},
-                   {dataset::SplitPolicy::PerFlow, true}};
     for (auto regime : regimes) {
       core::ScenarioOptions opts;
       opts.split = regime.split;
       opts.frozen = regime.frozen;
-      auto r = core::run_packet_scenario(env, task, kind, opts);
-      row.push_back(core::MarkdownTable::pct(r.metrics.accuracy));
-      std::fprintf(stderr, "[fig1] %s %s %s: %s\n",
-                   replearn::to_string(kind).c_str(),
-                   dataset::to_string(regime.split).c_str(),
-                   regime.frozen ? "frozen" : "unfrozen",
-                   r.metrics.to_string().c_str());
+      auto outcome = bench::run_packet_cell(sup, env, "fig1",
+                                            replearn::to_string(kind), regime.name,
+                                            task, kind, opts);
+      row.push_back(bench::cell_pct_ac(outcome));
     }
     return row;
   };
@@ -43,15 +43,13 @@ int main() {
 
   {
     std::vector<std::string> row{"Shallow RF"};
-    for (auto split : {dataset::SplitPolicy::PerPacket, dataset::SplitPolicy::PerFlow,
-                       dataset::SplitPolicy::PerFlow}) {
+    for (auto regime : regimes) {
       core::ScenarioOptions opts;
-      opts.split = split;
-      auto r = core::run_shallow_scenario(env, task, core::ShallowKind::RandomForest,
-                                          true, opts);
-      row.push_back(core::MarkdownTable::pct(r.metrics.accuracy));
-      std::fprintf(stderr, "[fig1] RF %s: %s\n", dataset::to_string(split).c_str(),
-                   r.metrics.to_string().c_str());
+      opts.split = regime.split;
+      auto outcome =
+          bench::run_shallow_cell(sup, env, "fig1", "Shallow RF", regime.name, task,
+                                  core::ShallowKind::RandomForest, true, opts);
+      row.push_back(bench::cell_pct_ac(outcome));
     }
     table.add_row(std::move(row));
   }
@@ -59,5 +57,5 @@ int main() {
   core::print_table(
       "Figure 1 — Headline: TLS-120 packet accuracy across evaluation regimes",
       table);
-  return 0;
+  return sup.finalize() ? 0 : 1;
 }

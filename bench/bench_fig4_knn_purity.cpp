@@ -7,37 +7,58 @@
 
 using namespace sugar;
 
-int main() {
+int main(int argc, char** argv) {
+  auto sup = bench::make_supervisor("fig4", argc, argv);
   core::BenchmarkEnv env;
   const auto task = dataset::TaskId::Tls120;
   const auto model = replearn::ModelKind::EtBert;
 
   core::MarkdownTable table{{"Same-class neighbours (of 5)", "Frozen", "Unfrozen"}};
-  ml::PurityHistogram hist[2];
+  core::CellOutcome outcomes[2];
 
   for (int i = 0; i < 2; ++i) {
     core::ScenarioOptions opts;
     opts.split = dataset::SplitPolicy::PerPacket;
     opts.frozen = i == 0;
     opts.export_embeddings = 2000;
-    auto r = core::run_packet_scenario(env, task, model, opts);
-    hist[i] = core::purity_of(r);
-    std::fprintf(stderr, "[fig4] %s: %s, mean purity %.3f\n",
-                 opts.frozen ? "frozen" : "unfrozen", r.metrics.to_string().c_str(),
-                 hist[i].mean_purity);
+    // The purity histogram rides in `extra` so a journaled cell still
+    // renders without recomputing the embeddings.
+    core::CellSpec spec{"fig4", opts.frozen ? "frozen" : "unfrozen", "purity",
+                        core::scenario_cell_key(task, "etbert:purity", opts)};
+    outcomes[i] = sup.run_cell(spec, [&](core::CellContext& ctx) {
+      core::ScenarioOptions o = opts;
+      ctx.apply(o);
+      auto r = core::run_packet_scenario(env, task, model, o);
+      auto hist = core::purity_of(r);
+      auto s = core::summarize(r);
+      core::Json h = core::Json::array();
+      for (double bin : hist.histogram) h.push(core::Json(bin));
+      s.extra.set("histogram", h);
+      s.extra.set("mean_purity", core::Json(hist.mean_purity));
+      return s;
+    });
   }
 
-  for (int k = 0; k <= 5; ++k) {
-    table.add_row({std::to_string(k),
-                   core::MarkdownTable::pct(hist[0].histogram[static_cast<std::size_t>(k)]),
-                   core::MarkdownTable::pct(hist[1].histogram[static_cast<std::size_t>(k)])});
-  }
-  table.add_row({"mean purity", core::MarkdownTable::pct(hist[0].mean_purity),
-                 core::MarkdownTable::pct(hist[1].mean_purity)});
+  auto hist_cell = [](const core::CellOutcome& o, std::size_t k) {
+    if (!o.ok()) return core::RunSupervisor::format_cell(o);
+    const core::Json* h = o.summary.extra.find("histogram");
+    double v = h && k < h->items().size() ? h->items()[k].number_or(0) : 0;
+    return core::MarkdownTable::pct(v);
+  };
+  auto mean_cell = [](const core::CellOutcome& o) {
+    if (!o.ok()) return core::RunSupervisor::format_cell(o);
+    const core::Json* m = o.summary.extra.find("mean_purity");
+    return core::MarkdownTable::pct(m ? m->number_or(0) : 0);
+  };
+
+  for (std::size_t k = 0; k <= 5; ++k)
+    table.add_row({std::to_string(k), hist_cell(outcomes[0], k),
+                   hist_cell(outcomes[1], k)});
+  table.add_row({"mean purity", mean_cell(outcomes[0]), mean_cell(outcomes[1])});
 
   core::print_table(
       "Figure 4 — 5-NN purity of ET-BERT-analog embeddings (TLS-120, per-packet "
       "split, % of points)",
       table);
-  return 0;
+  return sup.finalize() ? 0 : 1;
 }

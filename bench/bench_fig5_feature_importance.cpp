@@ -8,27 +8,61 @@
 
 using namespace sugar;
 
-int main() {
+int main(int argc, char** argv) {
+  auto sup = bench::make_supervisor("fig5", argc, argv);
   core::BenchmarkEnv env;
   const auto task = dataset::TaskId::Tls120;
 
   for (bool include_ip : {true, false}) {
     core::ScenarioOptions opts;
     opts.split = dataset::SplitPolicy::PerPacket;
-    auto r = core::run_shallow_scenario(env, task, core::ShallowKind::RandomForest,
-                                        include_ip, opts);
-    auto ranked = ml::ranked_importance(r.feature_importance, r.feature_names);
+    // The ranked top-10 importances ride in `extra` so journaled cells
+    // still render the figure.
+    core::CellSpec spec{
+        "fig5", include_ip ? "with IP" : "without IP", "importance",
+        core::generic_cell_key({"fig5", "rf-importance",
+                                include_ip ? "ip" : "noip",
+                                std::to_string(opts.seed)})};
+    auto outcome = sup.run_cell(spec, [&](core::CellContext& ctx) {
+      core::ScenarioOptions o = opts;
+      ctx.apply(o);
+      auto r = core::run_shallow_scenario(env, task, core::ShallowKind::RandomForest,
+                                          include_ip, o);
+      auto ranked = ml::ranked_importance(r.feature_importance, r.feature_names);
+      auto s = core::summarize(r);
+      core::Json top = core::Json::array();
+      for (std::size_t i = 0; i < std::min<std::size_t>(10, ranked.size()); ++i) {
+        core::Json item = core::Json::object();
+        item.set("feature", core::Json(ranked[i].first));
+        item.set("importance", core::Json(ranked[i].second));
+        top.push(item);
+      }
+      s.extra.set("top_features", top);
+      return s;
+    });
 
     core::MarkdownTable table{{"Feature", "Importance"}};
-    for (std::size_t i = 0; i < std::min<std::size_t>(10, ranked.size()); ++i)
-      table.add_row({ranked[i].first, core::MarkdownTable::num(ranked[i].second, 3)});
+    std::string accuracy_text;
+    if (outcome.ok()) {
+      accuracy_text = core::MarkdownTable::pct(outcome.summary.accuracy);
+      if (const core::Json* top = outcome.summary.extra.find("top_features"))
+        for (const core::Json& item : top->items()) {
+          const core::Json* feature = item.find("feature");
+          const core::Json* importance = item.find("importance");
+          table.add_row({feature ? feature->string_or("?") : "?",
+                         core::MarkdownTable::num(
+                             importance ? importance->number_or(0) : 0, 3)});
+        }
+    } else {
+      accuracy_text = core::RunSupervisor::format_cell(outcome);
+      table.add_row({core::RunSupervisor::format_cell(outcome), "-"});
+    }
 
     std::string title = std::string("Figure 5 — RF feature importance, TLS-120, "
                                     "per-packet split, ") +
                         (include_ip ? "with IP" : "without IP") +
-                        " (accuracy " + core::MarkdownTable::pct(r.metrics.accuracy) +
-                        "%)";
+                        " (accuracy " + accuracy_text + "%)";
     core::print_table(title, table);
   }
-  return 0;
+  return sup.finalize() ? 0 : 1;
 }

@@ -7,50 +7,71 @@
 
 using namespace sugar;
 
-int main() {
+int main(int argc, char** argv) {
+  auto sup = bench::make_supervisor("fig6", argc, argv);
   core::BenchmarkEnv env;
   const auto task = dataset::TaskId::VpnApp;
 
   // Baseline: Random Forest.
   core::ScenarioOptions opts;
   opts.split = dataset::SplitPolicy::PerFlow;
-  auto rf = core::run_shallow_scenario(env, task, core::ShallowKind::RandomForest,
-                                       true, opts);
-  std::fprintf(stderr, "[fig6] RF: train %.2fs test %.2fs\n", rf.train_seconds,
-               rf.test_seconds);
+  auto rf = bench::run_shallow_cell(sup, env, "fig6", "RF", "baseline", task,
+                                    core::ShallowKind::RandomForest, true, opts);
+  const double rf_train = rf.ok() && rf.summary.train_seconds > 0
+                              ? rf.summary.train_seconds
+                              : 1.0;
+  const double rf_test =
+      rf.ok() && rf.summary.test_seconds > 0 ? rf.summary.test_seconds : 1.0;
 
   core::MarkdownTable table{{"Model", "Train x (frozen)", "Train x (unfrozen)",
                              "Inference x", "Params"}};
-  table.add_row({"RF (baseline)", "1.0", "-", "1.0", "-"});
+  table.add_row({"RF (baseline)", rf.ok() ? "1.0" : bench::cell_ac_f1(rf), "-",
+                 rf.ok() ? "1.0" : bench::cell_ac_f1(rf), "-"});
 
   for (auto kind : replearn::all_model_kinds()) {
-    double train_frozen = 0, train_unfrozen = 0, infer = 0;
-    std::size_t params = 0;
+    core::CellOutcome frozen_outcome, unfrozen_outcome;
     for (bool frozen : {true, false}) {
       core::ScenarioOptions dopts;
       dopts.split = dataset::SplitPolicy::PerFlow;
       dopts.frozen = frozen;
-      auto r = core::run_packet_scenario(env, task, kind, dopts);
-      (frozen ? train_frozen : train_unfrozen) = r.train_seconds;
-      infer = r.test_seconds;
-      std::fprintf(stderr, "[fig6] %s %s: train %.2fs test %.2fs\n",
-                   replearn::to_string(kind).c_str(), frozen ? "frozen" : "unfrozen",
-                   r.train_seconds, r.test_seconds);
+      core::CellSpec spec{
+          "fig6", replearn::to_string(kind), frozen ? "frozen" : "unfrozen",
+          core::scenario_cell_key(task, "timing:" + replearn::to_string(kind),
+                                  dopts)};
+      auto outcome = sup.run_cell(spec, [&](core::CellContext& ctx) {
+        core::ScenarioOptions o = dopts;
+        ctx.apply(o);
+        auto s = core::summarize(core::run_packet_scenario(env, task, kind, o));
+        // The bundle is pre-trained (and cached) by now; record its size.
+        s.extra.set("params",
+                    core::Json(env.pretrained(kind, replearn::TaskMode::Packet,
+                                              ctx.cancel)
+                                   .encoder->param_count()));
+        return s;
+      });
+      (frozen ? frozen_outcome : unfrozen_outcome) = outcome;
     }
-    {
-      auto bundle = env.pretrained(kind, replearn::TaskMode::Packet);
-      params = bundle.encoder->param_count();
-    }
-    table.add_row({replearn::to_string(kind),
-                   core::MarkdownTable::num(train_frozen / rf.train_seconds, 1),
-                   core::MarkdownTable::num(train_unfrozen / rf.train_seconds, 1),
-                   core::MarkdownTable::num(infer / rf.test_seconds, 1),
-                   std::to_string(params)});
+
+    auto ratio = [&](const core::CellOutcome& o, double seconds, double base) {
+      return core::RunSupervisor::format_cell(
+          o, core::MarkdownTable::num(seconds / base, 1));
+    };
+    std::string params = "-";
+    for (const auto* o : {&frozen_outcome, &unfrozen_outcome})
+      if (o->ok())
+        if (const core::Json* p = o->summary.extra.find("params"))
+          params = std::to_string(static_cast<std::size_t>(p->number_or(0)));
+    table.add_row(
+        {replearn::to_string(kind),
+         ratio(frozen_outcome, frozen_outcome.summary.train_seconds, rf_train),
+         ratio(unfrozen_outcome, unfrozen_outcome.summary.train_seconds, rf_train),
+         ratio(unfrozen_outcome, unfrozen_outcome.summary.test_seconds, rf_test),
+         params});
   }
 
   core::print_table(
       "Figure 6 — Training/inference time relative to the RF baseline (VPN-app, "
       "per-flow split)",
       table);
-  return 0;
+  return sup.finalize() ? 0 : 1;
 }

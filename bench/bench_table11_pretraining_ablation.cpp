@@ -9,7 +9,8 @@ using namespace sugar;
 
 namespace {
 
-replearn::ModelBundle make_variant(core::BenchmarkEnv& env, bool ae, bool qa) {
+replearn::ModelBundle make_variant(core::BenchmarkEnv& env, bool ae, bool qa,
+                                   const ml::CancelToken* cancel) {
   replearn::ModelBundle b = replearn::make_model(replearn::ModelKind::PcapEncoder,
                                                  replearn::TaskMode::Packet);
   replearn::PcapEncoderConfig cfg =
@@ -19,6 +20,7 @@ replearn::ModelBundle make_variant(core::BenchmarkEnv& env, bool ae, bool qa) {
   b.encoder = std::make_unique<replearn::PcapEncoder>(cfg);
   replearn::BackbonePretrainOptions opts;
   opts.pretrain.epochs = env.config().pretrain_epochs;
+  opts.pretrain.cancel = cancel;
   opts.max_samples = env.config().pretrain_max_samples;
   opts.seed = env.config().seed ^ 0x11E;
   pretrain_on_backbone(b, env.backbone(), opts);
@@ -27,7 +29,8 @@ replearn::ModelBundle make_variant(core::BenchmarkEnv& env, bool ae, bool qa) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto sup = bench::make_supervisor("table11", argc, argv);
   core::BenchmarkEnv env;
 
   core::MarkdownTable table{
@@ -46,15 +49,20 @@ int main() {
   for (const auto& v : variants) {
     std::vector<std::string> row{v.name};
     for (auto task : bench::kHardTasks) {
-      auto bundle = make_variant(env, v.ae, v.qa);
-      core::ScenarioOptions opts;
-      opts.split = dataset::SplitPolicy::PerFlow;
-      opts.frozen = true;
-      auto r = core::run_packet_scenario_with_bundle(env, task, std::move(bundle), opts);
-      row.push_back(core::MarkdownTable::pct(r.metrics.accuracy));
-      row.push_back(core::MarkdownTable::pct(r.metrics.macro_f1));
-      std::fprintf(stderr, "[table11] %s %s: %s\n", v.name,
-                   dataset::to_string(task).c_str(), r.metrics.to_string().c_str());
+      core::CellSpec spec{
+          "table11", v.name, dataset::to_string(task),
+          core::generic_cell_key({"table11", v.name, dataset::to_string(task)})};
+      auto outcome = sup.run_cell(spec, [&](core::CellContext& ctx) {
+        auto bundle = make_variant(env, v.ae, v.qa, ctx.cancel);
+        core::ScenarioOptions opts;
+        opts.split = dataset::SplitPolicy::PerFlow;
+        opts.frozen = true;
+        ctx.apply(opts);
+        return core::summarize(
+            core::run_packet_scenario_with_bundle(env, task, std::move(bundle), opts));
+      });
+      row.push_back(bench::cell_pct_ac(outcome));
+      row.push_back(bench::cell_pct_f1(outcome));
     }
     table.add_row(std::move(row));
   }
@@ -62,5 +70,5 @@ int main() {
   core::print_table(
       "Table 11 — Pcap-Encoder pre-training ablation (per-flow split, frozen)",
       table);
-  return 0;
+  return sup.finalize() ? 0 : 1;
 }

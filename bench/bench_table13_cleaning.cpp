@@ -5,7 +5,8 @@
 
 using namespace sugar;
 
-int main() {
+int main(int argc, char** argv) {
+  auto sup = bench::make_supervisor("table13", argc, argv);
   core::BenchmarkEnv env;
 
   const std::pair<dataset::SourceDataset, const char*> sources[] = {
@@ -13,57 +14,84 @@ int main() {
       {dataset::SourceDataset::UstcTfc, "USTC-TFC"},
       {dataset::SourceDataset::CstnTls, "CSTN-TLS1.3"},
   };
+  constexpr auto kCats = static_cast<std::size_t>(net::SpuriousCategory::kCount);
 
-  core::MarkdownTable table{{"Category", "ISCX-VPN", "USTC-TFC", "CSTN-TLS1.3"}};
+  // One census cell per source dataset; the per-category counts travel in
+  // the cell's `extra` so a resumed run can still render the table.
+  std::vector<core::CellOutcome> outcomes;
+  for (auto [src, name] : sources) {
+    core::CellSpec spec{"table13", name, "census",
+                        core::generic_cell_key({"table13", name})};
+    outcomes.push_back(sup.run_cell(spec, [&, src = src](core::CellContext&) {
+      const auto& r = env.cleaning_report(src);
+      core::CellSummary s;
+      core::Json cats = core::Json::array();
+      for (std::size_t cat = 0; cat < kCats; ++cat)
+        cats.push(core::Json(r.removed_by_category[cat]));
+      s.extra.set("removed_by_category", cats);
+      s.extra.set("total_packets", core::Json(r.total_packets));
+      s.extra.set("removed_malformed", core::Json(r.removed_malformed));
+      s.extra.set("removed_spurious_total", core::Json(r.removed_spurious_total()));
+      return s;
+    }));
+  }
 
-  // Collect all three reports (also forces generation+cleaning).
-  std::vector<const dataset::CleaningReport*> reports;
-  for (auto [src, name] : sources) reports.push_back(&env.cleaning_report(src));
-
-  auto cell = [](const dataset::CleaningReport& r, std::size_t cat) {
-    std::size_t n = r.removed_by_category[cat];
+  auto extra_num = [](const core::CellOutcome& o, const char* key) -> double {
+    const core::Json* v = o.summary.extra.find(key);
+    return v ? v->number_or(0) : 0;
+  };
+  auto category_count = [](const core::CellOutcome& o, std::size_t cat) -> double {
+    const core::Json* cats = o.summary.extra.find("removed_by_category");
+    if (!cats || cat >= cats->items().size()) return 0;
+    return cats->items()[cat].number_or(0);
+  };
+  auto count_cell = [&](const core::CellOutcome& o, double n) {
+    if (!o.ok()) return core::RunSupervisor::format_cell(o);
     if (n == 0) return std::string("0");
-    double pct = 100.0 * static_cast<double>(n) / static_cast<double>(r.total_packets);
+    double total = extra_num(o, "total_packets");
     char buf[48];
-    std::snprintf(buf, sizeof buf, "%zu (%.2f%%)", n, pct);
+    std::snprintf(buf, sizeof buf, "%zu (%.2f%%)", static_cast<std::size_t>(n),
+                  total > 0 ? 100.0 * n / total : 0.0);
     return std::string(buf);
   };
 
-  for (std::size_t cat = 1;
-       cat < static_cast<std::size_t>(net::SpuriousCategory::kCount); ++cat) {
+  core::MarkdownTable table{{"Category", "ISCX-VPN", "USTC-TFC", "CSTN-TLS1.3"}};
+
+  for (std::size_t cat = 1; cat < kCats; ++cat) {
     std::vector<std::string> row{
         net::to_string(static_cast<net::SpuriousCategory>(cat))};
     bool any = false;
-    for (const auto* r : reports) {
-      row.push_back(cell(*r, cat));
-      any = any || r->removed_by_category[cat] > 0;
+    for (const auto& o : outcomes) {
+      double n = category_count(o, cat);
+      row.push_back(count_cell(o, n));
+      any = any || !o.ok() || n > 0;
     }
     if (any) table.add_row(std::move(row));
   }
   {
     std::vector<std::string> row{"TOTAL"};
-    for (const auto* r : reports) {
-      char buf[48];
-      std::snprintf(buf, sizeof buf, "%zu (%.2f%%)", r->removed_spurious_total(),
-                    100.0 * r->removed_spurious_fraction());
-      row.emplace_back(buf);
-    }
+    for (const auto& o : outcomes)
+      row.push_back(count_cell(o, extra_num(o, "removed_spurious_total")));
     table.add_row(std::move(row));
   }
-
   {
     std::vector<std::string> row{"Malformed frames"};
-    for (const auto* r : reports) {
-      char buf[48];
-      std::snprintf(buf, sizeof buf, "%zu (%.2f%%)", r->removed_malformed,
-                    100.0 * r->malformed_fraction());
-      row.emplace_back(buf);
-    }
+    for (const auto& o : outcomes)
+      row.push_back(count_cell(o, extra_num(o, "removed_malformed")));
     table.add_row(std::move(row));
   }
 
   core::print_table("Table 13 — Extraneous-protocol filter census", table);
-  std::printf("\nIngestion health:\n");
-  core::print_ingest_summaries(reports);
-  return 0;
+
+  // Ingestion summaries only for the sources whose census succeeded (their
+  // reports are cached by now; a failed source would just throw again).
+  std::vector<const dataset::CleaningReport*> reports;
+  for (std::size_t i = 0; i < outcomes.size(); ++i)
+    if (outcomes[i].status == core::CellStatus::kOk)
+      reports.push_back(&env.cleaning_report(sources[i].first));
+  if (!reports.empty()) {
+    std::printf("\nIngestion health:\n");
+    core::print_ingest_summaries(reports);
+  }
+  return sup.finalize() ? 0 : 1;
 }

@@ -6,30 +6,52 @@
 
 using namespace sugar;
 
-int main() {
+int main(int argc, char** argv) {
+  auto sup = bench::make_supervisor("table2", argc, argv);
   core::BenchmarkEnv env;
 
   core::MarkdownTable table{
       {"Dataset", "Task", "#Class", "#Train (balanced)", "#Test", "#Flows"}};
 
   for (auto task : bench::kAllTasks) {
-    const auto& ds = env.task_dataset(task);
-    dataset::SplitOptions so;
-    so.policy = dataset::SplitPolicy::PerFlow;
-    auto split = dataset::split_dataset(ds, so);
-    auto train = dataset::balance_train(ds, split.train, 2);
-
     const char* src = "";
     switch (dataset::source_of(task)) {
       case dataset::SourceDataset::IscxVpn: src = "ISCX-VPN"; break;
       case dataset::SourceDataset::UstcTfc: src = "USTC-TFC"; break;
       case dataset::SourceDataset::CstnTls: src = "CSTN-TLS1.3"; break;
     }
-    table.add_row({src, dataset::to_string(task), std::to_string(ds.num_classes),
-                   std::to_string(train.size()), std::to_string(split.test.size()),
-                   std::to_string(ds.flows().size())});
+
+    core::CellSpec spec{"table2", dataset::to_string(task), "stats",
+                        core::generic_cell_key({"table2", dataset::to_string(task)})};
+    auto outcome = sup.run_cell(spec, [&](core::CellContext&) {
+      const auto& ds = env.task_dataset(task);
+      dataset::SplitOptions so;
+      so.policy = dataset::SplitPolicy::PerFlow;
+      auto split = dataset::split_dataset(ds, so);
+      auto train = dataset::balance_train(ds, split.train, 2);
+
+      core::CellSummary s;
+      s.n_train = train.size();
+      s.n_test = split.test.size();
+      s.extra.set("classes", core::Json(ds.num_classes));
+      s.extra.set("flows", core::Json(ds.flows().size()));
+      return s;
+    });
+
+    if (outcome.ok()) {
+      auto extra_num = [&](const char* key) {
+        const core::Json* v = outcome.summary.extra.find(key);
+        return std::to_string(static_cast<std::size_t>(v ? v->number_or(0) : 0));
+      };
+      table.add_row({src, dataset::to_string(task), extra_num("classes"),
+                     std::to_string(outcome.summary.n_train),
+                     std::to_string(outcome.summary.n_test), extra_num("flows")});
+    } else {
+      auto failed = core::RunSupervisor::format_cell(outcome);
+      table.add_row({src, dataset::to_string(task), failed, failed, failed, failed});
+    }
   }
 
   core::print_table("Table 2 — Downstream datasets and tasks", table);
-  return 0;
+  return sup.finalize() ? 0 : 1;
 }

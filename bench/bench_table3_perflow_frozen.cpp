@@ -6,7 +6,8 @@
 
 using namespace sugar;
 
-int main() {
+int main(int argc, char** argv) {
+  auto sup = bench::make_supervisor("table3", argc, argv);
   core::BenchmarkEnv env;
 
   std::vector<std::string> header{"Model"};
@@ -20,12 +21,10 @@ int main() {
       core::ScenarioOptions opts;
       opts.split = dataset::SplitPolicy::PerFlow;
       opts.frozen = true;
-      auto r = core::run_packet_scenario(env, task, kind, opts);
-      row.push_back(bench::ac_f1(r.metrics));
-      std::fprintf(stderr, "[table3] %s %s: %s (train %.1fs, audit %s)\n",
-                   replearn::to_string(kind).c_str(),
-                   dataset::to_string(task).c_str(), r.metrics.to_string().c_str(),
-                   r.train_seconds, r.audit.clean() ? "clean" : "LEAKY");
+      auto outcome =
+          bench::run_packet_cell(sup, env, "table3", replearn::to_string(kind),
+                                 dataset::to_string(task), task, kind, opts);
+      row.push_back(bench::cell_ac_f1(outcome));
     }
     table.add_row(std::move(row));
   }
@@ -33,5 +32,5 @@ int main() {
   core::print_table(
       "Table 3 — Packet classification, per-flow split, frozen encoders", table);
   bench::print_ingest(env, bench::kAllTasks);
-  return 0;
+  return sup.finalize() ? 0 : 1;
 }

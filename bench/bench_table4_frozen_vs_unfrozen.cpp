@@ -6,7 +6,8 @@
 
 using namespace sugar;
 
-int main() {
+int main(int argc, char** argv) {
+  auto sup = bench::make_supervisor("table4", argc, argv);
   core::BenchmarkEnv env;
 
   core::MarkdownTable table{{"Model", "VPN-app frozen", "VPN-app unfrozen",
@@ -19,12 +20,11 @@ int main() {
         core::ScenarioOptions opts;
         opts.split = dataset::SplitPolicy::PerFlow;
         opts.frozen = frozen;
-        auto r = core::run_packet_scenario(env, task, kind, opts);
-        row.push_back(bench::ac_f1(r.metrics));
-        std::fprintf(stderr, "[table4] %s %s %s: %s\n",
-                     replearn::to_string(kind).c_str(),
-                     dataset::to_string(task).c_str(), frozen ? "frozen" : "unfrozen",
-                     r.metrics.to_string().c_str());
+        auto outcome = bench::run_packet_cell(
+            sup, env, "table4", replearn::to_string(kind),
+            dataset::to_string(task) + (frozen ? " frozen" : " unfrozen"), task,
+            kind, opts);
+        row.push_back(bench::cell_ac_f1(outcome));
       }
     }
     table.add_row(std::move(row));
@@ -32,5 +32,5 @@ int main() {
 
   core::print_table("Table 4 — Per-flow split, frozen vs unfrozen encoders (AC/F1)",
                     table);
-  return 0;
+  return sup.finalize() ? 0 : 1;
 }

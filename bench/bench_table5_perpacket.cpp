@@ -7,7 +7,8 @@
 
 using namespace sugar;
 
-int main() {
+int main(int argc, char** argv) {
+  auto sup = bench::make_supervisor("table5", argc, argv);
   core::BenchmarkEnv env;
 
   core::MarkdownTable table{{"Model", "VPN-app frozen", "VPN-app unfrozen",
@@ -20,17 +21,16 @@ int main() {
         core::ScenarioOptions opts;
         opts.split = dataset::SplitPolicy::PerPacket;
         opts.frozen = frozen;
-        auto r = core::run_packet_scenario(env, task, kind, opts);
-        row.push_back(bench::ac_f1(r.metrics));
-        std::fprintf(stderr, "[table5] %s %s %s: %s (audit: %s)\n",
-                     replearn::to_string(kind).c_str(),
-                     dataset::to_string(task).c_str(), frozen ? "frozen" : "unfrozen",
-                     r.metrics.to_string().c_str(), r.audit.to_string().c_str());
+        auto outcome = bench::run_packet_cell(
+            sup, env, "table5", replearn::to_string(kind),
+            dataset::to_string(task) + (frozen ? " frozen" : " unfrozen"), task,
+            kind, opts);
+        row.push_back(bench::cell_ac_f1(outcome));
       }
     }
     table.add_row(std::move(row));
   }
 
   core::print_table("Table 5 — Per-packet split (the flawed setting), AC/F1", table);
-  return 0;
+  return sup.finalize() ? 0 : 1;
 }

@@ -7,7 +7,8 @@
 
 using namespace sugar;
 
-int main() {
+int main(int argc, char** argv) {
+  auto sup = bench::make_supervisor("table6", argc, argv);
   core::BenchmarkEnv env;
   const auto model = replearn::ModelKind::EtBert;
   const auto task = dataset::TaskId::Tls120;
@@ -16,12 +17,10 @@ int main() {
 
   auto run = [&](const char* scenario, const char* variant,
                  const core::ScenarioOptions& opts) {
-    auto r = core::run_packet_scenario(env, task, model, opts);
-    table.add_row({scenario, variant,
-                   core::MarkdownTable::pct(r.metrics.accuracy),
-                   core::MarkdownTable::pct(r.metrics.macro_f1)});
-    std::fprintf(stderr, "[table6] %s / %s: %s\n", scenario, variant,
-                 r.metrics.to_string().c_str());
+    auto outcome =
+        bench::run_packet_cell(sup, env, "table6", scenario, variant, task, model, opts);
+    table.add_row({scenario, variant, bench::cell_pct_ac(outcome),
+                   bench::cell_pct_f1(outcome)});
   };
 
   core::ScenarioOptions base;
@@ -50,5 +49,5 @@ int main() {
   core::print_table(
       "Table 6 — Implicit-flow-id ablation, unfrozen ET-BERT analog, TLS-120",
       table);
-  return 0;
+  return sup.finalize() ? 0 : 1;
 }

@@ -7,7 +7,8 @@
 
 using namespace sugar;
 
-int main() {
+int main(int argc, char** argv) {
+  auto sup = bench::make_supervisor("table7", argc, argv);
   core::BenchmarkEnv env;
   const auto model = replearn::ModelKind::PcapEncoder;
 
@@ -32,15 +33,15 @@ int main() {
       opts.frozen = true;
       opts.train_ablation = v.spec;
       opts.test_ablation = v.spec;
-      auto r = core::run_packet_scenario(env, task, model, opts);
-      row.push_back(core::MarkdownTable::pct(r.metrics.macro_f1));
-      std::fprintf(stderr, "[table7] %s %s: %s\n", v.name,
-                   dataset::to_string(task).c_str(), r.metrics.to_string().c_str());
+      auto outcome = bench::run_packet_cell(sup, env, "table7", v.name,
+                                            dataset::to_string(task), task, model,
+                                            opts);
+      row.push_back(bench::cell_pct_f1(outcome));
     }
     table.add_row(std::move(row));
   }
 
   core::print_table(
       "Table 7 — Pcap-Encoder ablation (per-flow split, frozen, macro F1)", table);
-  return 0;
+  return sup.finalize() ? 0 : 1;
 }

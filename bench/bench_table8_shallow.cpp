@@ -6,7 +6,8 @@
 
 using namespace sugar;
 
-int main() {
+int main(int argc, char** argv) {
+  auto sup = bench::make_supervisor("table8", argc, argv);
   core::BenchmarkEnv env;
 
   core::MarkdownTable table{{"Model", "VPN-app base", "VPN-app w/o IP",
@@ -22,11 +23,11 @@ int main() {
       for (bool include_ip : {true, false}) {
         core::ScenarioOptions opts;
         opts.split = dataset::SplitPolicy::PerFlow;
-        auto r = core::run_shallow_scenario(env, task, kind, include_ip, opts);
-        row.push_back(core::MarkdownTable::pct(r.metrics.macro_f1));
-        std::fprintf(stderr, "[table8] %s %s ip=%d: %s (train %.1fs)\n",
-                     core::to_string(kind).c_str(), dataset::to_string(task).c_str(),
-                     include_ip, r.metrics.to_string().c_str(), r.train_seconds);
+        auto outcome = bench::run_shallow_cell(
+            sup, env, "table8", core::to_string(kind),
+            dataset::to_string(task) + (include_ip ? " base" : " w/o IP"), task,
+            kind, include_ip, opts);
+        row.push_back(bench::cell_pct_f1(outcome));
       }
     }
     table.add_row(std::move(row));
@@ -35,5 +36,5 @@ int main() {
   core::print_table(
       "Table 8 — Shallow baselines on header features (per-flow split, macro F1)",
       table);
-  return 0;
+  return sup.finalize() ? 0 : 1;
 }

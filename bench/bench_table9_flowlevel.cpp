@@ -6,7 +6,8 @@
 
 using namespace sugar;
 
-int main() {
+int main(int argc, char** argv) {
+  auto sup = bench::make_supervisor("table9", argc, argv);
   core::BenchmarkEnv env;
 
   core::MarkdownTable table{{"Model", "VPN-app frozen", "VPN-app unfrozen",
@@ -23,12 +24,11 @@ int main() {
         }
         core::ScenarioOptions opts;
         opts.frozen = frozen;
-        auto r = core::run_flow_scenario(env, task, kind, opts);
-        row.push_back(bench::ac_f1(r.metrics));
-        std::fprintf(stderr, "[table9] %s %s %s: %s (%zu train / %zu test flows)\n",
-                     replearn::to_string(kind).c_str(),
-                     dataset::to_string(task).c_str(), frozen ? "frozen" : "unfrozen",
-                     r.metrics.to_string().c_str(), r.n_train, r.n_test);
+        auto outcome = bench::run_flow_cell(
+            sup, env, "table9", replearn::to_string(kind),
+            dataset::to_string(task) + (frozen ? " frozen" : " unfrozen"), task,
+            kind, opts);
+        row.push_back(bench::cell_ac_f1(outcome));
       }
     }
     table.add_row(std::move(row));
@@ -36,5 +36,5 @@ int main() {
 
   core::print_table("Table 9 — Flow-level classification (per-flow split, AC/F1)",
                     table);
-  return 0;
+  return sup.finalize() ? 0 : 1;
 }

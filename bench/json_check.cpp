@@ -1,0 +1,72 @@
+// Validates a BENCH_<table>.json artifact: parses it with the same strict
+// Json parser the supervisor writes with and checks the schema essentials.
+// The bench_smoke ctest label chains this after each bench run, so a crash,
+// a torn write, or malformed output fails `ctest -L bench_smoke`.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/artifact.h"
+
+using sugar::core::Json;
+
+namespace {
+
+bool fail(const char* path, const char* why) {
+  std::fprintf(stderr, "json_check: %s: %s\n", path, why);
+  return false;
+}
+
+bool check(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail(path, "cannot open");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  auto doc = Json::parse(buf.str());
+  if (!doc) return fail(path, "not valid JSON");
+  if (!doc->is_object()) return fail(path, "top level is not an object");
+
+  const Json* schema = doc->find("schema_version");
+  if (!schema || schema->number_or(0) < 1)
+    return fail(path, "missing schema_version");
+  const Json* bench = doc->find("bench");
+  if (!bench || bench->string_or("").empty()) return fail(path, "missing bench");
+  const Json* health = doc->find("health");
+  if (!health || !health->is_object()) return fail(path, "missing health object");
+  const Json* cells = doc->find("cells");
+  if (!cells || !cells->is_array()) return fail(path, "missing cells array");
+
+  std::size_t declared =
+      static_cast<std::size_t>(health->find("cells")
+                                   ? health->find("cells")->number_or(0)
+                                   : 0);
+  if (declared != cells->items().size())
+    return fail(path, "health.cells disagrees with cells[] length");
+
+  for (const Json& cell : cells->items()) {
+    const Json* status = cell.find("status");
+    if (!status) return fail(path, "cell missing status");
+    const std::string& s = status->string_or("");
+    if (s == "ok") {
+      if (!cell.find("summary")) return fail(path, "ok cell missing summary");
+    } else if (s == "failed") {
+      if (!cell.find("error")) return fail(path, "failed cell missing error");
+    } else {
+      return fail(path, "cell status is neither ok nor failed");
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: json_check <BENCH_artifact.json>\n");
+    return 2;
+  }
+  if (!check(argv[1])) return 1;
+  std::printf("json_check: %s ok\n", argv[1]);
+  return 0;
+}

@@ -1,0 +1,341 @@
+#include "core/artifact.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace sugar::core {
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double n) {
+  if (!std::isfinite(n)) {
+    // JSON has no NaN/Inf; a diverged metric serializes as null.
+    out += "null";
+    return;
+  }
+  double integral;
+  if (std::modf(n, &integral) == 0.0 && std::fabs(n) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(n));
+    out += buf;
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", n);
+    out += buf;
+  }
+}
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+
+  bool consume(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) == word) {
+      pos += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos >= text.size()) return std::nullopt;
+        char e = text[pos++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return std::nullopt;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return std::nullopt;
+            }
+            // Artifacts are ASCII-producing; decode BMP code points as UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return std::nullopt;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Json> parse_value(int depth) {
+    if (depth > 64) return std::nullopt;
+    skip_ws();
+    if (pos >= text.size()) return std::nullopt;
+    char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      Json obj = Json::object();
+      skip_ws();
+      if (consume('}')) return obj;
+      while (true) {
+        skip_ws();
+        auto key = parse_string();
+        if (!key) return std::nullopt;
+        skip_ws();
+        if (!consume(':')) return std::nullopt;
+        auto value = parse_value(depth + 1);
+        if (!value) return std::nullopt;
+        obj.set(std::move(*key), std::move(*value));
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume('}')) return obj;
+        return std::nullopt;
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      Json arr = Json::array();
+      skip_ws();
+      if (consume(']')) return arr;
+      while (true) {
+        auto value = parse_value(depth + 1);
+        if (!value) return std::nullopt;
+        arr.push(std::move(*value));
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume(']')) return arr;
+        return std::nullopt;
+      }
+    }
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s) return std::nullopt;
+      return Json(std::move(*s));
+    }
+    if (literal("true")) return Json(true);
+    if (literal("false")) return Json(false);
+    if (literal("null")) return Json();
+    // Number.
+    std::size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    bool digits = false;
+    while (pos < text.size() &&
+           ((text[pos] >= '0' && text[pos] <= '9') || text[pos] == '.' ||
+            text[pos] == 'e' || text[pos] == 'E' || text[pos] == '-' ||
+            text[pos] == '+')) {
+      digits = digits || (text[pos] >= '0' && text[pos] <= '9');
+      ++pos;
+    }
+    if (!digits) return std::nullopt;
+    std::string num(text.substr(start, pos - start));
+    char* end = nullptr;
+    double v = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size()) return std::nullopt;
+    return Json(v);
+  }
+};
+
+}  // namespace
+
+Json& Json::set(std::string key, Json value) {
+  type_ = Type::kObject;
+  for (auto& [k, v] : obj_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  type_ = Type::kArray;
+  arr_.push_back(std::move(value));
+  return *this;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent < 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: append_number(out, num_); break;
+    case Type::kString: append_escaped(out, str_); break;
+    case Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        append_escaped(out, k);
+        out += indent < 0 ? ":" : ": ";
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!first) newline(depth);
+      out += '}';
+      break;
+    }
+    case Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const auto& v : arr_) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!first) newline(depth);
+      out += ']';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+std::optional<Json> Json::parse(std::string_view text) {
+  Parser p{text};
+  auto value = p.parse_value(0);
+  if (!value) return std::nullopt;
+  p.skip_ws();
+  if (p.pos != text.size()) return std::nullopt;  // trailing garbage
+  return value;
+}
+
+bool atomic_write_file(const std::string& path, std::string_view content,
+                       std::string* error) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      if (error) *error = "cannot open temp file " + tmp;
+      return false;
+    }
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) {
+      if (error) *error = "short write to temp file " + tmp;
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error) *error = "rename " + tmp + " -> " + path + " failed";
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::vector<Json> load_jsonl(const std::string& path, std::size_t* skipped) {
+  std::vector<Json> out;
+  if (skipped) *skipped = 0;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto value = Json::parse(line);
+    if (value) {
+      out.push_back(std::move(*value));
+    } else if (skipped) {
+      ++*skipped;  // torn line from a crashed writer: skip, never fatal
+    }
+  }
+  return out;
+}
+
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64 offset basis
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace sugar::core

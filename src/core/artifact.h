@@ -1,0 +1,105 @@
+// Crash-safe benchmark artifacts: a small ordered JSON value (builder,
+// serializer and parser — no external dependency), temp-file-then-rename
+// atomic writes, and a JSONL loader that tolerates a torn final line. The
+// supervisor uses these for its resume journal and the per-bench
+// BENCH_<table>.json result files; a crash mid-write can never leave a
+// truncated artifact in place of a good one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sugar::core {
+
+/// A JSON document node. Objects preserve insertion order so dumped
+/// artifacts are stable across runs (diffable).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Json() = default;
+  explicit Json(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit Json(double n) : type_(Type::kNumber), num_(n) {}
+  explicit Json(int n) : Json(static_cast<double>(n)) {}
+  explicit Json(std::size_t n) : Json(static_cast<double>(n)) {}
+  explicit Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  explicit Json(const char* s) : Json(std::string(s)) {}
+
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+
+  /// Object insert-or-replace; returns *this for chaining.
+  Json& set(std::string key, Json value);
+  /// Array append.
+  Json& push(Json value);
+
+  /// Object lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const;
+
+  [[nodiscard]] double number_or(double fallback) const {
+    return type_ == Type::kNumber ? num_ : fallback;
+  }
+  [[nodiscard]] bool bool_or(bool fallback) const {
+    return type_ == Type::kBool ? bool_ : fallback;
+  }
+  [[nodiscard]] const std::string& string_or(const std::string& fallback) const {
+    return type_ == Type::kString ? str_ : fallback;
+  }
+  [[nodiscard]] const std::vector<Json>& items() const { return arr_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members() const {
+    return obj_;
+  }
+
+  /// Compact single-line serialization (indent < 0) or pretty-printed.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Strict-ish recursive-descent parse; nullopt on any syntax error or
+  /// trailing garbage.
+  static std::optional<Json> parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<std::pair<std::string, Json>> obj_;
+  std::vector<Json> arr_;
+};
+
+/// Writes `content` to `path` via a sibling temp file + rename, so readers
+/// only ever observe the old or the new complete content. On failure the
+/// target is left untouched, the temp file is removed, and `error` (when
+/// non-null) receives a description.
+bool atomic_write_file(const std::string& path, std::string_view content,
+                       std::string* error = nullptr);
+
+/// Loads a JSONL file, one Json per parseable line. Unparsable lines — in
+/// particular a torn final line from a crashed writer — are counted in
+/// `*skipped` (when non-null) and dropped, never fatal.
+std::vector<Json> load_jsonl(const std::string& path, std::size_t* skipped = nullptr);
+
+/// FNV-1a 64-bit — the journal's scenario-fingerprint hash.
+std::uint64_t fnv1a64(std::string_view s);
+
+/// Lower-case 16-digit hex of a 64-bit hash.
+std::string hex64(std::uint64_t v);
+
+}  // namespace sugar::core

@@ -118,13 +118,15 @@ const dataset::PacketDataset& BenchmarkEnv::backbone() {
 }
 
 replearn::ModelBundle BenchmarkEnv::pretrained(replearn::ModelKind kind,
-                                               replearn::TaskMode mode) {
+                                               replearn::TaskMode mode,
+                                               const ml::CancelToken* cancel) {
   auto key = std::make_pair(kind, mode);
   auto it = pretrained_.find(key);
   if (it == pretrained_.end()) {
     replearn::ModelBundle bundle = replearn::make_model(kind, mode);
     replearn::BackbonePretrainOptions opts;
     opts.pretrain.epochs = cfg_.pretrain_epochs;
+    opts.pretrain.cancel = cancel;
     opts.max_samples = cfg_.pretrain_max_samples;
     opts.seed = cfg_.seed ^ 0x11E;
     pretrain_on_backbone(bundle, backbone(), opts);

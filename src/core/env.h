@@ -11,6 +11,7 @@
 
 #include "dataset/clean.h"
 #include "dataset/task.h"
+#include "ml/guard.h"
 #include "replearn/model_zoo.h"
 #include "replearn/pretrain.h"
 
@@ -59,9 +60,12 @@ class BenchmarkEnv {
   const dataset::PacketDataset& backbone();
 
   /// A fresh copy of the pre-trained bundle for a model (pre-training runs
-  /// once per (kind, mode) and is cached).
+  /// once per (kind, mode) and is cached). `cancel` is the supervisor's
+  /// watchdog token; a cancelled pre-training unwinds before the cache is
+  /// populated, so a later attempt re-runs it cleanly.
   replearn::ModelBundle pretrained(replearn::ModelKind kind,
-                                   replearn::TaskMode mode);
+                                   replearn::TaskMode mode,
+                                   const ml::CancelToken* cancel = nullptr);
 
  private:
   void ensure_source(dataset::SourceDataset src);

@@ -54,6 +54,14 @@ Partitions make_partitions(const dataset::PacketDataset& ds, std::size_t max_tra
     test_idx = dataset::stratified_sample(ds, test_idx, frac, opts.seed ^ 4);
   }
 
+  if (train_idx.empty() || test_idx.empty())
+    throw RunError(RunErrorKind::kEmptyPartition,
+                   "split policy '" + dataset::to_string(opts.split) +
+                       "' left an empty partition (train=" +
+                       std::to_string(train_idx.size()) +
+                       ", test=" + std::to_string(test_idx.size()) +
+                       " of " + std::to_string(ds.size()) + " packets)");
+
   Partitions parts;
   parts.audit = dataset::audit_split(ds, {.train = train_idx, .test = test_idx});
   parts.train = ds.subset(train_idx);
@@ -85,6 +93,11 @@ replearn::DownstreamConfig downstream_config(const EnvConfig& env_cfg,
   // validate on leaked samples and therefore never notice the overfit.
   cfg.flow_holdout_validation = opts.split == dataset::SplitPolicy::PerFlow;
   cfg.seed = opts.seed ^ 0xD0;
+  // Supervisor knobs: divergence retries shrink the learning rates; the
+  // watchdog's cancel token is polled inside the epoch loops.
+  cfg.lr_head *= static_cast<float>(opts.lr_scale);
+  cfg.lr_encoder *= static_cast<float>(opts.lr_scale);
+  cfg.cancel = opts.cancel;
   return cfg;
 }
 
@@ -104,7 +117,8 @@ ScenarioResult run_packet_scenario(BenchmarkEnv& env, dataset::TaskId task,
                                    replearn::ModelKind model,
                                    const ScenarioOptions& opts) {
   return run_packet_scenario_with_bundle(
-      env, task, env.pretrained(model, replearn::TaskMode::Packet), opts);
+      env, task, env.pretrained(model, replearn::TaskMode::Packet, opts.cancel),
+      opts);
 }
 
 ScenarioResult run_packet_scenario_with_bundle(BenchmarkEnv& env,
@@ -188,12 +202,18 @@ ScenarioResult run_flow_scenario(BenchmarkEnv& env, dataset::TaskId task,
   result.n_train = train_flows.size();
   result.n_test = test_flows.size();
   result.ingest = ingest_health(env, task);
-  if (train_flows.empty() || test_flows.empty()) return result;
+  if (train_flows.empty() || test_flows.empty())
+    throw RunError(RunErrorKind::kEmptyPartition,
+                   "no flows with >= " + std::to_string(min_flow_len) +
+                       " packets survived the split (train=" +
+                       std::to_string(train_flows.size()) +
+                       " flows, test=" + std::to_string(test_flows.size()) +
+                       " flows)");
 
   if (model == replearn::ModelKind::PcapEncoder) {
     // Paper §6.2: frozen packet-level classification of the first 5
     // packets, then majority vote. No flow-level training.
-    auto bundle = env.pretrained(model, replearn::TaskMode::Packet);
+    auto bundle = env.pretrained(model, replearn::TaskMode::Packet, opts.cancel);
     ml::Matrix x_train =
         bundle.featurize_packets(parts.train, iota_indices(parts.train.size()));
     replearn::DownstreamConfig cfg = downstream_config(env.config(), opts);
@@ -205,7 +225,7 @@ ScenarioResult run_flow_scenario(BenchmarkEnv& env, dataset::TaskId task,
     result.train_seconds = seconds_since(t0);
 
     t0 = Clock::now();
-    auto vote_bundle = env.pretrained(model, replearn::TaskMode::Packet);
+    auto vote_bundle = env.pretrained(model, replearn::TaskMode::Packet, opts.cancel);
     std::vector<int> pred;
     pred.reserve(test_flows.size());
     for (const auto& flow : test_flows) {
@@ -229,7 +249,7 @@ ScenarioResult run_flow_scenario(BenchmarkEnv& env, dataset::TaskId task,
     return result;
   }
 
-  auto bundle = env.pretrained(model, replearn::TaskMode::Flow);
+  auto bundle = env.pretrained(model, replearn::TaskMode::Flow, opts.cancel);
   if (opts.discard_pretraining) bundle.encoder->reinitialize(opts.seed ^ 0xF00D);
 
   ml::Matrix x_train = bundle.featurize_flows(parts.train, train_flows);
@@ -270,7 +290,9 @@ ShallowResult run_shallow_scenario(BenchmarkEnv& env, dataset::TaskId task,
   auto t0 = Clock::now();
   switch (kind) {
     case ShallowKind::RandomForest: {
-      ml::RandomForest rf;
+      ml::ForestConfig cfg;
+      cfg.cancel = opts.cancel;
+      ml::RandomForest rf(cfg);
       rf.fit(x_train, parts.train.label, ds.num_classes);
       result.train_seconds = seconds_since(t0);
       t0 = Clock::now();
@@ -279,7 +301,10 @@ ShallowResult run_shallow_scenario(BenchmarkEnv& env, dataset::TaskId task,
       break;
     }
     case ShallowKind::XgboostStyle: {
-      ml::GradientBoosting gb(ml::GbdtConfig::xgboost_style());
+      auto cfg = ml::GbdtConfig::xgboost_style();
+      cfg.learning_rate *= static_cast<float>(opts.lr_scale);
+      cfg.cancel = opts.cancel;
+      ml::GradientBoosting gb(cfg);
       gb.fit(x_train, parts.train.label, ds.num_classes);
       result.train_seconds = seconds_since(t0);
       t0 = Clock::now();
@@ -288,7 +313,10 @@ ShallowResult run_shallow_scenario(BenchmarkEnv& env, dataset::TaskId task,
       break;
     }
     case ShallowKind::LightGbmStyle: {
-      ml::GradientBoosting gb(ml::GbdtConfig::lightgbm_style());
+      auto cfg = ml::GbdtConfig::lightgbm_style();
+      cfg.learning_rate *= static_cast<float>(opts.lr_scale);
+      cfg.cancel = opts.cancel;
+      ml::GradientBoosting gb(cfg);
       gb.fit(x_train, parts.train.label, ds.num_classes);
       result.train_seconds = seconds_since(t0);
       t0 = Clock::now();
@@ -303,6 +331,9 @@ ShallowResult run_shallow_scenario(BenchmarkEnv& env, dataset::TaskId task,
       scaler.transform(x_test);
       ml::MlpConfig cfg;
       cfg.epochs = env.config().downstream_epochs * 2;
+      cfg.learning_rate *= static_cast<float>(opts.lr_scale);
+      cfg.seed = opts.seed ^ 0x5A;
+      cfg.cancel = opts.cancel;
       ml::MlpClassifier mlp(cfg);
       mlp.fit(x_train, parts.train.label, ds.num_classes);
       result.train_seconds = seconds_since(t0);

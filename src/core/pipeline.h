@@ -9,9 +9,11 @@
 #include <optional>
 
 #include "core/env.h"
+#include "core/runerror.h"
 #include "dataset/audit.h"
 #include "dataset/split.h"
 #include "dataset/transforms.h"
+#include "ml/guard.h"
 #include "ml/knn.h"
 #include "ml/metrics.h"
 
@@ -30,6 +32,13 @@ struct ScenarioOptions {
   /// When set, test embeddings (subsampled) are exported for Fig-4-style
   /// purity analysis.
   std::size_t export_embeddings = 0;
+
+  // --- Runtime knobs set by the supervisor, excluded from journal keys. ---
+  /// Learning-rate multiplier; the divergence retry halves it per attempt.
+  double lr_scale = 1.0;
+  /// Cooperative cancellation polled inside every training loop (the
+  /// per-cell watchdog). Null disables.
+  const ml::CancelToken* cancel = nullptr;
 };
 
 /// Ingestion health of the source trace a scenario ran on, copied from the
@@ -61,6 +70,11 @@ struct ScenarioResult {
 };
 
 /// Packet-level classification (Tables 3-6, Fig 1/4).
+///
+/// All runners throw RunError(kEmptyPartition) when the split/cleaning
+/// combination leaves the train or test partition empty, and propagate the
+/// ml layer's typed errors (divergence, cancellation, internal) — the
+/// supervisor maps them onto the RunError taxonomy per cell.
 ScenarioResult run_packet_scenario(BenchmarkEnv& env, dataset::TaskId task,
                                    replearn::ModelKind model,
                                    const ScenarioOptions& opts);

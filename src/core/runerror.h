@@ -1,0 +1,43 @@
+// The typed failure taxonomy of a scenario cell. Every way a cell can die
+// is mapped onto one of these kinds so bench tables can render
+// `FAILED(<reason>)` and the journal can record machine-readable causes:
+//
+//   kEmptyPartition — a split/cleaning combination left train or test empty
+//   kDivergence     — training loss went NaN/Inf (retryable)
+//   kTimeout        — the cell blew its wall-clock deadline (watchdog)
+//   kInternal       — invariant violation or any other thrown exception
+//
+// The ml layer throws its own low-level types (ml::DivergenceError,
+// ml::CancelledError, ml::InternalError — see ml/guard.h) so it stays
+// independent of core; RunSupervisor maps them onto this taxonomy.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sugar::core {
+
+enum class RunErrorKind { kEmptyPartition, kDivergence, kTimeout, kInternal };
+
+inline const char* to_string(RunErrorKind kind) {
+  switch (kind) {
+    case RunErrorKind::kEmptyPartition: return "empty-partition";
+    case RunErrorKind::kDivergence: return "divergence";
+    case RunErrorKind::kTimeout: return "timeout";
+    case RunErrorKind::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+class RunError : public std::runtime_error {
+ public:
+  RunError(RunErrorKind kind, const std::string& message)
+      : std::runtime_error(message), kind_(kind) {}
+
+  [[nodiscard]] RunErrorKind kind() const { return kind_; }
+
+ private:
+  RunErrorKind kind_;
+};
+
+}  // namespace sugar::core

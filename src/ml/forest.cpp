@@ -21,6 +21,7 @@ void RandomForest::fit(const Matrix& x, const std::vector<int>& y, int num_class
   std::uniform_int_distribution<std::size_t> pick(0, n == 0 ? 0 : n - 1);
 
   for (auto& tree : trees_) {
+    throw_if_cancelled(cfg_.cancel, "RandomForest::fit");
     std::vector<std::uint32_t> rows(bag);
     for (auto& r : rows) r = static_cast<std::uint32_t>(pick(rng));
     tree.fit_classifier(x, y, num_classes, tree_cfg, rng, &rows);

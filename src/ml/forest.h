@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "ml/guard.h"
 #include "ml/tree.h"
 
 namespace sugar::ml {
@@ -18,6 +19,8 @@ struct ForestConfig {
   /// Bootstrap sample fraction per tree.
   double bag_fraction = 1.0;
   std::uint64_t seed = 17;
+  /// Polled once per tree; fit() throws CancelledError when set.
+  const CancelToken* cancel = nullptr;
 
   ForestConfig() {
     tree.max_depth = 20;

@@ -29,6 +29,7 @@ void GradientBoosting::fit(const Matrix& x, const std::vector<int>& y,
   trees_.reserve(static_cast<std::size_t>(rounds * num_outputs_));
 
   for (int r = 0; r < rounds; ++r) {
+    throw_if_cancelled(cfg_.cancel, "GradientBoosting::fit");
     if (num_outputs_ == 1) {
       // Binary logistic: y in {0,1}, p = sigmoid(F).
       for (std::size_t i = 0; i < n; ++i) {

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ml/guard.h"
 #include "ml/tree.h"
 
 namespace sugar::ml {
@@ -22,6 +23,8 @@ struct GbdtConfig {
   /// Cap on rounds*classes to keep many-class tasks tractable; rounds is
   /// reduced when classes are many (0 = no cap).
   int max_total_trees = 2000;
+  /// Polled once per boosting round; fit() throws CancelledError when set.
+  const CancelToken* cancel = nullptr;
 
   GbdtConfig() {
     tree.max_depth = 6;

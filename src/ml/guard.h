@@ -1,0 +1,70 @@
+// Training-loop guard primitives shared by every iterative fit path:
+// cooperative cancellation (the supervisor's per-cell watchdog sets a
+// CancelToken; epoch/batch loops poll it), NaN/Inf loss detection (a
+// diverged cell aborts early instead of burning its full epoch budget on
+// garbage), and always-on internal invariant checks that replace
+// Release-compiled-out asserts. The ml layer throws these typed errors;
+// core::RunSupervisor maps them onto the RunError taxonomy.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace sugar::ml {
+
+/// Cooperative cancellation flag. The watchdog thread calls cancel(); the
+/// training loop polls cancelled() at batch granularity and unwinds with
+/// CancelledError. Polling is relaxed: a cancel may be observed one batch
+/// late, which is fine for wall-clock deadlines.
+class CancelToken {
+ public:
+  void cancel() noexcept { flag_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return flag_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// A training loop observed its CancelToken (watchdog deadline).
+class CancelledError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Training loss became NaN/Inf — the cell diverged and further epochs are
+/// meaningless. The supervisor retries with a perturbed seed and reduced
+/// learning rate.
+class DivergenceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// An internal invariant (shape mismatch, out-of-range label) was violated.
+/// Always on, unlike assert(): a Release-built bench must fail a cell, not
+/// read out of bounds.
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+inline void throw_if_cancelled(const CancelToken* token, const char* where) {
+  if (token && token->cancelled())
+    throw CancelledError(std::string("cancelled in ") + where);
+}
+
+/// Epoch-granular divergence check on an accumulated loss.
+inline void check_loss_finite(float loss, const char* where, int epoch) {
+  if (!std::isfinite(loss))
+    throw DivergenceError(std::string(where) + ": non-finite loss at epoch " +
+                          std::to_string(epoch));
+}
+
+inline void check_internal(bool ok, const std::string& message) {
+  if (!ok) throw InternalError(message);
+}
+
+}  // namespace sugar::ml

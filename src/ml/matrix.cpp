@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ml/guard.h"
+
 namespace sugar::ml {
 
 Matrix Matrix::take_rows(const std::vector<std::size_t>& idx) const {
@@ -13,7 +15,7 @@ Matrix Matrix::take_rows(const std::vector<std::size_t>& idx) const {
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
-  assert(a.cols() == b.rows());
+  check_internal(a.cols() == b.rows(), "matmul: inner dimensions disagree");
   Matrix c(a.rows(), b.cols());
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const float* ai = a.row(i);
@@ -29,7 +31,7 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
 }
 
 Matrix matmul_tn(const Matrix& a, const Matrix& b) {
-  assert(a.rows() == b.rows());
+  check_internal(a.rows() == b.rows(), "matmul_tn: row counts disagree");
   Matrix c(a.cols(), b.cols());
   for (std::size_t k = 0; k < a.rows(); ++k) {
     const float* ak = a.row(k);
@@ -45,7 +47,7 @@ Matrix matmul_tn(const Matrix& a, const Matrix& b) {
 }
 
 Matrix matmul_nt(const Matrix& a, const Matrix& b) {
-  assert(a.cols() == b.cols());
+  check_internal(a.cols() == b.cols(), "matmul_nt: column counts disagree");
   Matrix c(a.rows(), b.rows());
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const float* ai = a.row(i);
@@ -61,7 +63,7 @@ Matrix matmul_nt(const Matrix& a, const Matrix& b) {
 }
 
 void add_row_vector(Matrix& m, const std::vector<float>& bias) {
-  assert(bias.size() == m.cols());
+  check_internal(bias.size() == m.cols(), "add_row_vector: bias size mismatch");
   for (std::size_t i = 0; i < m.rows(); ++i) {
     float* r = m.row(i);
     for (std::size_t j = 0; j < m.cols(); ++j) r[j] += bias[j];

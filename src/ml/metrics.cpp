@@ -1,8 +1,9 @@
 #include "ml/metrics.h"
 
-#include <cassert>
 #include <cstdio>
 #include <numeric>
+
+#include "ml/guard.h"
 
 namespace sugar::ml {
 
@@ -25,11 +26,25 @@ std::string Metrics::to_string() const {
 
 Metrics evaluate(const std::vector<int>& y_true, const std::vector<int>& y_pred,
                  int num_classes) {
-  assert(y_true.size() == y_pred.size());
+  check_internal(y_true.size() == y_pred.size(),
+                 "evaluate: truth/prediction size mismatch (" +
+                     std::to_string(y_true.size()) + " vs " +
+                     std::to_string(y_pred.size()) + ")");
+  check_internal(num_classes > 0, "evaluate: num_classes must be positive, got " +
+                                      std::to_string(num_classes));
   Metrics m;
   m.confusion = ConfusionMatrix(num_classes);
-  for (std::size_t i = 0; i < y_true.size(); ++i)
+  // Empty prediction sets are well-defined (all-zero metrics), not UB.
+  if (y_true.empty()) return m;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    check_internal(y_true[i] >= 0 && y_true[i] < num_classes,
+                   "evaluate: label " + std::to_string(y_true[i]) +
+                       " out of range at index " + std::to_string(i));
+    check_internal(y_pred[i] >= 0 && y_pred[i] < num_classes,
+                   "evaluate: prediction " + std::to_string(y_pred[i]) +
+                       " out of range at index " + std::to_string(i));
     m.confusion.add(y_true[i], y_pred[i]);
+  }
 
   std::size_t total = m.confusion.total();
   m.accuracy = total ? static_cast<double>(m.confusion.correct()) /

@@ -25,6 +25,7 @@ void MlpClassifier::fit(const Matrix& x, const std::vector<int>& y, int num_clas
     float epoch_loss = 0;
     std::size_t batches = 0;
     for (std::size_t start = 0; start < order.size(); start += cfg_.batch_size) {
+      throw_if_cancelled(cfg_.cancel, "MlpClassifier::fit");
       std::size_t end = std::min(order.size(), start + cfg_.batch_size);
       std::vector<std::size_t> idx(order.begin() + static_cast<std::ptrdiff_t>(start),
                                    order.begin() + static_cast<std::ptrdiff_t>(end));
@@ -41,6 +42,7 @@ void MlpClassifier::fit(const Matrix& x, const std::vector<int>& y, int num_clas
       net_.adam_step(cfg_.learning_rate);
     }
     epoch_loss /= static_cast<float>(std::max<std::size_t>(batches, 1));
+    check_loss_finite(epoch_loss, "MlpClassifier::fit", epoch);
     if (cfg_.early_stop_delta > 0) {
       if (epoch_loss < best_loss - cfg_.early_stop_delta) {
         best_loss = epoch_loss;

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ml/guard.h"
 #include "ml/nn.h"
 
 namespace sugar::ml {
@@ -21,6 +22,8 @@ struct MlpConfig {
   /// (0 disables early stopping).
   float early_stop_delta = 0.0f;
   int patience = 5;
+  /// Polled at batch granularity; fit() throws CancelledError when set.
+  const CancelToken* cancel = nullptr;
 };
 
 class MlpClassifier {

@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 
+#include "ml/guard.h"
 #include "ml/matrix.h"
 
 namespace sugar::replearn {
@@ -18,6 +19,9 @@ struct PretrainOptions {
   /// Fraction of inputs masked in MAE-style pre-training.
   float mask_fraction = 0.3f;
   std::uint64_t seed = 97;
+  /// Polled at batch granularity inside pre-training loops; pretrain()
+  /// throws ml::CancelledError when set (watchdog deadline).
+  const ml::CancelToken* cancel = nullptr;
 };
 
 class Encoder {

@@ -84,7 +84,10 @@ void DownstreamModel::fit(const ml::Matrix& x, const std::vector<int>& y,
 
   for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
     std::shuffle(train_idx.begin(), train_idx.end(), rng);
+    float epoch_loss = 0;
+    std::size_t batches = 0;
     for (std::size_t start = 0; start < train_idx.size(); start += cfg_.batch_size) {
+      ml::throw_if_cancelled(cfg_.cancel, "DownstreamModel::fit");
       std::size_t end = std::min(train_idx.size(), start + cfg_.batch_size);
       std::vector<std::size_t> idx(train_idx.begin() + static_cast<std::ptrdiff_t>(start),
                                    train_idx.begin() + static_cast<std::ptrdiff_t>(end));
@@ -96,7 +99,8 @@ void DownstreamModel::fit(const ml::Matrix& x, const std::vector<int>& y,
       head_.zero_grad();
       ml::Matrix logits = head_.forward(emb, true);
       ml::Matrix grad;
-      ml::softmax_cross_entropy(logits, yb, grad);
+      epoch_loss += ml::softmax_cross_entropy(logits, yb, grad);
+      ++batches;
       ml::Matrix grad_emb = head_.backward(grad);
       head_.adam_step(cfg_.lr_head);
 
@@ -106,6 +110,8 @@ void DownstreamModel::fit(const ml::Matrix& x, const std::vector<int>& y,
         encoder_->adam_step(cfg_.lr_encoder);
       }
     }
+    ml::check_loss_finite(epoch_loss / static_cast<float>(std::max<std::size_t>(batches, 1)),
+                          "DownstreamModel::fit", epoch);
 
     if (!val_idx.empty()) {
       double acc = validation_accuracy();

@@ -33,6 +33,10 @@ struct DownstreamConfig {
   /// with the per-flow split); when false, it holds out random samples
   /// (what per-packet-split pipelines effectively did).
   bool flow_holdout_validation = true;
+
+  /// Polled at batch granularity; fit() throws ml::CancelledError when set
+  /// (the supervisor's watchdog deadline).
+  const ml::CancelToken* cancel = nullptr;
 };
 
 /// Encoder + head pair trained for one downstream task.

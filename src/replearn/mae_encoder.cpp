@@ -40,7 +40,10 @@ void MaeEncoder::pretrain(const ml::Matrix& x, const PretrainOptions& opts) {
 
   for (int epoch = 0; epoch < opts.epochs; ++epoch) {
     std::shuffle(order.begin(), order.end(), rng);
+    float epoch_loss = 0;
+    std::size_t batches = 0;
     for (std::size_t start = 0; start < order.size(); start += opts.batch_size) {
+      ml::throw_if_cancelled(opts.cancel, "MaeEncoder::pretrain");
       std::size_t end = std::min(order.size(), start + opts.batch_size);
       std::vector<std::size_t> idx(order.begin() + static_cast<std::ptrdiff_t>(start),
                                    order.begin() + static_cast<std::ptrdiff_t>(end));
@@ -54,12 +57,15 @@ void MaeEncoder::pretrain(const ml::Matrix& x, const PretrainOptions& opts) {
       ml::Matrix emb = enc_.forward(masked, /*training=*/true);
       ml::Matrix recon = dec_.forward(emb, /*training=*/true);
       ml::Matrix grad;
-      ml::mse_loss(recon, target, grad);
+      epoch_loss += ml::mse_loss(recon, target, grad);
+      ++batches;
       ml::Matrix grad_emb = dec_.backward(grad);
       enc_.backward(grad_emb);
       dec_.adam_step(opts.learning_rate);
       enc_.adam_step(opts.learning_rate);
     }
+    ml::check_loss_finite(epoch_loss / static_cast<float>(std::max<std::size_t>(batches, 1)),
+                          "MaeEncoder::pretrain", epoch);
   }
 }
 

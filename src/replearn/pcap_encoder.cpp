@@ -35,7 +35,10 @@ void PcapEncoder::pretrain(const ml::Matrix& x, const PretrainOptions& opts) {
 
   for (int epoch = 0; epoch < opts.epochs; ++epoch) {
     std::shuffle(order.begin(), order.end(), rng);
+    float epoch_loss = 0;
+    std::size_t batches = 0;
     for (std::size_t start = 0; start < order.size(); start += opts.batch_size) {
+      ml::throw_if_cancelled(opts.cancel, "PcapEncoder::pretrain");
       std::size_t end = std::min(order.size(), start + opts.batch_size);
       std::vector<std::size_t> idx(order.begin() + static_cast<std::ptrdiff_t>(start),
                                    order.begin() + static_cast<std::ptrdiff_t>(end));
@@ -49,11 +52,14 @@ void PcapEncoder::pretrain(const ml::Matrix& x, const PretrainOptions& opts) {
       ml::Matrix emb = enc_.forward(noisy, true);
       ml::Matrix recon = dec_.forward(emb, true);
       ml::Matrix grad;
-      ml::mse_loss(recon, target, grad);
+      epoch_loss += ml::mse_loss(recon, target, grad);
+      ++batches;
       enc_.backward(dec_.backward(grad));
       dec_.adam_step(opts.learning_rate);
       enc_.adam_step(opts.learning_rate);
     }
+    ml::check_loss_finite(epoch_loss / static_cast<float>(std::max<std::size_t>(batches, 1)),
+                          "PcapEncoder::pretrain", epoch);
   }
 }
 
@@ -69,7 +75,10 @@ void PcapEncoder::pretrain_supervised(const ml::Matrix& x, const ml::Matrix& tar
   int epochs = opts.epochs * 3;
   for (int epoch = 0; epoch < epochs; ++epoch) {
     std::shuffle(order.begin(), order.end(), rng);
+    float epoch_loss = 0;
+    std::size_t batches = 0;
     for (std::size_t start = 0; start < order.size(); start += opts.batch_size) {
+      ml::throw_if_cancelled(opts.cancel, "PcapEncoder::pretrain_supervised");
       std::size_t end = std::min(order.size(), start + opts.batch_size);
       std::vector<std::size_t> idx(order.begin() + static_cast<std::ptrdiff_t>(start),
                                    order.begin() + static_cast<std::ptrdiff_t>(end));
@@ -81,11 +90,14 @@ void PcapEncoder::pretrain_supervised(const ml::Matrix& x, const ml::Matrix& tar
       ml::Matrix emb = enc_.forward(xb, true);
       ml::Matrix pred = qa_head_.forward(emb, true);
       ml::Matrix grad;
-      ml::mse_loss(pred, tb, grad);
+      epoch_loss += ml::mse_loss(pred, tb, grad);
+      ++batches;
       enc_.backward(qa_head_.backward(grad));
       qa_head_.adam_step(opts.learning_rate);
       enc_.adam_step(opts.learning_rate);
     }
+    ml::check_loss_finite(epoch_loss / static_cast<float>(std::max<std::size_t>(batches, 1)),
+                          "PcapEncoder::pretrain_supervised", epoch);
   }
 }
 

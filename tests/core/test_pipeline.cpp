@@ -163,6 +163,46 @@ TEST_F(PipelineTest, PretrainedBundlesAreIndependentCopies) {
   EXPECT_EQ(a.encoder->embed(x, false).data(), b.encoder->embed(x, false).data());
 }
 
+TEST_F(PipelineTest, FlowScenarioEmptyPartitionRaisesTypedError) {
+  // No flow in the tiny trace reaches a million packets, so the flow
+  // runner's partition is empty — a typed RunError, not a silent zero row.
+  ScenarioOptions opts;
+  opts.frozen = true;
+  try {
+    run_flow_scenario(env, dataset::TaskId::VpnApp, replearn::ModelKind::NetMamba,
+                      opts, /*min_flow_len=*/1000000);
+    FAIL() << "expected RunError(kEmptyPartition)";
+  } catch (const RunError& e) {
+    EXPECT_EQ(e.kind(), RunErrorKind::kEmptyPartition);
+    EXPECT_NE(std::string(e.what()).find("1000000"), std::string::npos);
+  }
+}
+
+TEST_F(PipelineTest, PreCancelledTokenAbortsScenario) {
+  // A watchdog that has already fired must unwind the scenario with
+  // CancelledError before any training epoch completes.
+  ml::CancelToken token;
+  token.cancel();
+  ScenarioOptions opts;
+  opts.split = dataset::SplitPolicy::PerFlow;
+  opts.frozen = true;
+  opts.cancel = &token;
+  EXPECT_THROW(run_packet_scenario(env, dataset::TaskId::UstcBinary,
+                                   replearn::ModelKind::NetMamba, opts),
+               ml::CancelledError);
+}
+
+TEST_F(PipelineTest, PreCancelledTokenAbortsShallowScenario) {
+  ml::CancelToken token;
+  token.cancel();
+  ScenarioOptions opts;
+  opts.split = dataset::SplitPolicy::PerFlow;
+  opts.cancel = &token;
+  EXPECT_THROW(run_shallow_scenario(env, dataset::TaskId::UstcBinary,
+                                    ShallowKind::RandomForest, true, opts),
+               ml::CancelledError);
+}
+
 TEST(Report, MarkdownTableFormat) {
   MarkdownTable t{{"A", "B"}};
   t.add_row({"1", "2"});

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "ml/guard.h"
 #include "ml/metrics.h"
 
 namespace sugar::ml {
@@ -69,6 +70,37 @@ TEST(Metrics, ToStringFormatsPercentages) {
   std::vector<int> y{0, 1};
   auto m = evaluate(y, y, 2);
   EXPECT_EQ(m.to_string(), "AC=100.0 F1=100.0 (micro F1=100.0)");
+}
+
+// The invariant checks replace Release-no-op asserts: a malformed call must
+// fail the cell with a typed error, not read out of bounds.
+TEST(Metrics, SizeMismatchThrowsInternalError) {
+  std::vector<int> yt{0, 1, 0};
+  std::vector<int> yp{0, 1};
+  EXPECT_THROW(evaluate(yt, yp, 2), InternalError);
+}
+
+TEST(Metrics, NonPositiveClassCountThrowsInternalError) {
+  std::vector<int> y{0};
+  EXPECT_THROW(evaluate(y, y, 0), InternalError);
+  EXPECT_THROW(evaluate(y, y, -1), InternalError);
+}
+
+TEST(Metrics, OutOfRangeLabelsThrowInternalError) {
+  std::vector<int> yt{0, 2};  // class 2 out of range for num_classes=2
+  std::vector<int> yp{0, 1};
+  EXPECT_THROW(evaluate(yt, yp, 2), InternalError);
+  std::vector<int> yt2{0, 1};
+  std::vector<int> yp2{0, -1};
+  EXPECT_THROW(evaluate(yt2, yp2, 2), InternalError);
+}
+
+TEST(Metrics, EmptyPredictionSetYieldsZeroMetricsNotUb) {
+  std::vector<int> empty;
+  auto m = evaluate(empty, empty, 3);
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(m.macro_f1, 0.0);
+  EXPECT_DOUBLE_EQ(m.micro_f1, 0.0);
 }
 
 }  // namespace
