@@ -38,6 +38,24 @@ inline core::RunSupervisor make_supervisor(std::string_view bench_name, int argc
   return core::RunSupervisor(std::move(*cfg));
 }
 
+/// A batch of independent cells for RunSupervisor::run_cells — with
+/// `--parallel-cells N` up to N of them execute concurrently, each keeping
+/// the full per-cell boundary (watchdog, retry, journal). The artifact
+/// cells[] order follows add() order regardless of completion order.
+struct CellBatch {
+  std::vector<core::CellSpec> specs;
+  std::vector<core::RunSupervisor::CellFn> fns;
+
+  void add(core::CellSpec spec, core::RunSupervisor::CellFn fn) {
+    specs.push_back(std::move(spec));
+    fns.push_back(std::move(fn));
+  }
+
+  [[nodiscard]] std::vector<core::CellOutcome> run(core::RunSupervisor& sup) {
+    return sup.run_cells(specs, fns);
+  }
+};
+
 /// One packet-scenario cell through the supervisor boundary.
 inline core::CellOutcome run_packet_cell(core::RunSupervisor& sup,
                                          core::BenchmarkEnv& env, std::string table,

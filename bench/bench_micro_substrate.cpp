@@ -1,11 +1,28 @@
 // google-benchmark microbenchmarks for the substrate: parser, serializer,
-// checksum, flow assembly, split, featurization and pcap I/O throughput.
+// checksum, flow assembly, split, featurization, pcap I/O throughput, and
+// the parallel compute kernels (legacy vs blocked GEMM, forest fit, k-NN).
+//
+// Invoked as `bench_micro_substrate --substrate-compare <out.json>` it
+// instead runs the deterministic sequential-vs-parallel comparison used by
+// the perf_smoke ctest label: every kernel at SUGAR_THREADS=1 and =4 with
+// bit-identical-output verification, speedups recorded in the artifact
+// (speedup is reported, not gated — determinism is the hard requirement).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <random>
 #include <sstream>
 
+#include "core/artifact.h"
+#include "core/threadpool.h"
 #include "dataset/split.h"
 #include "dataset/task.h"
+#include "ml/forest.h"
+#include "ml/knn.h"
+#include "ml/matrix.h"
 #include "net/checksum.h"
 #include "net/flow.h"
 #include "net/mutate.h"
@@ -124,6 +141,117 @@ void BM_HeaderFeaturize(benchmark::State& state) {
 }
 BENCHMARK(BM_HeaderFeaturize);
 
+// ---- Parallel compute kernels -------------------------------------------
+
+ml::Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  ml::Matrix m(rows, cols);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (auto& v : m.data()) v = dist(rng);
+  return m;
+}
+
+/// The pre-substrate matmul, kept verbatim for comparison: single-threaded
+/// ikj with the `aik == 0.0f` branch-skip that the blocked kernel dropped
+/// (on dense floats the branch is a mispredict tax, not an optimization).
+ml::Matrix legacy_branchy_matmul(const ml::Matrix& a, const ml::Matrix& b) {
+  ml::Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* ai = a.row(i);
+    float* ci = c.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      float aik = ai[k];
+      if (aik == 0.0f) continue;
+      const float* bk = b.row(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
+    }
+  }
+  return c;
+}
+
+void BM_MatmulLegacyBranchy(benchmark::State& state) {
+  auto a = random_matrix(160, 128, 21);
+  auto b = random_matrix(128, 96, 22);
+  for (auto _ : state) {
+    auto c = legacy_branchy_matmul(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.rows() * a.cols() * b.cols()));
+}
+BENCHMARK(BM_MatmulLegacyBranchy);
+
+void BM_MatmulBlockedSeq(benchmark::State& state) {
+  core::set_global_threads(1);
+  auto a = random_matrix(160, 128, 21);
+  auto b = random_matrix(128, 96, 22);
+  for (auto _ : state) {
+    auto c = ml::matmul(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.rows() * a.cols() * b.cols()));
+  core::set_global_threads(0);
+}
+BENCHMARK(BM_MatmulBlockedSeq);
+
+void BM_MatmulBlockedPar(benchmark::State& state) {
+  core::set_global_threads(0);  // SUGAR_THREADS / hardware_concurrency
+  auto a = random_matrix(160, 128, 21);
+  auto b = random_matrix(128, 96, 22);
+  for (auto _ : state) {
+    auto c = ml::matmul(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.rows() * a.cols() * b.cols()));
+}
+BENCHMARK(BM_MatmulBlockedPar);
+
+void BM_ForestFitSeq(benchmark::State& state) {
+  core::set_global_threads(1);
+  auto x = random_matrix(300, 16, 31);
+  std::vector<int> y(x.rows());
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = static_cast<int>(i % 5);
+  for (auto _ : state) {
+    ml::ForestConfig fc;
+    fc.num_trees = 16;
+    ml::RandomForest rf(fc);
+    rf.fit(x, y, 5);
+    benchmark::DoNotOptimize(rf);
+  }
+  core::set_global_threads(0);
+}
+BENCHMARK(BM_ForestFitSeq);
+
+void BM_ForestFitPar(benchmark::State& state) {
+  core::set_global_threads(0);
+  auto x = random_matrix(300, 16, 31);
+  std::vector<int> y(x.rows());
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = static_cast<int>(i % 5);
+  for (auto _ : state) {
+    ml::ForestConfig fc;
+    fc.num_trees = 16;
+    ml::RandomForest rf(fc);
+    rf.fit(x, y, 5);
+    benchmark::DoNotOptimize(rf);
+  }
+}
+BENCHMARK(BM_ForestFitPar);
+
+void BM_KnnPurity(benchmark::State& state) {
+  auto e = random_matrix(400, 24, 41);
+  std::vector<int> labels(e.rows());
+  for (std::size_t i = 0; i < labels.size(); ++i) labels[i] = static_cast<int>(i % 6);
+  for (auto _ : state) {
+    auto p = ml::knn_purity(e, labels, 5);
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(e.rows() * e.rows()));
+}
+BENCHMARK(BM_KnnPurity);
+
 void BM_PerFlowSplit(benchmark::State& state) {
   trafficgen::GenOptions opts;
   opts.seed = 9;
@@ -139,6 +267,152 @@ void BM_PerFlowSplit(benchmark::State& state) {
 }
 BENCHMARK(BM_PerFlowSplit);
 
+// ---- --substrate-compare: deterministic seq-vs-par verification ---------
+
+/// Bit-exact digest of a float buffer (the raw bytes, so -0.0f vs +0.0f or
+/// any last-ulp drift is caught).
+std::string digest_floats(const std::vector<float>& v) {
+  return core::hex64(core::fnv1a64(std::string_view(
+      reinterpret_cast<const char*>(v.data()), v.size() * sizeof(float))));
+}
+
+std::string digest_ints(const std::vector<int>& v) {
+  return core::hex64(core::fnv1a64(std::string_view(
+      reinterpret_cast<const char*>(v.data()), v.size() * sizeof(int))));
+}
+
+std::string digest_doubles(const std::vector<double>& v) {
+  return core::hex64(core::fnv1a64(std::string_view(
+      reinterpret_cast<const char*>(v.data()), v.size() * sizeof(double))));
+}
+
+struct CompareCase {
+  std::string kernel;
+  // Runs the kernel once and returns a bit-exact digest of its output.
+  std::function<std::string()> run;
+};
+
+/// Wall-clock of the fastest of `reps` runs (min filters scheduler noise).
+template <typename Fn>
+double best_seconds(int reps, const Fn& fn) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    double s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                   .count();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+int run_substrate_compare(const std::string& path) {
+  constexpr std::size_t kSeqThreads = 1, kParThreads = 4;
+  constexpr int kReps = 3;
+
+  // Shared inputs, deterministic across both thread counts.
+  auto a = random_matrix(224, 192, 101);
+  auto b = random_matrix(192, 160, 102);
+  auto at = random_matrix(192, 224, 103);  // for matmul_tn (same row count as b')
+  auto bt = random_matrix(192, 160, 104);
+  auto x = random_matrix(420, 20, 105);
+  std::vector<int> y(x.rows());
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = static_cast<int>(i % 5);
+  auto emb = random_matrix(360, 24, 106);
+  std::vector<int> labels(emb.rows());
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    labels[i] = static_cast<int>(i % 6);
+
+  std::vector<CompareCase> cases;
+  cases.push_back({"matmul", [&] { return digest_floats(ml::matmul(a, b).data()); }});
+  cases.push_back(
+      {"matmul_tn", [&] { return digest_floats(ml::matmul_tn(at, bt).data()); }});
+  cases.push_back(
+      {"matmul_nt", [&] { return digest_floats(ml::matmul_nt(a, a).data()); }});
+  cases.push_back({"forest_fit", [&] {
+                     ml::ForestConfig fc;
+                     fc.num_trees = 24;
+                     ml::RandomForest rf(fc);
+                     rf.fit(x, y, 5);
+                     auto pred = rf.predict(x);
+                     auto imp = rf.feature_importance();
+                     return digest_ints(pred) + "/" + digest_doubles(imp);
+                   }});
+  cases.push_back({"knn_purity", [&] {
+                     auto p = ml::knn_purity(emb, labels, 5);
+                     auto h = p.histogram;
+                     h.push_back(p.mean_purity);
+                     return digest_doubles(h);
+                   }});
+
+  core::Json doc = core::Json::object();
+  doc.set("schema_version", core::Json(1));
+  doc.set("bench", core::Json("micro_substrate_compare"));
+  doc.set("threads_seq", core::Json(kSeqThreads));
+  doc.set("threads_par", core::Json(kParThreads));
+  doc.set("hardware_concurrency",
+          core::Json(static_cast<std::size_t>(std::thread::hardware_concurrency())));
+  core::Json arr = core::Json::array();
+
+  bool all_identical = true;
+  for (auto& c : cases) {
+    core::set_global_threads(kSeqThreads);
+    std::string d_seq = c.run();  // warm (and digest) before timing
+    double t_seq = best_seconds(kReps, c.run);
+    core::set_global_threads(kParThreads);
+    std::string d_par = c.run();
+    double t_par = best_seconds(kReps, c.run);
+    bool identical = d_seq == d_par;
+    all_identical = all_identical && identical;
+
+    core::Json row = core::Json::object();
+    row.set("kernel", core::Json(c.kernel));
+    row.set("seq_seconds", core::Json(t_seq));
+    row.set("par_seconds", core::Json(t_par));
+    row.set("speedup", core::Json(t_par > 0 ? t_seq / t_par : 0.0));
+    row.set("digest_seq", core::Json(d_seq));
+    row.set("digest_par", core::Json(d_par));
+    row.set("identical", core::Json(identical));
+    arr.push(row);
+    std::printf("%-12s seq %.4fs  par(%zu) %.4fs  speedup %.2fx  %s\n",
+                c.kernel.c_str(), t_seq, kParThreads, t_par,
+                t_par > 0 ? t_seq / t_par : 0.0,
+                identical ? "bit-identical" : "OUTPUT MISMATCH");
+  }
+  core::set_global_threads(0);  // restore SUGAR_THREADS / hardware default
+
+  doc.set("cases", arr);
+  doc.set("all_identical", core::Json(all_identical));
+  std::string err;
+  if (!core::atomic_write_file(path, doc.dump(2) + "\n", &err)) {
+    std::fprintf(stderr, "substrate-compare: artifact write failed: %s\n",
+                 err.c_str());
+    return 1;
+  }
+  std::printf("Artifact: %s\n", path.c_str());
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "substrate-compare: parallel output differs from sequential — "
+                 "determinism contract violated\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--substrate-compare") == 0) {
+    if (argc != 3) {
+      std::fprintf(stderr,
+                   "usage: bench_micro_substrate --substrate-compare <out.json>\n");
+      return 2;
+    }
+    return run_substrate_compare(argv[2]);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

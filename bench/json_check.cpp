@@ -30,12 +30,26 @@ bool check(const char* path) {
   const Json* schema = doc->find("schema_version");
   if (!schema || schema->number_or(0) < 1)
     return fail(path, "missing schema_version");
+  const bool v2 = schema->number_or(0) >= 2;
   const Json* bench = doc->find("bench");
   if (!bench || bench->string_or("").empty()) return fail(path, "missing bench");
   const Json* health = doc->find("health");
   if (!health || !health->is_object()) return fail(path, "missing health object");
   const Json* cells = doc->find("cells");
   if (!cells || !cells->is_array()) return fail(path, "missing cells array");
+
+  if (v2) {
+    // Schema 2: the run's parallel-substrate configuration must be
+    // attributable — compute-pool width and cell-level concurrency.
+    const Json* config = doc->find("config");
+    if (!config || !config->is_object()) return fail(path, "missing config object");
+    const Json* threads = config->find("threads");
+    if (!threads || threads->number_or(0) < 1)
+      return fail(path, "config.threads missing or < 1");
+    const Json* par = config->find("parallel_cells");
+    if (!par || par->number_or(0) < 1)
+      return fail(path, "config.parallel_cells missing or < 1");
+  }
 
   std::size_t declared =
       static_cast<std::size_t>(health->find("cells")
@@ -54,6 +68,11 @@ bool check(const char* path) {
       if (!cell.find("error")) return fail(path, "failed cell missing error");
     } else {
       return fail(path, "cell status is neither ok nor failed");
+    }
+    if (v2) {
+      const Json* wall = cell.find("wall_seconds");
+      if (!wall || wall->type() != Json::Type::kNumber || wall->number_or(-1) < 0)
+        return fail(path, "cell missing non-negative wall_seconds");
     }
   }
   return true;

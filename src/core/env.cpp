@@ -67,6 +67,7 @@ EnvConfig EnvConfig::from_env() {
 BenchmarkEnv::BenchmarkEnv(EnvConfig cfg) : cfg_(cfg) {}
 
 void BenchmarkEnv::ensure_source(dataset::SourceDataset src) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (traces_.count(src)) return;
   trafficgen::GenOptions opts;
   opts.seed = cfg_.seed;
@@ -95,6 +96,7 @@ void BenchmarkEnv::ensure_source(dataset::SourceDataset src) {
 }
 
 const dataset::PacketDataset& BenchmarkEnv::task_dataset(dataset::TaskId task) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = tasks_.find(task);
   if (it != tasks_.end()) return it->second;
   auto src = dataset::source_of(task);
@@ -105,11 +107,13 @@ const dataset::PacketDataset& BenchmarkEnv::task_dataset(dataset::TaskId task) {
 
 const dataset::CleaningReport& BenchmarkEnv::cleaning_report(
     dataset::SourceDataset src) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   ensure_source(src);
   return cleaning_[src];
 }
 
 const dataset::PacketDataset& BenchmarkEnv::backbone() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!backbone_) {
     auto trace = trafficgen::generate_backbone(cfg_.seed ^ 0xBACB, cfg_.backbone_flows);
     backbone_ = dataset::make_unlabeled_dataset(trace);
@@ -120,6 +124,7 @@ const dataset::PacketDataset& BenchmarkEnv::backbone() {
 replearn::ModelBundle BenchmarkEnv::pretrained(replearn::ModelKind kind,
                                                replearn::TaskMode mode,
                                                const ml::CancelToken* cancel) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto key = std::make_pair(kind, mode);
   auto it = pretrained_.find(key);
   if (it == pretrained_.end()) {

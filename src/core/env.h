@@ -3,10 +3,13 @@
 // and pre-training once. Scale is controlled by environment variables
 // (SUGAR_SCALE multiplies flow counts; SUGAR_EPOCHS overrides downstream
 // epochs) so the same binaries run as a quick smoke or a full evaluation.
+// Accessors are thread-safe so concurrent supervisor cells can share one
+// env; each lazily-built cache is populated exactly once under a lock.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 
 #include "dataset/clean.h"
@@ -71,6 +74,12 @@ class BenchmarkEnv {
   void ensure_source(dataset::SourceDataset src);
 
   EnvConfig cfg_;
+  /// Guards every lazily-built cache so concurrent supervisor cells
+  /// (--parallel-cells) can share one env. Recursive because pretrained()
+  /// reaches backbone() and task_dataset() reaches ensure_source(). The
+  /// first accessor pays generation/pre-training under the lock; later
+  /// concurrent readers get the cached object.
+  mutable std::recursive_mutex mu_;
   std::map<dataset::SourceDataset, trafficgen::GeneratedTrace> traces_;
   std::map<dataset::SourceDataset, dataset::CleaningReport> cleaning_;
   std::map<dataset::TaskId, dataset::PacketDataset> tasks_;

@@ -1,11 +1,15 @@
 #include "core/supervisor.h"
 
+#include <algorithm>
+#include <atomic>
 #include <charconv>
 #include <cmath>
 #include <condition_variable>
 #include <cstdio>
 #include <mutex>
 #include <thread>
+
+#include "core/threadpool.h"
 
 namespace sugar::core {
 namespace {
@@ -123,6 +127,7 @@ std::string bench_usage(std::string_view bench_name) {
   u += "  --resume <journal>       resume from a JSONL journal, skipping ok cells\n";
   u += "  --cell-timeout-s <n>     wall-clock watchdog deadline per cell (n > 0)\n";
   u += "  --max-retries <n>        divergence retries per cell (n >= 0)\n";
+  u += "  --parallel-cells <n>     run up to n independent cells concurrently (n >= 1)\n";
   return u;
 }
 
@@ -169,6 +174,16 @@ std::optional<SupervisorConfig> parse_bench_cli(std::string_view bench_name,
         return std::nullopt;
       }
       cfg.max_retries = n;
+    } else if (arg == "--parallel-cells") {
+      auto v = value();
+      if (!v) return std::nullopt;
+      int n = 0;
+      if (!parse_number(*v, n) || n < 1) {
+        error = "malformed --parallel-cells '" + std::string(*v) +
+                "' (want a positive integer)";
+        return std::nullopt;
+      }
+      cfg.max_parallel_cells = n;
     } else {
       error = "unknown flag '" + std::string(arg) + "'";
       return std::nullopt;
@@ -273,10 +288,65 @@ CellOutcome RunSupervisor::run_cell(const CellSpec& spec, const CellFn& fn) {
   const std::string key =
       spec.key.empty() ? generic_cell_key({spec.table, spec.row, spec.col})
                        : spec.key;
+  double wall = 0;
+  CellOutcome outcome = process_cell(spec, key, fn, wall);
+  std::lock_guard<std::mutex> lock(mu_);
+  record(spec, key, outcome, wall);
+  return outcome;
+}
 
+std::vector<CellOutcome> RunSupervisor::run_cells(
+    const std::vector<CellSpec>& specs, const std::vector<CellFn>& fns) {
+  ml::check_internal(specs.size() == fns.size(),
+                     "run_cells: specs/fns size mismatch");
+  const std::size_t n = specs.size();
+  std::vector<std::string> keys(n);
+  for (std::size_t i = 0; i < n; ++i)
+    keys[i] = specs[i].key.empty()
+                  ? generic_cell_key({specs[i].table, specs[i].row, specs[i].col})
+                  : specs[i].key;
+
+  std::vector<CellOutcome> outcomes(n);
+  std::vector<double> walls(n, 0.0);
+  const std::size_t crew_size =
+      std::min<std::size_t>(std::max(cfg_.max_parallel_cells, 1), n);
+  if (crew_size <= 1) {
+    for (std::size_t i = 0; i < n; ++i)
+      outcomes[i] = process_cell(specs[i], keys[i], fns[i], walls[i]);
+  } else {
+    // Dedicated threads (not the compute pool): cells block on training
+    // loops that themselves dispatch parallel_for to the global pool, and
+    // pool workers must never be occupied by blocking cell bodies.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> crew;
+    crew.reserve(crew_size);
+    for (std::size_t t = 0; t < crew_size; ++t)
+      crew.emplace_back([&] {
+        for (;;) {
+          std::size_t i = next.fetch_add(1);
+          if (i >= n) return;
+          outcomes[i] = process_cell(specs[i], keys[i], fns[i], walls[i]);
+        }
+      });
+    for (auto& t : crew) t.join();
+  }
+
+  // Commit artifact records in submission order regardless of completion
+  // order, so cells[] — and therefore the whole artifact — is deterministic.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < n; ++i)
+    record(specs[i], keys[i], outcomes[i], walls[i]);
+  return outcomes;
+}
+
+CellOutcome RunSupervisor::process_cell(const CellSpec& spec,
+                                        const std::string& key, const CellFn& fn,
+                                        double& wall) {
   // Checkpoint/resume: a cell already completed ok in the journal is not
-  // recomputed; its recorded summary feeds the table as-is.
+  // recomputed; its recorded summary (and original wall-clock) feeds the
+  // table as-is.
   if (cfg_.resume) {
+    std::unique_lock<std::mutex> lock(mu_);
     auto it = journal_.find(key);
     if (it != journal_.end()) {
       const Json* status = it->second.find("status");
@@ -287,10 +357,12 @@ CellOutcome RunSupervisor::run_cell(const CellSpec& spec, const CellFn& fn) {
         outcome.attempts = attempts ? static_cast<int>(attempts->number_or(1)) : 1;
         if (const Json* summary = it->second.find("summary"))
           outcome.summary = summary_from_json(*summary);
+        const Json* recorded_wall = it->second.find("wall_seconds");
+        wall = recorded_wall ? recorded_wall->number_or(0) : 0;
         ++health_.cells;
         ++health_.ok;
         ++health_.from_journal;
-        record(spec, key, outcome);
+        lock.unlock();
         if (!cfg_.quiet)
           std::fprintf(stderr, "[supervisor:%s] %s / %s: from journal\n",
                        cfg_.bench_name.c_str(), spec.row.c_str(), spec.col.c_str());
@@ -329,15 +401,7 @@ CellOutcome RunSupervisor::run_cell(const CellSpec& spec, const CellFn& fn) {
     // errors are deterministic, and a timed-out cell would time out again.
     if (r.error != RunErrorKind::kDivergence) break;
   }
-  double wall = seconds_since(t0);
-
-  ++health_.cells;
-  if (outcome.ok()) {
-    ++health_.ok;
-  } else {
-    ++health_.failed;
-  }
-  if (outcome.attempts > 1) ++health_.retried;
+  wall = seconds_since(t0);
 
   // Journal the cell (ok or failed) with an atomic rewrite.
   Json entry = Json::object();
@@ -354,9 +418,18 @@ CellOutcome RunSupervisor::run_cell(const CellSpec& spec, const CellFn& fn) {
     entry.set("error", Json(to_string(outcome.error)));
     entry.set("message", Json(outcome.message));
   }
-  journal_[key] = entry;
-  append_journal(entry);
-  record(spec, key, outcome);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++health_.cells;
+    if (outcome.ok()) {
+      ++health_.ok;
+    } else {
+      ++health_.failed;
+    }
+    if (outcome.attempts > 1) ++health_.retried;
+    journal_[key] = entry;
+    append_journal(entry);
+  }
 
   if (!cfg_.quiet) {
     if (outcome.ok())
@@ -386,7 +459,7 @@ void RunSupervisor::append_journal(const Json& entry) {
 }
 
 void RunSupervisor::record(const CellSpec& spec, const std::string& key,
-                           const CellOutcome& outcome) {
+                           const CellOutcome& outcome, double wall_seconds) {
   Json cell = Json::object();
   cell.set("key", Json(key));
   cell.set("table", Json(spec.table));
@@ -395,6 +468,7 @@ void RunSupervisor::record(const CellSpec& spec, const std::string& key,
   cell.set("status", Json(outcome.ok() ? "ok" : "failed"));
   cell.set("from_journal", Json(outcome.status == CellStatus::kOkFromJournal));
   cell.set("attempts", Json(outcome.attempts));
+  cell.set("wall_seconds", Json(wall_seconds));
   if (outcome.ok()) {
     cell.set("summary", summary_to_json(outcome.summary));
   } else {
@@ -422,13 +496,17 @@ std::string RunSupervisor::format_cell(const CellOutcome& outcome,
 
 bool RunSupervisor::finalize() {
   Json doc = Json::object();
-  doc.set("schema_version", Json(1));
+  doc.set("schema_version", Json(2));
   doc.set("bench", Json(cfg_.bench_name));
 
   Json config = Json::object();
   config.set("cell_timeout_s", Json(cfg_.cell_timeout_s));
   config.set("max_retries", Json(cfg_.max_retries));
   config.set("resume", Json(cfg_.resume));
+  // Perf-trajectory attribution: the compute-pool width and cell-level
+  // concurrency this run actually used.
+  config.set("threads", Json(global_thread_count()));
+  config.set("parallel_cells", Json(cfg_.max_parallel_cells));
   doc.set("config", config);
 
   Json health = Json::object();

@@ -16,13 +16,18 @@
 //   * checkpoint/resume — a JSONL journal keyed by a fingerprint of
 //     (task, model, ScenarioOptions) lets an interrupted bench skip
 //     completed cells on rerun; journal and BENCH_<table>.json artifact
-//     writes are temp-file-then-rename so a crash never truncates them.
+//     writes are temp-file-then-rename so a crash never truncates them,
+//   * opt-in concurrency — run_cells() executes independent cells on up to
+//     max_parallel_cells threads (--parallel-cells) while journal, health
+//     and artifact state stay mutex-guarded and the artifact cells[] array
+//     is committed in deterministic submission order.
 #pragma once
 
 #include <chrono>
 #include <functional>
 #include <initializer_list>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -120,10 +125,18 @@ struct SupervisorConfig {
   bool resume = false;
   /// Suppress per-cell stderr progress lines (tests).
   bool quiet = false;
+  /// Opt-in concurrency for run_cells(): up to this many independent cells
+  /// execute at once (each with its own watchdog, CancelToken and retry
+  /// loop; journal appends and health counters are mutex-guarded). 1 keeps
+  /// the fully sequential behaviour. The artifact cells[] array is always
+  /// committed in submission order, so results are byte-identical to a
+  /// sequential run of the same cells.
+  int max_parallel_cells = 1;
 };
 
 /// Parses the strict bench CLI: --json <path>, --resume <journal>,
-/// --cell-timeout-s <n>, --max-retries <n>. Numeric values use whole-string
+/// --cell-timeout-s <n>, --max-retries <n>, --parallel-cells <n>. Numeric
+/// values use whole-string
 /// from_chars discipline (same as core/env); any malformed or unknown flag
 /// yields nullopt with a diagnostic in `error`.
 std::optional<SupervisorConfig> parse_bench_cli(std::string_view bench_name,
@@ -141,6 +154,15 @@ class RunSupervisor {
   /// retry, journal append). Never throws on cell failure — the outcome
   /// carries the taxonomy instead.
   CellOutcome run_cell(const CellSpec& spec, const CellFn& fn);
+
+  /// Runs a batch of independent cells, up to max_parallel_cells at a time.
+  /// Each cell keeps the full per-cell boundary (watchdog, retry, journal
+  /// append as it completes); artifact records are committed in submission
+  /// order after the batch, so cells[] is deterministic regardless of
+  /// completion order. With max_parallel_cells == 1 this is exactly a loop
+  /// of run_cell.
+  std::vector<CellOutcome> run_cells(const std::vector<CellSpec>& specs,
+                                     const std::vector<CellFn>& fns);
 
   /// "AC / F1" (as percentages) for ok cells, "FAILED(<reason>)" otherwise.
   static std::string format_cell(const CellOutcome& outcome);
@@ -174,11 +196,17 @@ class RunSupervisor {
   AttemptResult run_attempt(const CellFn& fn, CellContext& ctx,
                             ml::CancelToken& token) const;
   static AttemptResult run_guarded(const CellFn& fn, CellContext& ctx);
+  /// Everything run_cell does except committing the artifact record:
+  /// journal lookup, attempts, journal append, health. Thread-safe — shared
+  /// state is touched under mu_ — so run_cells can call it concurrently.
+  CellOutcome process_cell(const CellSpec& spec, const std::string& key,
+                           const CellFn& fn, double& wall);
   void record(const CellSpec& spec, const std::string& key,
-              const CellOutcome& outcome);
+              const CellOutcome& outcome, double wall_seconds);
   void append_journal(const Json& entry);
 
   SupervisorConfig cfg_;
+  std::mutex mu_;  // guards journal_, journal_lines_, records_, health_
   std::map<std::string, Json> journal_;  // key → latest journal entry
   std::vector<std::string> journal_lines_;
   std::vector<Json> records_;

@@ -4,12 +4,27 @@
 #include <cmath>
 #include <random>
 
+#include "core/threadpool.h"
+
 namespace sugar::ml {
+namespace {
+
+// splitmix64 finalizer over (forest seed, tree index): every tree owns an
+// independent, index-derived RNG stream, so the forest is bit-identical no
+// matter which thread fits which tree — the parallel fit is exactly the
+// sequential fit, reordered.
+std::uint64_t tree_seed(std::uint64_t seed, std::uint64_t tree) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (tree + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
 
 void RandomForest::fit(const Matrix& x, const std::vector<int>& y, int num_classes) {
   num_classes_ = num_classes;
   trees_.assign(static_cast<std::size_t>(cfg_.num_trees), {});
-  std::mt19937_64 rng(cfg_.seed);
 
   TreeConfig tree_cfg = cfg_.tree;
   if (tree_cfg.features_per_split == 0)
@@ -18,26 +33,33 @@ void RandomForest::fit(const Matrix& x, const std::vector<int>& y, int num_class
 
   std::size_t n = x.rows();
   std::size_t bag = static_cast<std::size_t>(cfg_.bag_fraction * static_cast<double>(n));
-  std::uniform_int_distribution<std::size_t> pick(0, n == 0 ? 0 : n - 1);
 
-  for (auto& tree : trees_) {
-    throw_if_cancelled(cfg_.cancel, "RandomForest::fit");
-    std::vector<std::uint32_t> rows(bag);
-    for (auto& r : rows) r = static_cast<std::uint32_t>(pick(rng));
-    tree.fit_classifier(x, y, num_classes, tree_cfg, rng, &rows);
-  }
+  core::global_pool().parallel_for(
+      0, trees_.size(), 1, [&](std::size_t t0, std::size_t t1) {
+        for (std::size_t t = t0; t < t1; ++t) {
+          throw_if_cancelled(cfg_.cancel, "RandomForest::fit");
+          std::mt19937_64 rng(tree_seed(cfg_.seed, t));
+          std::uniform_int_distribution<std::size_t> pick(0, n == 0 ? 0 : n - 1);
+          std::vector<std::uint32_t> rows(bag);
+          for (auto& r : rows) r = static_cast<std::uint32_t>(pick(rng));
+          trees_[t].fit_classifier(x, y, num_classes, tree_cfg, rng, &rows);
+        }
+      });
 }
 
 std::vector<int> RandomForest::predict(const Matrix& x) const {
   std::vector<int> out(x.rows(), 0);
-  std::vector<int> votes(static_cast<std::size_t>(num_classes_));
-  for (std::size_t i = 0; i < x.rows(); ++i) {
-    std::fill(votes.begin(), votes.end(), 0);
-    for (const auto& tree : trees_)
-      ++votes[static_cast<std::size_t>(tree.predict_class(x.row(i)))];
-    out[i] = static_cast<int>(std::max_element(votes.begin(), votes.end()) -
-                              votes.begin());
-  }
+  core::global_pool().parallel_for(
+      0, x.rows(), 64, [&](std::size_t r0, std::size_t r1) {
+        std::vector<int> votes(static_cast<std::size_t>(num_classes_));
+        for (std::size_t i = r0; i < r1; ++i) {
+          std::fill(votes.begin(), votes.end(), 0);
+          for (const auto& tree : trees_)
+            ++votes[static_cast<std::size_t>(tree.predict_class(x.row(i)))];
+          out[i] = static_cast<int>(std::max_element(votes.begin(), votes.end()) -
+                                    votes.begin());
+        }
+      });
   return out;
 }
 

@@ -1,7 +1,9 @@
 // Random Forest classifier with Gini feature importances — the shallow
 // baseline that, per the paper's Table 8 and Figure 5, beats every
 // representation-learning model on hand-crafted header features while being
-// orders of magnitude cheaper.
+// orders of magnitude cheaper. Trees are fitted and evaluated in parallel
+// on the shared core::ThreadPool; each tree draws from its own seeded RNG
+// stream, so the forest is bit-identical at any SUGAR_THREADS value.
 #pragma once
 
 #include <cstdint>
@@ -19,7 +21,8 @@ struct ForestConfig {
   /// Bootstrap sample fraction per tree.
   double bag_fraction = 1.0;
   std::uint64_t seed = 17;
-  /// Polled once per tree; fit() throws CancelledError when set.
+  /// Polled once per tree (on whichever pool thread fits it); fit()
+  /// rethrows the resulting CancelledError on the calling thread.
   const CancelToken* cancel = nullptr;
 
   ForestConfig() {

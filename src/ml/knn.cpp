@@ -3,10 +3,19 @@
 #include <algorithm>
 #include <numeric>
 
+#include "core/threadpool.h"
+
 namespace sugar::ml {
 namespace {
 
+// Query rows per parallel block. Fixed so the purity reduction's per-block
+// partial sums — and thus the double accumulation order — never depend on
+// the thread count.
+constexpr std::size_t kQueryGrain = 32;
+
 /// Indices of the k smallest distances (excluding `self` when >= 0).
+/// Ties are broken by index (pair comparison), so the neighbour set is
+/// deterministic regardless of which thread evaluates the query.
 std::vector<std::size_t> k_nearest(const Matrix& pool, const float* query, int k,
                                    std::ptrdiff_t self) {
   std::vector<std::pair<float, std::size_t>> dist;
@@ -33,14 +42,17 @@ void KnnClassifier::fit(Matrix x, std::vector<int> y, int num_classes) {
 
 std::vector<int> KnnClassifier::predict(const Matrix& x) const {
   std::vector<int> out(x.rows(), 0);
-  std::vector<int> votes(static_cast<std::size_t>(num_classes_));
-  for (std::size_t i = 0; i < x.rows(); ++i) {
-    auto nn = k_nearest(train_x_, x.row(i), k_, -1);
-    std::fill(votes.begin(), votes.end(), 0);
-    for (std::size_t j : nn) ++votes[static_cast<std::size_t>(train_y_[j])];
-    out[i] = static_cast<int>(std::max_element(votes.begin(), votes.end()) -
-                              votes.begin());
-  }
+  core::global_pool().parallel_for(
+      0, x.rows(), kQueryGrain, [&](std::size_t r0, std::size_t r1) {
+        std::vector<int> votes(static_cast<std::size_t>(num_classes_));
+        for (std::size_t i = r0; i < r1; ++i) {
+          auto nn = k_nearest(train_x_, x.row(i), k_, -1);
+          std::fill(votes.begin(), votes.end(), 0);
+          for (std::size_t j : nn) ++votes[static_cast<std::size_t>(train_y_[j])];
+          out[i] = static_cast<int>(std::max_element(votes.begin(), votes.end()) -
+                                    votes.begin());
+        }
+      });
   return out;
 }
 
@@ -51,16 +63,36 @@ PurityHistogram knn_purity(const Matrix& embeddings, const std::vector<int>& lab
   std::size_t n = embeddings.rows();
   if (n < 2) return result;
 
+  struct Partial {
+    std::vector<double> histogram;
+    double purity_sum = 0;
+  };
+  const std::size_t blocks = core::ThreadPool::block_count(0, n, kQueryGrain);
+  std::vector<Partial> partials(blocks);
+  core::global_pool().parallel_for(
+      0, n, kQueryGrain, [&](std::size_t r0, std::size_t r1) {
+        Partial& p = partials[r0 / kQueryGrain];
+        p.histogram.assign(static_cast<std::size_t>(k + 1), 0.0);
+        for (std::size_t i = r0; i < r1; ++i) {
+          auto nn = k_nearest(embeddings, embeddings.row(i), k,
+                              static_cast<std::ptrdiff_t>(i));
+          int same = 0;
+          for (std::size_t j : nn)
+            if (labels[j] == labels[i]) ++same;
+          ++p.histogram[static_cast<std::size_t>(same)];
+          p.purity_sum += nn.empty() ? 0.0
+                                     : static_cast<double>(same) /
+                                           static_cast<double>(nn.size());
+        }
+      });
+
+  // Combine in ascending block order: the double summation is bit-identical
+  // at any thread count because the block structure is fixed.
   double purity_sum = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    auto nn = k_nearest(embeddings, embeddings.row(i), k,
-                        static_cast<std::ptrdiff_t>(i));
-    int same = 0;
-    for (std::size_t j : nn)
-      if (labels[j] == labels[i]) ++same;
-    ++result.histogram[static_cast<std::size_t>(same)];
-    purity_sum += nn.empty() ? 0.0
-                             : static_cast<double>(same) / static_cast<double>(nn.size());
+  for (const Partial& p : partials) {
+    for (std::size_t j = 0; j < p.histogram.size(); ++j)
+      result.histogram[j] += p.histogram[j];
+    purity_sum += p.purity_sum;
   }
   for (auto& h : result.histogram) h /= static_cast<double>(n);
   result.mean_purity = purity_sum / static_cast<double>(n);

@@ -34,7 +34,9 @@ struct PurityHistogram {
 };
 
 /// Computes k-NN purity over an embedded set. O(n²) distances; callers
-/// subsample to a few thousand points.
+/// subsample to a few thousand points. Query rows run in parallel on the
+/// shared core::ThreadPool with a fixed block partition, so the histogram
+/// and mean are bit-identical at any SUGAR_THREADS value.
 PurityHistogram knn_purity(const Matrix& embeddings, const std::vector<int>& labels,
                            int k = 5);
 

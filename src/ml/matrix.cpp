@@ -3,9 +3,21 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/threadpool.h"
 #include "ml/guard.h"
 
 namespace sugar::ml {
+namespace {
+
+// Rows of the output matrix per parallel block. Fixed (never derived from
+// the thread count) so the block structure — and therefore every
+// floating-point accumulation order — is identical at any SUGAR_THREADS.
+constexpr std::size_t kRowGrain = 8;
+// k-panel width: a panel of B rows (kPanel × cols floats) stays hot in L1/L2
+// while it is streamed against every A row of the block.
+constexpr std::size_t kPanel = 64;
+
+}  // namespace
 
 Matrix Matrix::take_rows(const std::vector<std::size_t>& idx) const {
   Matrix out(idx.size(), cols_);
@@ -14,51 +26,74 @@ Matrix Matrix::take_rows(const std::vector<std::size_t>& idx) const {
   return out;
 }
 
+// The kernels below are dense: there is deliberately no `aik == 0.0f`
+// branch-skip. On the float matrices these see (features, activations,
+// gradients) zeros are common but unpredictable, so the branch is a
+// mispredict tax on the inner loop, and skipping iterations breaks
+// vectorization. bench_micro_substrate carries the legacy branchy kernel
+// for comparison.
+
 Matrix matmul(const Matrix& a, const Matrix& b) {
   check_internal(a.cols() == b.rows(), "matmul: inner dimensions disagree");
   Matrix c(a.rows(), b.cols());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const float* ai = a.row(i);
-    float* ci = c.row(i);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      float aik = ai[k];
-      if (aik == 0.0f) continue;
-      const float* bk = b.row(k);
-      for (std::size_t j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
-    }
-  }
+  const std::size_t kk = a.cols(), m = b.cols();
+  core::global_pool().parallel_for(
+      0, a.rows(), kRowGrain, [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t k0 = 0; k0 < kk; k0 += kPanel) {
+          const std::size_t k1 = std::min(kk, k0 + kPanel);
+          for (std::size_t i = r0; i < r1; ++i) {
+            const float* __restrict__ ai = a.row(i);
+            float* __restrict__ ci = c.row(i);
+            for (std::size_t k = k0; k < k1; ++k) {
+              const float aik = ai[k];
+              const float* __restrict__ bk = b.row(k);
+              for (std::size_t j = 0; j < m; ++j) ci[j] += aik * bk[j];
+            }
+          }
+        }
+      });
   return c;
 }
 
 Matrix matmul_tn(const Matrix& a, const Matrix& b) {
   check_internal(a.rows() == b.rows(), "matmul_tn: row counts disagree");
   Matrix c(a.cols(), b.cols());
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    const float* ak = a.row(k);
-    const float* bk = b.row(k);
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      float aki = ak[i];
-      if (aki == 0.0f) continue;
-      float* ci = c.row(i);
-      for (std::size_t j = 0; j < b.cols(); ++j) ci[j] += aki * bk[j];
-    }
-  }
+  const std::size_t n = a.rows(), m = b.cols();
+  // Output rows are columns of A; each block owns rows [i0, i1) of C, and
+  // the k (sample) loop stays outermost so A and B are streamed once per
+  // block in row-major order.
+  core::global_pool().parallel_for(
+      0, a.cols(), kRowGrain, [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t k = 0; k < n; ++k) {
+          const float* __restrict__ ak = a.row(k);
+          const float* __restrict__ bk = b.row(k);
+          for (std::size_t i = i0; i < i1; ++i) {
+            const float aki = ak[i];
+            float* __restrict__ ci = c.row(i);
+            for (std::size_t j = 0; j < m; ++j) ci[j] += aki * bk[j];
+          }
+        }
+      });
   return c;
 }
 
 Matrix matmul_nt(const Matrix& a, const Matrix& b) {
   check_internal(a.cols() == b.cols(), "matmul_nt: column counts disagree");
   Matrix c(a.rows(), b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const float* ai = a.row(i);
-    float* ci = c.row(i);
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const float* bj = b.row(j);
-      float s = 0;
-      for (std::size_t k = 0; k < a.cols(); ++k) s += ai[k] * bj[k];
-      ci[j] = s;
-    }
-  }
+  const std::size_t kk = a.cols(), m = b.rows();
+  core::global_pool().parallel_for(
+      0, a.rows(), kRowGrain, [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) {
+          const float* __restrict__ ai = a.row(i);
+          float* __restrict__ ci = c.row(i);
+          for (std::size_t j = 0; j < m; ++j) {
+            const float* __restrict__ bj = b.row(j);
+            float s = 0;
+            for (std::size_t k = 0; k < kk; ++k) s += ai[k] * bj[k];
+            ci[j] = s;
+          }
+        }
+      });
   return c;
 }
 

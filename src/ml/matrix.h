@@ -1,7 +1,9 @@
 // Minimal dense linear algebra for the from-scratch ML stack: row-major
 // float matrices with the handful of operations the classifiers and
-// encoders need. No BLAS dependency; loops are written cache-friendly
-// (ikj matmul) which is plenty at benchmark scale.
+// encoders need. No BLAS dependency; the GEMM kernels are cache-blocked
+// (row-partitioned ikj with k-panel tiling) and run on the shared
+// core::ThreadPool (SUGAR_THREADS), with a fixed block structure so results
+// are bit-identical at any thread count.
 #pragma once
 
 #include <cassert>

@@ -316,6 +316,134 @@ TEST_F(SupervisorTest, MixedFailureGridDegradesGracefullyAndResumes) {
   EXPECT_TRUE(sup.finalize());
 }
 
+TEST_F(SupervisorTest, RunCellsParallelMatchesSequentialArtifact) {
+  // The same 8-cell batch run sequentially and at max_parallel_cells=4 must
+  // produce identical cells[] (submission order) and identical health, even
+  // though completion order differs under concurrency.
+  auto make_batch = [](std::vector<CellSpec>& specs,
+                       std::vector<RunSupervisor::CellFn>& fns) {
+    for (int i = 0; i < 8; ++i) {
+      specs.push_back({"batch", "r" + std::to_string(i), "c",
+                       generic_cell_key({"batch", std::to_string(i)})});
+      fns.push_back([i](CellContext&) -> CellSummary {
+        // Later cells finish first under concurrency.
+        std::this_thread::sleep_for(std::chrono::milliseconds(2 * (8 - i)));
+        if (i == 3) throw std::runtime_error("cell 3 fails");
+        return ok_summary(0.1 * i, 0.05 * i);
+      });
+    }
+  };
+
+  auto run_with = [&](int parallel, const std::string& name) {
+    auto cfg = config(name);
+    cfg.max_parallel_cells = parallel;
+    RunSupervisor sup(cfg);
+    std::vector<CellSpec> specs;
+    std::vector<RunSupervisor::CellFn> fns;
+    make_batch(specs, fns);
+    auto outcomes = sup.run_cells(specs, fns);
+    EXPECT_TRUE(sup.finalize());
+    return std::make_pair(std::move(outcomes), cfg.json_path);
+  };
+
+  auto [seq, seq_path] = run_with(1, "seq");
+  auto [par, par_path] = run_with(4, "par");
+
+  ASSERT_EQ(seq.size(), 8u);
+  ASSERT_EQ(par.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(par[i].ok(), seq[i].ok()) << "cell " << i;
+    EXPECT_DOUBLE_EQ(par[i].summary.accuracy, seq[i].summary.accuracy);
+  }
+
+  auto seq_doc = Json::parse(read_file(seq_path));
+  auto par_doc = Json::parse(read_file(par_path));
+  ASSERT_TRUE(seq_doc && par_doc);
+  const auto& seq_cells = seq_doc->find("cells")->items();
+  const auto& par_cells = par_doc->find("cells")->items();
+  ASSERT_EQ(par_cells.size(), seq_cells.size());
+  for (std::size_t i = 0; i < seq_cells.size(); ++i) {
+    // Submission-order commit: row labels line up cell-for-cell.
+    EXPECT_EQ(par_cells[i].find("row")->string_or("x"),
+              seq_cells[i].find("row")->string_or("y"));
+    EXPECT_EQ(par_cells[i].find("status")->string_or("x"),
+              seq_cells[i].find("status")->string_or("y"));
+  }
+  for (const char* field : {"ok", "failed", "cells"})
+    EXPECT_EQ(par_doc->find("health")->find(field)->number_or(-1),
+              seq_doc->find("health")->find(field)->number_or(-2))
+        << field;
+}
+
+TEST_F(SupervisorTest, ConcurrentJournalReplaysCleanly) {
+  // A journal written by concurrent cells must be line-clean (no torn or
+  // interleaved appends) and fully replayable by a resumed run.
+  auto cfg = config("cjournal");
+  cfg.max_parallel_cells = 6;
+  {
+    RunSupervisor sup(cfg);
+    std::vector<CellSpec> specs;
+    std::vector<RunSupervisor::CellFn> fns;
+    for (int i = 0; i < 12; ++i) {
+      specs.push_back({"cjournal", "r" + std::to_string(i), "c",
+                       generic_cell_key({"cjournal", std::to_string(i)})});
+      fns.push_back(
+          [i](CellContext&) { return ok_summary(0.01 * i, 0.01 * i); });
+    }
+    auto outcomes = sup.run_cells(specs, fns);
+    for (const auto& o : outcomes) EXPECT_TRUE(o.ok());
+    EXPECT_TRUE(sup.finalize());
+  }
+
+  std::size_t torn = 0;
+  auto journal = load_jsonl(cfg.json_path + ".journal.jsonl", &torn);
+  EXPECT_EQ(torn, 0u);
+  EXPECT_EQ(journal.size(), 12u);
+
+  auto cfg2 = cfg;
+  cfg2.resume = true;
+  RunSupervisor sup(cfg2);
+  int recomputed = 0;
+  for (int i = 0; i < 12; ++i) {
+    auto outcome =
+        sup.run_cell({"cjournal", "r" + std::to_string(i), "c",
+                      generic_cell_key({"cjournal", std::to_string(i)})},
+                     [&](CellContext&) {
+                       ++recomputed;
+                       return ok_summary();
+                     });
+    EXPECT_EQ(outcome.status, CellStatus::kOkFromJournal) << i;
+    EXPECT_DOUBLE_EQ(outcome.summary.accuracy, 0.01 * i);
+  }
+  EXPECT_EQ(recomputed, 0);
+  EXPECT_EQ(sup.health().from_journal, 12);
+  EXPECT_TRUE(sup.finalize());
+}
+
+TEST_F(SupervisorTest, ArtifactRecordsSubstrateConfigAndWallSeconds) {
+  auto cfg = config("wall");
+  cfg.max_parallel_cells = 3;
+  RunSupervisor sup(cfg);
+  sup.run_cell({"wall", "r", "c", ""}, [](CellContext&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    return ok_summary();
+  });
+  EXPECT_TRUE(sup.finalize());
+
+  auto doc = Json::parse(read_file(cfg.json_path));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_GE(doc->find("schema_version")->number_or(0), 2);
+  const Json* config_obj = doc->find("config");
+  ASSERT_NE(config_obj, nullptr);
+  EXPECT_GE(config_obj->find("threads")->number_or(0), 1);
+  EXPECT_EQ(config_obj->find("parallel_cells")->number_or(0), 3);
+  const auto& cells = doc->find("cells")->items();
+  ASSERT_EQ(cells.size(), 1u);
+  const Json* wall = cells[0].find("wall_seconds");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_GE(wall->number_or(-1), 0.005 - 1e-9);
+}
+
 TEST(BenchCli, ParsesStrictFlagsAndRejectsMalformedOnes) {
   std::string error;
   {
@@ -356,6 +484,25 @@ TEST(BenchCli, ParsesStrictFlagsAndRejectsMalformedOnes) {
     const char* argv[] = {"bench", "--wat"};
     EXPECT_FALSE(parse_bench_cli("t", 2, argv, error).has_value());
     EXPECT_NE(error.find("unknown flag"), std::string::npos);
+  }
+  {
+    const char* argv[] = {"bench", "--parallel-cells", "4"};
+    auto cfg = parse_bench_cli("t", 3, argv, error);
+    ASSERT_TRUE(cfg.has_value()) << error;
+    EXPECT_EQ(cfg->max_parallel_cells, 4);
+  }
+  {
+    // Default stays fully sequential.
+    const char* argv[] = {"bench"};
+    auto cfg = parse_bench_cli("t", 1, argv, error);
+    ASSERT_TRUE(cfg.has_value());
+    EXPECT_EQ(cfg->max_parallel_cells, 1);
+  }
+  for (const char* bad : {"0", "-3", "2x", "abc"}) {
+    const char* argv[] = {"bench", "--parallel-cells", bad};
+    EXPECT_FALSE(parse_bench_cli("t", 3, argv, error).has_value())
+        << "value: " << bad;
+    EXPECT_NE(error.find("--parallel-cells"), std::string::npos);
   }
 }
 

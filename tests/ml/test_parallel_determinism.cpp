@@ -1,0 +1,159 @@
+// Determinism contract of the parallel ml kernels: GEMM, forest, and k-NN
+// must produce bit-identical results at SUGAR_THREADS = 1, 2 and 7 (an odd
+// width catches remainder-partition bugs), and the blocked GEMM must match
+// a naive triple-loop reference exactly (same k-ascending accumulation
+// order, so equality is bitwise, not approximate).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "core/threadpool.h"
+#include "ml/forest.h"
+#include "ml/knn.h"
+#include "ml/matrix.h"
+
+namespace sugar::ml {
+namespace {
+
+/// Rebuilds the global pool at a given width for the test body, then
+/// restores the env-derived width so later tests see the default substrate.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(std::size_t n) { core::set_global_threads(n); }
+  ~ScopedThreads() { core::set_global_threads(0); }
+};
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Matrix m(rows, cols);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(-2.0f, 2.0f);
+  for (auto& v : m.data()) v = dist(rng);
+  return m;
+}
+
+bool bit_equal(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data().data(), b.data().data(),
+                     a.size() * sizeof(float)) == 0;
+}
+
+/// Naive ikj reference with the same k-ascending accumulation order as the
+/// blocked kernel.
+Matrix naive_matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t k = 0; k < a.cols(); ++k)
+      for (std::size_t j = 0; j < b.cols(); ++j)
+        c(i, j) += a(i, k) * b(k, j);
+  return c;
+}
+
+const std::size_t kWidths[] = {1, 2, 7};
+
+TEST(ParallelDeterminism, MatmulMatchesNaiveAndAllWidths) {
+  // Odd shapes so both the row grain (8) and the k panel (64) leave
+  // remainders.
+  const Matrix a = random_matrix(67, 129, 11);
+  const Matrix b = random_matrix(129, 43, 12);
+  const Matrix ref = naive_matmul(a, b);
+  for (std::size_t w : kWidths) {
+    ScopedThreads threads(w);
+    EXPECT_TRUE(bit_equal(matmul(a, b), ref)) << "threads " << w;
+  }
+}
+
+TEST(ParallelDeterminism, MatmulTnAllWidths) {
+  const Matrix a = random_matrix(129, 67, 21);  // [k×n]^T
+  const Matrix b = random_matrix(129, 43, 22);
+  Matrix ref;
+  {
+    ScopedThreads threads(1);
+    ref = matmul_tn(a, b);
+  }
+  ASSERT_EQ(ref.rows(), 67u);
+  ASSERT_EQ(ref.cols(), 43u);
+  for (std::size_t w : kWidths) {
+    ScopedThreads threads(w);
+    EXPECT_TRUE(bit_equal(matmul_tn(a, b), ref)) << "threads " << w;
+  }
+}
+
+TEST(ParallelDeterminism, MatmulNtAllWidths) {
+  const Matrix a = random_matrix(67, 129, 31);
+  const Matrix b = random_matrix(43, 129, 32);  // [m×k], used transposed
+  Matrix ref;
+  {
+    ScopedThreads threads(1);
+    ref = matmul_nt(a, b);
+  }
+  ASSERT_EQ(ref.rows(), 67u);
+  ASSERT_EQ(ref.cols(), 43u);
+  for (std::size_t w : kWidths) {
+    ScopedThreads threads(w);
+    EXPECT_TRUE(bit_equal(matmul_nt(a, b), ref)) << "threads " << w;
+  }
+}
+
+TEST(ParallelDeterminism, ForestFitPredictImportanceAllWidths) {
+  const Matrix x = random_matrix(300, 12, 41);
+  std::vector<int> y(x.rows());
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = static_cast<int>(i % 4);
+  const Matrix q = random_matrix(57, 12, 42);
+
+  ForestConfig cfg;
+  cfg.num_trees = 15;  // odd count: uneven final tree block
+  cfg.seed = 99;
+
+  std::vector<int> ref_pred;
+  std::vector<double> ref_imp;
+  for (std::size_t w : kWidths) {
+    ScopedThreads threads(w);
+    RandomForest rf(cfg);
+    rf.fit(x, y, 4);
+    auto pred = rf.predict(q);
+    auto imp = rf.feature_importance();
+    if (ref_pred.empty()) {
+      ref_pred = pred;
+      ref_imp = imp;
+      continue;
+    }
+    EXPECT_EQ(pred, ref_pred) << "threads " << w;
+    ASSERT_EQ(imp.size(), ref_imp.size());
+    for (std::size_t f = 0; f < imp.size(); ++f)
+      EXPECT_EQ(imp[f], ref_imp[f]) << "feature " << f << " threads " << w;
+  }
+}
+
+TEST(ParallelDeterminism, KnnPredictAndPurityAllWidths) {
+  const Matrix train = random_matrix(200, 8, 51);
+  std::vector<int> labels(train.rows());
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    labels[i] = static_cast<int>(i % 3);
+  const Matrix query = random_matrix(77, 8, 52);
+
+  std::vector<int> ref_pred;
+  PurityHistogram ref_purity;
+  for (std::size_t w : kWidths) {
+    ScopedThreads threads(w);
+    KnnClassifier knn(5);
+    knn.fit(train, labels, 3);
+    auto pred = knn.predict(query);
+    auto purity = knn_purity(train, labels, 5);
+    if (ref_pred.empty()) {
+      ref_pred = pred;
+      ref_purity = purity;
+      continue;
+    }
+    EXPECT_EQ(pred, ref_pred) << "threads " << w;
+    EXPECT_EQ(purity.mean_purity, ref_purity.mean_purity) << "threads " << w;
+    ASSERT_EQ(purity.histogram.size(), ref_purity.histogram.size());
+    for (std::size_t j = 0; j < purity.histogram.size(); ++j)
+      EXPECT_EQ(purity.histogram[j], ref_purity.histogram[j])
+          << "bin " << j << " threads " << w;
+  }
+}
+
+}  // namespace
+}  // namespace sugar::ml
