@@ -7,6 +7,10 @@
 // the perf_smoke ctest label: every kernel at SUGAR_THREADS=1 and =4 with
 // bit-identical-output verification, speedups recorded in the artifact
 // (speedup is reported, not gated — determinism is the hard requirement).
+//
+// `--simd-compare <out.json>` runs the scalar-reference vs core::simd
+// comparison instead: each vector kernel must reproduce its no-vectorize
+// scalar spec to the bit, with GFLOP/s and GB/s recorded (schema 3).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -17,6 +21,7 @@
 #include <sstream>
 
 #include "core/artifact.h"
+#include "core/simd.h"
 #include "core/threadpool.h"
 #include "dataset/split.h"
 #include "dataset/task.h"
@@ -270,8 +275,10 @@ BENCHMARK(BM_PerFlowSplit);
 // ---- --substrate-compare: deterministic seq-vs-par verification ---------
 
 /// Bit-exact digest of a float buffer (the raw bytes, so -0.0f vs +0.0f or
-/// any last-ulp drift is caught).
-std::string digest_floats(const std::vector<float>& v) {
+/// any last-ulp drift is caught). Templated over the allocator so it takes
+/// both std::vector<float> and ml::Matrix's aligned FloatBuffer.
+template <typename Alloc>
+std::string digest_floats(const std::vector<float, Alloc>& v) {
   return core::hex64(core::fnv1a64(std::string_view(
       reinterpret_cast<const char*>(v.data()), v.size() * sizeof(float))));
 }
@@ -399,6 +406,250 @@ int run_substrate_compare(const std::string& path) {
   return 0;
 }
 
+// ---- --simd-compare: scalar-reference vs core::simd verification --------
+//
+// The scalar references below are the determinism SPEC written as plain
+// scalar code: k-ascending GEMM accumulation and the strided-8 blocked
+// reduction from core/simd.h. The vectorized kernels must reproduce them
+// to the bit — that identity is the gate. Throughput (GFLOP/s and GB/s)
+// is reported, not gated: the required >= 2x GEMM speedup only appears on
+// real vector hardware, not under SUGAR_SIMD_FORCE_SCALAR.
+//
+// GCC auto-vectorizes plain loops at -O2, which would turn the "scalar"
+// baseline into SIMD and hide the speedup — so the references are compiled
+// with the tree-vectorizer off where the attribute exists.
+#if defined(__GNUC__) && !defined(__clang__)
+#define SUGAR_SCALAR_REF __attribute__((optimize("no-tree-vectorize")))
+#else
+#define SUGAR_SCALAR_REF
+#endif
+
+SUGAR_SCALAR_REF void scalar_gemm(const ml::Matrix& a, const ml::Matrix& b,
+                                  ml::Matrix& c) {
+  c.reshape(a.rows(), b.cols());
+  c.fill(0.0f);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* ai = a.row(i);
+    float* ci = c.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      float aik = ai[k];
+      const float* bk = b.row(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
+    }
+  }
+}
+
+SUGAR_SCALAR_REF void scalar_axpy(float* dst, const float* src, float a,
+                                  std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] += a * src[i];
+}
+
+SUGAR_SCALAR_REF void scalar_relu(ml::Matrix& m, ml::Matrix& mask) {
+  mask.reshape(m.rows(), m.cols());
+  float* v = m.data().data();
+  float* mk = mask.data().data();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    mk[i] = v[i] > 0.0f ? 1.0f : 0.0f;
+    v[i] = v[i] > 0.0f ? v[i] : 0.0f;
+  }
+}
+
+SUGAR_SCALAR_REF float scalar_strided_max(const float* a, std::size_t n) {
+  if (n < 8) {
+    float m = a[0];
+    for (std::size_t i = 1; i < n; ++i) m = a[i] > m ? a[i] : m;
+    return m;
+  }
+  float lanes[8];
+  for (std::size_t l = 0; l < 8; ++l) lanes[l] = a[l];
+  std::size_t i = 8;
+  for (; i + 8 <= n; i += 8)
+    for (std::size_t l = 0; l < 8; ++l)
+      lanes[l] = a[i + l] > lanes[l] ? a[i + l] : lanes[l];
+  for (std::size_t t = i; t < n; ++t)
+    lanes[t - i] = a[t] > lanes[t - i] ? a[t] : lanes[t - i];
+  return core::simd::reduce8_max(lanes);
+}
+
+SUGAR_SCALAR_REF float scalar_strided_sum(const float* a, std::size_t n) {
+  float lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    for (std::size_t l = 0; l < 8; ++l) lanes[l] += a[i + l];
+  for (std::size_t t = i; t < n; ++t) lanes[t - i] += a[t];
+  return core::simd::reduce8(lanes);
+}
+
+SUGAR_SCALAR_REF void scalar_softmax(ml::Matrix& m) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    float* r = m.row(i);
+    const std::size_t n = m.cols();
+    float mx = scalar_strided_max(r, n);
+    for (std::size_t j = 0; j < n; ++j) r[j] = std::exp(r[j] - mx);
+    float inv = 1.0f / scalar_strided_sum(r, n);
+    for (std::size_t j = 0; j < n; ++j) r[j] *= inv;
+  }
+}
+
+SUGAR_SCALAR_REF float scalar_sqdist(const float* a, const float* b,
+                                     std::size_t n) {
+  float lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    for (std::size_t l = 0; l < 8; ++l) {
+      float d = a[i + l] - b[i + l];
+      lanes[l] += d * d;
+    }
+  for (std::size_t t = i; t < n; ++t) {
+    float d = a[t] - b[t];
+    lanes[t - i] += d * d;
+  }
+  return core::simd::reduce8(lanes);
+}
+
+struct SimdCase {
+  std::string kernel;
+  double flops;  // arithmetic work of one run (0 when not meaningful)
+  double bytes;  // memory traffic of one run
+  std::function<std::string()> run_scalar;
+  std::function<std::string()> run_simd;
+};
+
+int run_simd_compare(const std::string& path) {
+  constexpr int kReps = 5;
+  core::set_global_threads(1);  // kernel-only comparison, no thread effects
+
+  auto a = random_matrix(256, 256, 201);
+  auto b = random_matrix(256, 256, 202);
+  const std::size_t kElems = 1u << 20;
+  auto u = random_matrix(1, kElems, 203);
+  auto v = random_matrix(1, kElems, 204);
+  auto soft = random_matrix(512, 203, 205);  // odd cols: exercises the tail
+  ml::Matrix scratch, scratch2, mask;
+
+  auto digest_one = [](float x) {
+    return core::hex64(core::fnv1a64(
+        std::string_view(reinterpret_cast<const char*>(&x), sizeof x)));
+  };
+
+  std::vector<SimdCase> cases;
+  const double gemm_flops = 2.0 * 256 * 256 * 256;
+  const double gemm_bytes = 4.0 * (256.0 * 256 * 3);
+  cases.push_back({"gemm", gemm_flops, gemm_bytes,
+                   [&] {
+                     scalar_gemm(a, b, scratch);
+                     return digest_floats(scratch.data());
+                   },
+                   [&] {
+                     ml::matmul_into(a, b, scratch2);
+                     return digest_floats(scratch2.data());
+                   }});
+  cases.push_back({"axpy", 2.0 * kElems, 4.0 * kElems * 3,
+                   [&] {
+                     scratch.copy_from(u);
+                     scalar_axpy(scratch.data().data(), v.data().data(), 1.25f,
+                                 kElems);
+                     return digest_floats(scratch.data());
+                   },
+                   [&] {
+                     scratch2.copy_from(u);
+                     core::simd::axpy(scratch2.data().data(), v.data().data(),
+                                      1.25f, kElems);
+                     return digest_floats(scratch2.data());
+                   }});
+  cases.push_back({"relu", 0.0, 4.0 * kElems * 3,
+                   [&] {
+                     scratch.copy_from(u);
+                     scalar_relu(scratch, mask);
+                     return digest_floats(scratch.data()) +
+                            digest_floats(mask.data());
+                   },
+                   [&] {
+                     scratch2.copy_from(u);
+                     ml::relu_inplace_into(scratch2, mask);
+                     return digest_floats(scratch2.data()) +
+                            digest_floats(mask.data());
+                   }});
+  const double soft_elems = 512.0 * 203;
+  cases.push_back({"softmax_rows", 4.0 * soft_elems, 4.0 * soft_elems * 4,
+                   [&] {
+                     scratch.copy_from(soft);
+                     scalar_softmax(scratch);
+                     return digest_floats(scratch.data());
+                   },
+                   [&] {
+                     scratch2.copy_from(soft);
+                     ml::softmax_rows(scratch2);
+                     return digest_floats(scratch2.data());
+                   }});
+  cases.push_back({"squared_distance", 3.0 * kElems, 4.0 * kElems * 2,
+                   [&] {
+                     return digest_one(scalar_sqdist(u.data().data(),
+                                                     v.data().data(), kElems));
+                   },
+                   [&] {
+                     return digest_one(ml::squared_distance(
+                         u.data().data(), v.data().data(), kElems));
+                   }});
+
+  core::Json doc = core::Json::object();
+  doc.set("schema_version", core::Json(3));
+  doc.set("bench", core::Json("micro_substrate_simd"));
+  doc.set("simd_backend", core::Json(core::simd::backend_name()));
+  doc.set("threads", core::Json(std::size_t{1}));
+  core::Json arr = core::Json::array();
+
+  bool all_identical = true;
+  for (auto& c : cases) {
+    std::string d_scalar = c.run_scalar();  // warm before timing
+    double t_scalar = best_seconds(kReps, c.run_scalar);
+    std::string d_simd = c.run_simd();
+    double t_simd = best_seconds(kReps, c.run_simd);
+    bool identical = d_scalar == d_simd;
+    all_identical = all_identical && identical;
+    double gflops = (c.flops > 0 && t_simd > 0) ? c.flops / t_simd / 1e9 : 0.0;
+    double bps = t_simd > 0 ? c.bytes / t_simd : 0.0;
+
+    core::Json row = core::Json::object();
+    row.set("kernel", core::Json(c.kernel));
+    row.set("scalar_seconds", core::Json(t_scalar));
+    row.set("simd_seconds", core::Json(t_simd));
+    row.set("speedup", core::Json(t_simd > 0 ? t_scalar / t_simd : 0.0));
+    row.set("flops", core::Json(c.flops));
+    row.set("bytes", core::Json(c.bytes));
+    row.set("gflops", core::Json(gflops));
+    row.set("bytes_per_s", core::Json(bps));
+    row.set("digest_scalar", core::Json(d_scalar));
+    row.set("digest_simd", core::Json(d_simd));
+    row.set("identical", core::Json(identical));
+    arr.push(row);
+    std::printf(
+        "%-18s scalar %.5fs  simd(%s) %.5fs  speedup %.2fx  %.2f GFLOP/s  "
+        "%.2f GB/s  %s\n",
+        c.kernel.c_str(), t_scalar, core::simd::backend_name(), t_simd,
+        t_simd > 0 ? t_scalar / t_simd : 0.0, gflops, bps / 1e9,
+        identical ? "bit-identical" : "OUTPUT MISMATCH");
+  }
+  core::set_global_threads(0);
+
+  doc.set("cases", arr);
+  doc.set("all_identical", core::Json(all_identical));
+  std::string err;
+  if (!core::atomic_write_file(path, doc.dump(2) + "\n", &err)) {
+    std::fprintf(stderr, "simd-compare: artifact write failed: %s\n",
+                 err.c_str());
+    return 1;
+  }
+  std::printf("Artifact: %s\n", path.c_str());
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "simd-compare: vectorized output differs from the scalar "
+                 "reference — determinism contract violated\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -409,6 +660,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     return run_substrate_compare(argv[2]);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "--simd-compare") == 0) {
+    if (argc != 3) {
+      std::fprintf(stderr,
+                   "usage: bench_micro_substrate --simd-compare <out.json>\n");
+      return 2;
+    }
+    return run_simd_compare(argv[2]);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -33,6 +33,44 @@ bool check(const char* path) {
   const bool v2 = schema->number_or(0) >= 2;
   const Json* bench = doc->find("bench");
   if (!bench || bench->string_or("").empty()) return fail(path, "missing bench");
+
+  // Kernel-comparison artifacts (--substrate-compare schema 1,
+  // --simd-compare schema 3) carry per-kernel cases instead of the
+  // supervisor's health/cells layout.
+  if (bench->string_or("").rfind("micro_substrate", 0) == 0) {
+    const bool v3 = schema->number_or(0) >= 3;
+    const Json* cases = doc->find("cases");
+    if (!cases || !cases->is_array()) return fail(path, "missing cases array");
+    if (cases->items().empty()) return fail(path, "cases array is empty");
+    const Json* all = doc->find("all_identical");
+    if (!all) return fail(path, "missing all_identical");
+    if (v3) {
+      const Json* backend = doc->find("simd_backend");
+      if (!backend || backend->string_or("").empty())
+        return fail(path, "schema 3 missing simd_backend");
+    }
+    for (const Json& c : cases->items()) {
+      if (!c.find("kernel")) return fail(path, "case missing kernel");
+      const Json* ident = c.find("identical");
+      if (!ident) return fail(path, "case missing identical");
+      const Json* speedup = c.find("speedup");
+      if (!speedup || speedup->type() != Json::Type::kNumber)
+        return fail(path, "case missing numeric speedup");
+      if (v3) {
+        // Schema 3: the throughput numbers land in the BENCH trajectory.
+        const Json* gflops = c.find("gflops");
+        if (!gflops || gflops->type() != Json::Type::kNumber ||
+            gflops->number_or(-1) < 0)
+          return fail(path, "schema 3 case missing non-negative gflops");
+        const Json* bps = c.find("bytes_per_s");
+        if (!bps || bps->type() != Json::Type::kNumber ||
+            bps->number_or(-1) < 0)
+          return fail(path, "schema 3 case missing non-negative bytes_per_s");
+      }
+    }
+    return true;
+  }
+
   const Json* health = doc->find("health");
   if (!health || !health->is_object()) return fail(path, "missing health object");
   const Json* cells = doc->find("cells");

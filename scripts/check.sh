@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Repository hygiene driver.
+#
+#   scripts/check.sh            plain build + unit tests + perf gates
+#   scripts/check.sh sanitize   asan / ubsan / tsan build-and-test matrix
+#   scripts/check.sh bench      plain build + every bench at smoke scale
+#   scripts/check.sh all        everything above
+#
+# Each configuration builds into its own directory (build-check, build-asan,
+# build-ubsan, build-tsan) so sanitizer flags never leak into the default
+# ./build tree. The perf_smoke label contains the determinism gates
+# (seq-vs-threaded digests AND SIMD-vs-scalar identity) — those must pass
+# everywhere; throughput is recorded in the artifacts, never gated.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+MODE="${1:-quick}"
+
+run() {
+  echo "+ $*" >&2
+  "$@"
+}
+
+# configure_build <dir> [extra cmake args...]
+configure_build() {
+  local dir="$1"
+  shift
+  run cmake -B "$dir" -S . "$@"
+  run cmake --build "$dir" -j "$JOBS"
+}
+
+plain() {
+  configure_build build-check
+  # Everything except the slow bench sweep: unit/property tests, the
+  # perf_smoke determinism gates, and the sanitizer smoke binaries in
+  # their plain-build form.
+  run ctest --test-dir build-check --output-on-failure -j "$JOBS" -LE bench_smoke
+}
+
+sanitize() {
+  configure_build build-asan -DSUGAR_SANITIZE=address
+  run ctest --test-dir build-asan --output-on-failure -j "$JOBS" -LE bench_smoke
+
+  configure_build build-ubsan -DSUGAR_SANITIZE=undefined
+  # UBSan gets the dedicated vector-kernel sweep plus the perf gates (the
+  # identity comparisons execute every SIMD code path under the sanitizer).
+  run ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" -L 'ubsan|perf_smoke'
+
+  configure_build build-tsan -DSUGAR_SANITIZE=thread
+  run ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L 'tsan|perf_smoke'
+}
+
+bench() {
+  configure_build build-check
+  run ctest --test-dir build-check --output-on-failure -L bench_smoke
+}
+
+case "$MODE" in
+  quick) plain ;;
+  sanitize) sanitize ;;
+  bench) bench ;;
+  all)
+    plain
+    bench
+    sanitize
+    ;;
+  *)
+    echo "usage: scripts/check.sh [quick|sanitize|bench|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "check.sh: $MODE passed"

@@ -24,6 +24,7 @@ void GradientBoosting::fit(const Matrix& x, const std::vector<int>& y,
   std::size_t n = x.rows();
   // Current margins F [n×outputs].
   Matrix margins(n, static_cast<std::size_t>(num_outputs_));
+  Matrix probs;  // softmax scratch, reused every round
   std::vector<float> grad(n), hess(n);
   trees_.clear();
   trees_.reserve(static_cast<std::size_t>(rounds * num_outputs_));
@@ -44,7 +45,7 @@ void GradientBoosting::fit(const Matrix& x, const std::vector<int>& y,
       trees_.push_back(std::move(tree));
     } else {
       // Softmax multi-class: one tree per class per round.
-      Matrix probs = margins;
+      probs.copy_from(margins);
       softmax_rows(probs);
       for (int k = 0; k < num_outputs_; ++k) {
         for (std::size_t i = 0; i < n; ++i) {

@@ -11,6 +11,8 @@
 #include <cmath>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
+#include <utility>
 
 namespace sugar::ml {
 
@@ -65,6 +67,20 @@ inline void check_loss_finite(float loss, const char* where, int epoch) {
 
 inline void check_internal(bool ok, const std::string& message) {
   if (!ok) throw InternalError(message);
+}
+
+/// Zero-cost overload for the hot paths: no std::string is materialized on
+/// the happy path (the std::string overload above builds its message even
+/// when ok, which shows up in per-sample loops).
+inline void check_internal(bool ok, const char* message) {
+  if (!ok) throw InternalError(message);
+}
+
+/// Lazy-message overload: the callable runs only on failure, so rich
+/// formatted messages stay free in tight loops.
+template <typename F, typename = std::enable_if_t<std::is_invocable_v<F>>>
+inline void check_internal(bool ok, F&& make_message) {
+  if (!ok) throw InternalError(std::forward<F>(make_message)());
 }
 
 }  // namespace sugar::ml

@@ -13,12 +13,22 @@ namespace {
 // the thread count.
 constexpr std::size_t kQueryGrain = 32;
 
-/// Indices of the k smallest distances (excluding `self` when >= 0).
-/// Ties are broken by index (pair comparison), so the neighbour set is
-/// deterministic regardless of which thread evaluates the query.
-std::vector<std::size_t> k_nearest(const Matrix& pool, const float* query, int k,
-                                   std::ptrdiff_t self) {
+/// Per-block scratch for the neighbour search: the distance array and the
+/// result index list are reused across every query a block handles, so the
+/// O(n)-sized buffers allocate once per block instead of once per query.
+struct KnnScratch {
   std::vector<std::pair<float, std::size_t>> dist;
+  std::vector<std::size_t> nn;
+};
+
+/// Indices of the k smallest distances (excluding `self` when >= 0),
+/// written into `scratch.nn`. Ties are broken by index (pair comparison),
+/// so the neighbour set is deterministic regardless of which thread
+/// evaluates the query.
+void k_nearest(const Matrix& pool, const float* query, int k,
+               std::ptrdiff_t self, KnnScratch& scratch) {
+  auto& dist = scratch.dist;
+  dist.clear();
   dist.reserve(pool.rows());
   for (std::size_t i = 0; i < pool.rows(); ++i) {
     if (static_cast<std::ptrdiff_t>(i) == self) continue;
@@ -27,9 +37,8 @@ std::vector<std::size_t> k_nearest(const Matrix& pool, const float* query, int k
   std::size_t kk = std::min<std::size_t>(static_cast<std::size_t>(k), dist.size());
   std::partial_sort(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(kk),
                     dist.end());
-  std::vector<std::size_t> out(kk);
-  for (std::size_t i = 0; i < kk; ++i) out[i] = dist[i].second;
-  return out;
+  scratch.nn.resize(kk);
+  for (std::size_t i = 0; i < kk; ++i) scratch.nn[i] = dist[i].second;
 }
 
 }  // namespace
@@ -45,8 +54,10 @@ std::vector<int> KnnClassifier::predict(const Matrix& x) const {
   core::global_pool().parallel_for(
       0, x.rows(), kQueryGrain, [&](std::size_t r0, std::size_t r1) {
         std::vector<int> votes(static_cast<std::size_t>(num_classes_));
+        KnnScratch scratch;
         for (std::size_t i = r0; i < r1; ++i) {
-          auto nn = k_nearest(train_x_, x.row(i), k_, -1);
+          k_nearest(train_x_, x.row(i), k_, -1, scratch);
+          const auto& nn = scratch.nn;
           std::fill(votes.begin(), votes.end(), 0);
           for (std::size_t j : nn) ++votes[static_cast<std::size_t>(train_y_[j])];
           out[i] = static_cast<int>(std::max_element(votes.begin(), votes.end()) -
@@ -73,9 +84,11 @@ PurityHistogram knn_purity(const Matrix& embeddings, const std::vector<int>& lab
       0, n, kQueryGrain, [&](std::size_t r0, std::size_t r1) {
         Partial& p = partials[r0 / kQueryGrain];
         p.histogram.assign(static_cast<std::size_t>(k + 1), 0.0);
+        KnnScratch scratch;
         for (std::size_t i = r0; i < r1; ++i) {
-          auto nn = k_nearest(embeddings, embeddings.row(i), k,
-                              static_cast<std::ptrdiff_t>(i));
+          k_nearest(embeddings, embeddings.row(i), k,
+                    static_cast<std::ptrdiff_t>(i), scratch);
+          const auto& nn = scratch.nn;
           int same = 0;
           for (std::size_t j : nn)
             if (labels[j] == labels[i]) ++same;

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/simd.h"
 #include "core/threadpool.h"
 #include "ml/guard.h"
 
 namespace sugar::ml {
 namespace {
+
+namespace simd = core::simd;
 
 // Rows of the output matrix per parallel block. Fixed (never derived from
 // the thread count) so the block structure — and therefore every
@@ -19,11 +22,23 @@ constexpr std::size_t kPanel = 64;
 
 }  // namespace
 
+void Matrix::copy_from(const Matrix& o) {
+  reshape(o.rows_, o.cols_);
+  std::copy(o.data_.begin(), o.data_.end(), data_.begin());
+}
+
 Matrix Matrix::take_rows(const std::vector<std::size_t>& idx) const {
-  Matrix out(idx.size(), cols_);
+  Matrix out;
+  take_rows_into(idx, out);
+  return out;
+}
+
+void Matrix::take_rows_into(const std::vector<std::size_t>& idx,
+                            Matrix& out) const {
+  check_internal(&out != this, "take_rows_into: output aliases input");
+  out.reshape(idx.size(), cols_);
   for (std::size_t i = 0; i < idx.size(); ++i)
     std::copy_n(row(idx[i]), cols_, out.row(i));
-  return out;
 }
 
 // The kernels below are dense: there is deliberately no `aik == 0.0f`
@@ -32,10 +47,24 @@ Matrix Matrix::take_rows(const std::vector<std::size_t>& idx) const {
 // mispredict tax on the inner loop, and skipping iterations breaks
 // vectorization. bench_micro_substrate carries the legacy branchy kernel
 // for comparison.
+//
+// Vectorization runs along the output column j (simd::axpy): every C(i,j)
+// keeps its k-ascending accumulation order, so the SIMD kernels are
+// bit-equal to the scalar loops they replaced — at any thread count and on
+// any core::simd backend. matmul_nt is a dot-product shape instead; its
+// per-(i,j) reduction uses the strided-8 order (simd::dot).
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  matmul_into(a, b, c);
+  return c;
+}
+
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& c) {
   check_internal(a.cols() == b.rows(), "matmul: inner dimensions disagree");
-  Matrix c(a.rows(), b.cols());
+  check_internal(&c != &a && &c != &b, "matmul: output aliases an input");
+  c.reshape(a.rows(), b.cols());
+  c.fill(0.0f);
   const std::size_t kk = a.cols(), m = b.cols();
   core::global_pool().parallel_for(
       0, a.rows(), kRowGrain, [&](std::size_t r0, std::size_t r1) {
@@ -44,20 +73,24 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
           for (std::size_t i = r0; i < r1; ++i) {
             const float* __restrict__ ai = a.row(i);
             float* __restrict__ ci = c.row(i);
-            for (std::size_t k = k0; k < k1; ++k) {
-              const float aik = ai[k];
-              const float* __restrict__ bk = b.row(k);
-              for (std::size_t j = 0; j < m; ++j) ci[j] += aik * bk[j];
-            }
+            for (std::size_t k = k0; k < k1; ++k)
+              simd::axpy(ci, b.row(k), ai[k], m);
           }
         }
       });
-  return c;
 }
 
 Matrix matmul_tn(const Matrix& a, const Matrix& b) {
-  check_internal(a.rows() == b.rows(), "matmul_tn: row counts disagree");
   Matrix c(a.cols(), b.cols());
+  matmul_tn_acc(a, b, c);
+  return c;
+}
+
+void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& c) {
+  check_internal(a.rows() == b.rows(), "matmul_tn: row counts disagree");
+  check_internal(c.rows() == a.cols() && c.cols() == b.cols(),
+                 "matmul_tn_acc: output shape mismatch");
+  check_internal(&c != &a && &c != &b, "matmul_tn_acc: output aliases an input");
   const std::size_t n = a.rows(), m = b.cols();
   // Output rows are columns of A; each block owns rows [i0, i1) of C, and
   // the k (sample) loop stays outermost so A and B are streamed once per
@@ -67,77 +100,91 @@ Matrix matmul_tn(const Matrix& a, const Matrix& b) {
         for (std::size_t k = 0; k < n; ++k) {
           const float* __restrict__ ak = a.row(k);
           const float* __restrict__ bk = b.row(k);
-          for (std::size_t i = i0; i < i1; ++i) {
-            const float aki = ak[i];
-            float* __restrict__ ci = c.row(i);
-            for (std::size_t j = 0; j < m; ++j) ci[j] += aki * bk[j];
-          }
+          for (std::size_t i = i0; i < i1; ++i)
+            simd::axpy(c.row(i), bk, ak[i], m);
         }
       });
-  return c;
 }
 
 Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  matmul_nt_into(a, b, c);
+  return c;
+}
+
+void matmul_nt_into(const Matrix& a, const Matrix& b, Matrix& c) {
   check_internal(a.cols() == b.cols(), "matmul_nt: column counts disagree");
-  Matrix c(a.rows(), b.rows());
+  check_internal(&c != &a && &c != &b, "matmul_nt: output aliases an input");
+  c.reshape(a.rows(), b.rows());
   const std::size_t kk = a.cols(), m = b.rows();
   core::global_pool().parallel_for(
       0, a.rows(), kRowGrain, [&](std::size_t r0, std::size_t r1) {
         for (std::size_t i = r0; i < r1; ++i) {
           const float* __restrict__ ai = a.row(i);
           float* __restrict__ ci = c.row(i);
-          for (std::size_t j = 0; j < m; ++j) {
-            const float* __restrict__ bj = b.row(j);
-            float s = 0;
-            for (std::size_t k = 0; k < kk; ++k) s += ai[k] * bj[k];
-            ci[j] = s;
-          }
+          for (std::size_t j = 0; j < m; ++j) ci[j] = simd::dot(ai, b.row(j), kk);
         }
       });
-  return c;
 }
 
 void add_row_vector(Matrix& m, const std::vector<float>& bias) {
   check_internal(bias.size() == m.cols(), "add_row_vector: bias size mismatch");
-  for (std::size_t i = 0; i < m.rows(); ++i) {
-    float* r = m.row(i);
-    for (std::size_t j = 0; j < m.cols(); ++j) r[j] += bias[j];
-  }
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    simd::vadd_inplace(m.row(i), bias.data(), m.cols());
 }
 
 Matrix relu_inplace(Matrix& m) {
-  Matrix mask(m.rows(), m.cols());
-  for (std::size_t i = 0; i < m.size(); ++i) {
-    if (m.data()[i] > 0) {
-      mask.data()[i] = 1.0f;
-    } else {
-      m.data()[i] = 0.0f;
-    }
-  }
+  Matrix mask;
+  relu_inplace_into(m, mask);
   return mask;
+}
+
+void relu_inplace_into(Matrix& m, Matrix& mask) {
+  mask.reshape(m.rows(), m.cols());
+  float* v = m.data().data();
+  float* mk = mask.data().data();
+  const std::size_t n = m.size();
+  std::size_t i = 0;
+  for (; i + simd::kLanes <= n; i += simd::kLanes) {
+    simd::f32x8 x = simd::loadu(v + i);
+    simd::storeu(mk + i, simd::step01(x));
+    simd::storeu(v + i, simd::relu(x));
+  }
+  for (; i < n; ++i) {
+    mk[i] = v[i] > 0.0f ? 1.0f : 0.0f;
+    v[i] = v[i] > 0.0f ? v[i] : 0.0f;
+  }
+}
+
+void relu_inplace_nomask(Matrix& m) {
+  float* v = m.data().data();
+  const std::size_t n = m.size();
+  std::size_t i = 0;
+  for (; i + simd::kLanes <= n; i += simd::kLanes)
+    simd::storeu(v + i, simd::relu(simd::loadu(v + i)));
+  for (; i < n; ++i) v[i] = v[i] > 0.0f ? v[i] : 0.0f;
+}
+
+void hadamard_inplace(Matrix& m, const Matrix& o) {
+  check_internal(m.rows() == o.rows() && m.cols() == o.cols(),
+                 "hadamard_inplace: shape mismatch");
+  simd::vmul_inplace(m.data().data(), o.data().data(), m.size());
 }
 
 void softmax_rows(Matrix& m) {
   for (std::size_t i = 0; i < m.rows(); ++i) {
     float* r = m.row(i);
-    float mx = *std::max_element(r, r + m.cols());
-    float sum = 0;
-    for (std::size_t j = 0; j < m.cols(); ++j) {
-      r[j] = std::exp(r[j] - mx);
-      sum += r[j];
-    }
-    float inv = 1.0f / sum;
-    for (std::size_t j = 0; j < m.cols(); ++j) r[j] *= inv;
+    const std::size_t n = m.cols();
+    float mx = simd::max(r, n);
+    // exp stays scalar: libm's std::exp is the per-element spec on every
+    // backend (a polynomial vector-exp would change bits).
+    for (std::size_t j = 0; j < n; ++j) r[j] = std::exp(r[j] - mx);
+    simd::vscale_inplace(r, 1.0f / simd::sum(r, n), n);
   }
 }
 
 float squared_distance(const float* a, const float* b, std::size_t n) {
-  float s = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    float d = a[i] - b[i];
-    s += d * d;
-  }
-  return s;
+  return simd::squared_distance(a, b, n);
 }
 
 }  // namespace sugar::ml

@@ -37,12 +37,16 @@ Metrics evaluate(const std::vector<int>& y_true, const std::vector<int>& y_pred,
   // Empty prediction sets are well-defined (all-zero metrics), not UB.
   if (y_true.empty()) return m;
   for (std::size_t i = 0; i < y_true.size(); ++i) {
-    check_internal(y_true[i] >= 0 && y_true[i] < num_classes,
-                   "evaluate: label " + std::to_string(y_true[i]) +
-                       " out of range at index " + std::to_string(i));
-    check_internal(y_pred[i] >= 0 && y_pred[i] < num_classes,
-                   "evaluate: prediction " + std::to_string(y_pred[i]) +
-                       " out of range at index " + std::to_string(i));
+    // Lazy messages: the strings are only built when a check fails, so the
+    // per-sample loop does no allocation on the happy path.
+    check_internal(y_true[i] >= 0 && y_true[i] < num_classes, [&] {
+      return "evaluate: label " + std::to_string(y_true[i]) +
+             " out of range at index " + std::to_string(i);
+    });
+    check_internal(y_pred[i] >= 0 && y_pred[i] < num_classes, [&] {
+      return "evaluate: prediction " + std::to_string(y_pred[i]) +
+             " out of range at index " + std::to_string(i);
+    });
     m.confusion.add(y_true[i], y_pred[i]);
   }
 

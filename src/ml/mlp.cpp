@@ -20,6 +20,11 @@ void MlpClassifier::fit(const Matrix& x, const std::vector<int>& y, int num_clas
 
   float best_loss = 1e30f;
   int stall = 0;
+  // Batch scratch hoisted out of the loops: with the arena-backed net this
+  // makes the steady-state epoch allocation-free.
+  std::vector<std::size_t> idx;
+  std::vector<int> yb;
+  Matrix xb, grad;
   for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
     std::shuffle(order.begin(), order.end(), rng);
     float epoch_loss = 0;
@@ -27,15 +32,14 @@ void MlpClassifier::fit(const Matrix& x, const std::vector<int>& y, int num_clas
     for (std::size_t start = 0; start < order.size(); start += cfg_.batch_size) {
       throw_if_cancelled(cfg_.cancel, "MlpClassifier::fit");
       std::size_t end = std::min(order.size(), start + cfg_.batch_size);
-      std::vector<std::size_t> idx(order.begin() + static_cast<std::ptrdiff_t>(start),
-                                   order.begin() + static_cast<std::ptrdiff_t>(end));
-      Matrix xb = x.take_rows(idx);
-      std::vector<int> yb(idx.size());
+      idx.assign(order.begin() + static_cast<std::ptrdiff_t>(start),
+                 order.begin() + static_cast<std::ptrdiff_t>(end));
+      x.take_rows_into(idx, xb);
+      yb.resize(idx.size());
       for (std::size_t i = 0; i < idx.size(); ++i) yb[i] = y[idx[i]];
 
       net_.zero_grad();
-      Matrix logits = net_.forward(xb, /*training=*/true);
-      Matrix grad;
+      Matrix& logits = net_.forward(xb, /*training=*/true);
       epoch_loss += softmax_cross_entropy(logits, yb, grad);
       ++batches;
       net_.backward(grad);

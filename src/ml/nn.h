@@ -4,9 +4,19 @@
 // layers, which is exactly what makes frozen-vs-unfrozen training a single
 // switch: the classification head's input gradient either stops at the
 // embedding (frozen) or keeps flowing into the encoder stack (unfrozen).
+//
+// Memory discipline: a MlpNet owns a MatrixArena of scratch slots for its
+// activations, ReLU masks and input gradients. forward()/backward() return
+// references into that arena and reuse the same buffers every batch, so a
+// training epoch performs zero heap allocations once each shape has been
+// seen (asserted in tests via MatrixArena::heap_allocations()). Linear
+// caches its forward input by pointer, not by copy; the pointed-to matrix
+// must stay alive until the matching backward() — MlpNet guarantees this
+// for its own layers (the inputs are arena slots or the caller's batch).
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <random>
 #include <vector>
 
@@ -14,24 +24,58 @@
 
 namespace sugar::ml {
 
+/// A pool of reusable Matrix slots addressed by index. acquire() reshapes
+/// the slot to the requested shape without ever shrinking its capacity, so
+/// steady-state training loops hit warm buffers only. heap_allocations()
+/// counts every capacity growth (including first use) — the zero-churn
+/// property is `heap_allocations()` staying flat across epochs.
+class MatrixArena {
+ public:
+  Matrix& acquire(std::size_t slot, std::size_t rows, std::size_t cols) {
+    while (slots_.size() <= slot) slots_.emplace_back();
+    Matrix& m = slots_[slot];
+    if (rows * cols > m.capacity()) ++heap_allocations_;
+    m.reshape(rows, cols);
+    return m;
+  }
+
+  [[nodiscard]] std::size_t heap_allocations() const {
+    return heap_allocations_;
+  }
+  [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
+
+ private:
+  // deque, not vector: growing the pool must not move existing slots —
+  // forward/backward hold references across acquire() calls.
+  std::deque<Matrix> slots_;
+  std::size_t heap_allocations_ = 0;
+};
+
 struct AdamState {
   Matrix m_w, v_w;
   std::vector<float> m_b, v_b;
   int t = 0;
 };
 
-/// Fully connected layer y = xW + b with cached activations for backprop.
+/// Fully connected layer y = xW + b with a pointer-cached activation for
+/// backprop (no input copy per step).
 class Linear {
  public:
   Linear() = default;
   Linear(std::size_t in, std::size_t out, std::mt19937_64& rng);
 
-  /// Forward over a batch [n×in] -> [n×out]; caches the input when
-  /// `training` so backward() can compute weight gradients.
-  Matrix forward(const Matrix& x, bool training);
+  /// Forward over a batch [n×in] into `y` [n×out] (reshaped, reused).
+  /// When `training`, caches a pointer to `x` for backward_into(); `x`
+  /// must outlive that call. A copied Linear carries the original's stale
+  /// pointer until its own next forward refreshes it.
+  void forward_into(const Matrix& x, Matrix& y, bool training);
 
-  /// Backward: grad wrt output [n×out] -> grad wrt input [n×in];
-  /// accumulates weight/bias gradients.
+  /// Backward: grad wrt output [n×out] -> grad wrt input written into
+  /// `grad_in` [n×in]; accumulates weight/bias gradients.
+  void backward_into(const Matrix& grad_out, Matrix& grad_in);
+
+  /// Allocating conveniences over the `_into` pair (tests, one-shot use).
+  Matrix forward(const Matrix& x, bool training);
   Matrix backward(const Matrix& grad_out);
 
   void zero_grad();
@@ -50,7 +94,7 @@ class Linear {
   std::vector<float> b_;
   Matrix grad_w_;
   std::vector<float> grad_b_;
-  Matrix cached_input_;
+  const Matrix* cached_input_ = nullptr;
   AdamState adam_;
 };
 
@@ -61,9 +105,13 @@ class MlpNet {
   /// dims = {in, h1, ..., out}.
   MlpNet(const std::vector<std::size_t>& dims, std::uint64_t seed);
 
-  Matrix forward(const Matrix& x, bool training);
-  /// Returns grad wrt the network input (enables stacking nets).
-  Matrix backward(const Matrix& grad_out);
+  /// Returns the last-layer activation, an arena slot owned by this net —
+  /// valid until the next forward() on the same net; copy to keep. `x`
+  /// must stay alive until backward() when `training`.
+  Matrix& forward(const Matrix& x, bool training);
+  /// Returns grad wrt the network input (enables stacking nets); also an
+  /// arena slot, valid until the next backward() on the same net.
+  Matrix& backward(const Matrix& grad_out);
   void zero_grad();
   void adam_step(float lr);
 
@@ -71,18 +119,24 @@ class MlpNet {
   [[nodiscard]] std::size_t out_dim() const { return layers_.back().out_dim(); }
   [[nodiscard]] std::size_t param_count() const;
   [[nodiscard]] std::size_t num_layers() const { return layers_.size(); }
+  [[nodiscard]] const MatrixArena& arena() const { return arena_; }
 
  private:
+  // Arena slot map for L layers: activation of layer i at slot i
+  // (i = 0..L-1), ReLU mask i at L+i (i = 0..L-2), grad wrt the input of
+  // layer li at 2L-1+li (li = 0..L-1). 3L-1 slots total.
   std::vector<Linear> layers_;
-  std::vector<Matrix> relu_masks_;
+  MatrixArena arena_;
 };
 
 /// Softmax cross-entropy: fills `grad` (dL/dlogits, already divided by n)
-/// and returns mean loss. `logits` is consumed (softmaxed in place).
+/// and returns mean loss. `logits` is consumed (softmaxed in place);
+/// `grad` is reshaped in place, reusing its capacity across batches.
 float softmax_cross_entropy(Matrix& logits, const std::vector<int>& labels,
                             Matrix& grad);
 
-/// Mean squared error: fills grad = 2(pred-target)/n and returns mean loss.
+/// Mean squared error: fills grad = 2(pred-target)/n and returns mean
+/// loss. `grad` is reshaped in place, reusing its capacity across batches.
 float mse_loss(const Matrix& pred, const Matrix& target, Matrix& grad);
 
 }  // namespace sugar::ml

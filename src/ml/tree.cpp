@@ -5,6 +5,8 @@
 #include <numeric>
 #include <queue>
 
+#include "core/simd.h"
+
 namespace sugar::ml {
 namespace {
 
@@ -43,8 +45,9 @@ int bin_of(const std::vector<float>& cuts, float v) {
 
 double gini_from_counts(const std::vector<double>& counts, double total) {
   if (total <= 0) return 0;
-  double s = 0;
-  for (double c : counts) s += c * c;
+  // Strided-8 sum-of-squares (core/simd.h spec): same result on every
+  // build, unrolled for the wide-class-count datasets.
+  double s = core::simd::sum_squares_f64(counts.data(), counts.size());
   return 1.0 - s / (total * total);
 }
 

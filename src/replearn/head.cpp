@@ -67,7 +67,7 @@ void DownstreamModel::fit(const ml::Matrix& x, const std::vector<int>& y,
     if (val_idx.empty()) return 0.0;
     ml::Matrix emb = cfg_.frozen ? frozen_emb.take_rows(val_idx)
                                  : encoder_->embed(x_val, false);
-    ml::Matrix logits = head_.forward(emb, false);
+    const ml::Matrix& logits = head_.forward(emb, false);
     std::size_t correct = 0;
     for (std::size_t i = 0; i < logits.rows(); ++i) {
       const float* r = logits.row(i);
@@ -82,6 +82,12 @@ void DownstreamModel::fit(const ml::Matrix& x, const std::vector<int>& y,
   ml::MlpNet best_head;
   std::unique_ptr<Encoder> best_encoder;
 
+  // Batch scratch hoisted out of the epoch loop. `xb` and `emb` must
+  // outlive each backward pass: the nets cache their training inputs by
+  // pointer, so feeding a temporary to embed(..., true) would dangle.
+  std::vector<std::size_t> idx;
+  std::vector<int> yb;
+  ml::Matrix xb, emb, grad;
   for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
     std::shuffle(train_idx.begin(), train_idx.end(), rng);
     float epoch_loss = 0;
@@ -89,19 +95,22 @@ void DownstreamModel::fit(const ml::Matrix& x, const std::vector<int>& y,
     for (std::size_t start = 0; start < train_idx.size(); start += cfg_.batch_size) {
       ml::throw_if_cancelled(cfg_.cancel, "DownstreamModel::fit");
       std::size_t end = std::min(train_idx.size(), start + cfg_.batch_size);
-      std::vector<std::size_t> idx(train_idx.begin() + static_cast<std::ptrdiff_t>(start),
-                                   train_idx.begin() + static_cast<std::ptrdiff_t>(end));
-      std::vector<int> yb(idx.size());
+      idx.assign(train_idx.begin() + static_cast<std::ptrdiff_t>(start),
+                 train_idx.begin() + static_cast<std::ptrdiff_t>(end));
+      yb.resize(idx.size());
       for (std::size_t i = 0; i < idx.size(); ++i) yb[i] = y[idx[i]];
 
-      ml::Matrix emb = cfg_.frozen ? frozen_emb.take_rows(idx)
-                                   : encoder_->embed(x.take_rows(idx), true);
+      if (cfg_.frozen) {
+        frozen_emb.take_rows_into(idx, emb);
+      } else {
+        x.take_rows_into(idx, xb);
+        emb = encoder_->embed(xb, true);
+      }
       head_.zero_grad();
-      ml::Matrix logits = head_.forward(emb, true);
-      ml::Matrix grad;
+      ml::Matrix& logits = head_.forward(emb, true);
       epoch_loss += ml::softmax_cross_entropy(logits, yb, grad);
       ++batches;
-      ml::Matrix grad_emb = head_.backward(grad);
+      ml::Matrix& grad_emb = head_.backward(grad);
       head_.adam_step(cfg_.lr_head);
 
       if (!cfg_.frozen) {
@@ -135,7 +144,7 @@ void DownstreamModel::fit(const ml::Matrix& x, const std::vector<int>& y,
 
 std::vector<int> DownstreamModel::predict(const ml::Matrix& x) {
   ml::Matrix emb = encoder_->embed(x, false);
-  ml::Matrix logits = head_.forward(emb, false);
+  const ml::Matrix& logits = head_.forward(emb, false);
   std::vector<int> out(x.rows(), 0);
   for (std::size_t i = 0; i < x.rows(); ++i) {
     const float* r = logits.row(i);

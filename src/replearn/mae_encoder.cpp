@@ -38,6 +38,10 @@ void MaeEncoder::pretrain(const ml::Matrix& x, const PretrainOptions& opts) {
   std::vector<std::size_t> order(x.rows());
   std::iota(order.begin(), order.end(), 0);
 
+  // Batch scratch hoisted out of the loops; the nets' activations live in
+  // their arenas, so steady-state batches allocate nothing.
+  std::vector<std::size_t> idx;
+  ml::Matrix target, masked, grad;
   for (int epoch = 0; epoch < opts.epochs; ++epoch) {
     std::shuffle(order.begin(), order.end(), rng);
     float epoch_loss = 0;
@@ -45,21 +49,20 @@ void MaeEncoder::pretrain(const ml::Matrix& x, const PretrainOptions& opts) {
     for (std::size_t start = 0; start < order.size(); start += opts.batch_size) {
       ml::throw_if_cancelled(opts.cancel, "MaeEncoder::pretrain");
       std::size_t end = std::min(order.size(), start + opts.batch_size);
-      std::vector<std::size_t> idx(order.begin() + static_cast<std::ptrdiff_t>(start),
-                                   order.begin() + static_cast<std::ptrdiff_t>(end));
-      ml::Matrix target = x.take_rows(idx);
-      ml::Matrix masked = target;
+      idx.assign(order.begin() + static_cast<std::ptrdiff_t>(start),
+                 order.begin() + static_cast<std::ptrdiff_t>(end));
+      x.take_rows_into(idx, target);
+      masked.copy_from(target);
       for (auto& v : masked.data())
         if (unit(rng) < opts.mask_fraction) v = 0.0f;
 
       enc_.zero_grad();
       dec_.zero_grad();
-      ml::Matrix emb = enc_.forward(masked, /*training=*/true);
-      ml::Matrix recon = dec_.forward(emb, /*training=*/true);
-      ml::Matrix grad;
+      ml::Matrix& emb = enc_.forward(masked, /*training=*/true);
+      ml::Matrix& recon = dec_.forward(emb, /*training=*/true);
       epoch_loss += ml::mse_loss(recon, target, grad);
       ++batches;
-      ml::Matrix grad_emb = dec_.backward(grad);
+      ml::Matrix& grad_emb = dec_.backward(grad);
       enc_.backward(grad_emb);
       dec_.adam_step(opts.learning_rate);
       enc_.adam_step(opts.learning_rate);
@@ -93,8 +96,8 @@ void MaeEncoder::reinitialize(std::uint64_t seed) {
 }
 
 float MaeEncoder::reconstruction_error(const ml::Matrix& x) {
-  ml::Matrix emb = enc_.forward(x, false);
-  ml::Matrix recon = dec_.forward(emb, false);
+  ml::Matrix& emb = enc_.forward(x, false);
+  ml::Matrix& recon = dec_.forward(emb, false);
   ml::Matrix grad;
   return ml::mse_loss(recon, x, grad);
 }

@@ -33,6 +33,10 @@ void PcapEncoder::pretrain(const ml::Matrix& x, const PretrainOptions& opts) {
   std::vector<std::size_t> order(x.rows());
   std::iota(order.begin(), order.end(), 0);
 
+  // Batch scratch hoisted out of the loops; the nets' activations live in
+  // their arenas, so steady-state batches allocate nothing.
+  std::vector<std::size_t> idx;
+  ml::Matrix target, noisy, grad;
   for (int epoch = 0; epoch < opts.epochs; ++epoch) {
     std::shuffle(order.begin(), order.end(), rng);
     float epoch_loss = 0;
@@ -40,18 +44,17 @@ void PcapEncoder::pretrain(const ml::Matrix& x, const PretrainOptions& opts) {
     for (std::size_t start = 0; start < order.size(); start += opts.batch_size) {
       ml::throw_if_cancelled(opts.cancel, "PcapEncoder::pretrain");
       std::size_t end = std::min(order.size(), start + opts.batch_size);
-      std::vector<std::size_t> idx(order.begin() + static_cast<std::ptrdiff_t>(start),
-                                   order.begin() + static_cast<std::ptrdiff_t>(end));
-      ml::Matrix target = x.take_rows(idx);
-      ml::Matrix noisy = target;
+      idx.assign(order.begin() + static_cast<std::ptrdiff_t>(start),
+                 order.begin() + static_cast<std::ptrdiff_t>(end));
+      x.take_rows_into(idx, target);
+      noisy.copy_from(target);
       for (auto& v : noisy.data())
         if (unit(rng) < opts.mask_fraction * 0.5f) v = 0.0f;
 
       enc_.zero_grad();
       dec_.zero_grad();
-      ml::Matrix emb = enc_.forward(noisy, true);
-      ml::Matrix recon = dec_.forward(emb, true);
-      ml::Matrix grad;
+      ml::Matrix& emb = enc_.forward(noisy, true);
+      ml::Matrix& recon = dec_.forward(emb, true);
       epoch_loss += ml::mse_loss(recon, target, grad);
       ++batches;
       enc_.backward(dec_.backward(grad));
@@ -73,6 +76,8 @@ void PcapEncoder::pretrain_supervised(const ml::Matrix& x, const ml::Matrix& tar
   // The Q&A phase runs longer than the AE phase: it is the component the
   // paper's ablation (Table 11) finds most crucial.
   int epochs = opts.epochs * 3;
+  std::vector<std::size_t> idx;
+  ml::Matrix xb, tb, grad;
   for (int epoch = 0; epoch < epochs; ++epoch) {
     std::shuffle(order.begin(), order.end(), rng);
     float epoch_loss = 0;
@@ -80,16 +85,15 @@ void PcapEncoder::pretrain_supervised(const ml::Matrix& x, const ml::Matrix& tar
     for (std::size_t start = 0; start < order.size(); start += opts.batch_size) {
       ml::throw_if_cancelled(opts.cancel, "PcapEncoder::pretrain_supervised");
       std::size_t end = std::min(order.size(), start + opts.batch_size);
-      std::vector<std::size_t> idx(order.begin() + static_cast<std::ptrdiff_t>(start),
-                                   order.begin() + static_cast<std::ptrdiff_t>(end));
-      ml::Matrix xb = x.take_rows(idx);
-      ml::Matrix tb = targets.take_rows(idx);
+      idx.assign(order.begin() + static_cast<std::ptrdiff_t>(start),
+                 order.begin() + static_cast<std::ptrdiff_t>(end));
+      x.take_rows_into(idx, xb);
+      targets.take_rows_into(idx, tb);
 
       enc_.zero_grad();
       qa_head_.zero_grad();
-      ml::Matrix emb = enc_.forward(xb, true);
-      ml::Matrix pred = qa_head_.forward(emb, true);
-      ml::Matrix grad;
+      ml::Matrix& emb = enc_.forward(xb, true);
+      ml::Matrix& pred = qa_head_.forward(emb, true);
       epoch_loss += ml::mse_loss(pred, tb, grad);
       ++batches;
       enc_.backward(qa_head_.backward(grad));
@@ -126,8 +130,8 @@ void PcapEncoder::reinitialize(std::uint64_t seed) {
 }
 
 float PcapEncoder::qa_error(const ml::Matrix& x, const ml::Matrix& targets) {
-  ml::Matrix emb = enc_.forward(x, false);
-  ml::Matrix pred = qa_head_.forward(emb, false);
+  ml::Matrix& emb = enc_.forward(x, false);
+  ml::Matrix& pred = qa_head_.forward(emb, false);
   ml::Matrix grad;
   return ml::mse_loss(pred, targets, grad);
 }

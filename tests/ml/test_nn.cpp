@@ -157,6 +157,66 @@ TEST(MseLoss, KnownValues) {
   EXPECT_NEAR(grad(0, 1), 2.0f * 2 / 2, 1e-6f);
 }
 
+TEST(MatrixArena, CountsOnlyCapacityGrowth) {
+  MatrixArena arena;
+  Matrix& m0 = arena.acquire(0, 4, 4);
+  EXPECT_EQ(arena.heap_allocations(), 1u);
+  // Shrinking and re-growing within capacity is free.
+  arena.acquire(0, 2, 2);
+  Matrix& again = arena.acquire(0, 4, 4);
+  EXPECT_EQ(&again, &m0) << "slots must be reference-stable";
+  EXPECT_EQ(arena.heap_allocations(), 1u);
+  // Growing past capacity counts.
+  arena.acquire(0, 8, 8);
+  EXPECT_EQ(arena.heap_allocations(), 2u);
+  // A new slot counts once.
+  arena.acquire(3, 3, 3);
+  EXPECT_EQ(arena.heap_allocations(), 3u);
+  EXPECT_EQ(arena.slot_count(), 4u);
+}
+
+/// The acceptance gate for the scratch arena: once every batch shape has
+/// been seen, further training epochs must not touch the heap at all (as
+/// observed by the arena's capacity-growth counter).
+TEST(MlpNet, ZeroHeapAllocationsAfterWarmup) {
+  MlpNet net({12, 16, 8, 4}, 5);
+  std::mt19937_64 rng(13);
+  std::uniform_real_distribution<float> dist(-1, 1);
+  Matrix x(10, 12);
+  for (auto& v : x.data()) v = dist(rng);
+  std::vector<int> y(10);
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = static_cast<int>(i % 4);
+
+  // Two batch shapes per epoch (full batch of 6, remainder of 4) so the
+  // warm-up epoch exercises every reshape the steady state will see.
+  std::vector<std::size_t> idx;
+  std::vector<int> yb;
+  Matrix xb;
+  Matrix grad;
+  auto train_epoch = [&]() {
+    for (std::size_t start = 0; start < x.rows(); start += 6) {
+      std::size_t end = std::min<std::size_t>(x.rows(), start + 6);
+      idx.clear();
+      for (std::size_t i = start; i < end; ++i) idx.push_back(i);
+      yb.resize(idx.size());
+      for (std::size_t i = 0; i < idx.size(); ++i) yb[i] = y[idx[i]];
+      x.take_rows_into(idx, xb);
+      net.zero_grad();
+      Matrix& logits = net.forward(xb, true);
+      softmax_cross_entropy(logits, yb, grad);
+      net.backward(grad);
+      net.adam_step(0.01f);
+    }
+  };
+
+  train_epoch();  // warm-up: allocations happen here, once per shape
+  const std::size_t after_warmup = net.arena().heap_allocations();
+  EXPECT_GT(after_warmup, 0u);
+  for (int epoch = 0; epoch < 3; ++epoch) train_epoch();
+  EXPECT_EQ(net.arena().heap_allocations(), after_warmup)
+      << "training epochs after warm-up must not grow any arena buffer";
+}
+
 TEST(MlpNet, ParamCount) {
   MlpNet net({10, 20, 5}, 3);
   EXPECT_EQ(net.param_count(), 10u * 20 + 20 + 20 * 5 + 5);
