@@ -11,6 +11,11 @@
 // `--simd-compare <out.json>` runs the scalar-reference vs core::simd
 // comparison instead: each vector kernel must reproduce its no-vectorize
 // scalar spec to the bit, with GFLOP/s and GB/s recorded (schema 3).
+//
+// `--trace-compare <out.json>` gates the observability substrate's
+// zero-interference contract: every kernel runs once with SUGAR_TRACE off
+// and once at the maximal `spans` mode, and the bit-exact output digests
+// must match — tracing observes computation, it never perturbs it.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -23,6 +28,7 @@
 #include "core/artifact.h"
 #include "core/simd.h"
 #include "core/threadpool.h"
+#include "core/trace.h"
 #include "dataset/split.h"
 #include "dataset/task.h"
 #include "ml/forest.h"
@@ -650,6 +656,124 @@ int run_simd_compare(const std::string& path) {
   return 0;
 }
 
+// ---- --trace-compare: trace-off vs trace-spans identity -----------------
+//
+// The observability substrate's hard contract: SUGAR_TRACE changes what is
+// *recorded*, never what is *computed*. Each kernel runs with tracing off
+// and again at the maximal `spans` mode (through the same instrumented code
+// paths — ml.gemm_flops counters, ml.forest.fit / ml.knn.purity spans, the
+// pcap.* ingest counters) and the raw output bytes must digest identically.
+// The off/spans wall-clock ratio is reported as `speedup` so overhead is
+// visible in the BENCH trajectory, but only identity is gated.
+
+std::string digest_packets(const std::vector<net::Packet>& pkts) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis, chained
+  for (const auto& p : pkts) {
+    h ^= core::fnv1a64(std::string_view(
+        reinterpret_cast<const char*>(p.data.data()), p.data.size()));
+    h *= 1099511628211ull;
+  }
+  return core::hex64(h);
+}
+
+int run_trace_compare(const std::string& path) {
+  constexpr int kReps = 3;
+  // Fixed pool width: the comparison must isolate the trace mode, so both
+  // runs share the same deterministic block structure.
+  core::set_global_threads(2);
+
+  auto a = random_matrix(224, 192, 301);
+  auto b = random_matrix(192, 160, 302);
+  auto x = random_matrix(420, 20, 303);
+  std::vector<int> y(x.rows());
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = static_cast<int>(i % 5);
+  auto emb = random_matrix(360, 24, 304);
+  std::vector<int> labels(emb.rows());
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    labels[i] = static_cast<int>(i % 6);
+  const auto& trace_pkts = cached_trace();
+
+  std::vector<CompareCase> cases;
+  cases.push_back({"matmul", [&] { return digest_floats(ml::matmul(a, b).data()); }});
+  cases.push_back({"forest_fit", [&] {
+                     ml::ForestConfig fc;
+                     fc.num_trees = 24;
+                     ml::RandomForest rf(fc);
+                     rf.fit(x, y, 5);
+                     auto pred = rf.predict(x);
+                     auto imp = rf.feature_importance();
+                     return digest_ints(pred) + "/" + digest_doubles(imp);
+                   }});
+  cases.push_back({"knn_purity", [&] {
+                     auto p = ml::knn_purity(emb, labels, 5);
+                     auto h = p.histogram;
+                     h.push_back(p.mean_purity);
+                     return digest_doubles(h);
+                   }});
+  cases.push_back({"pcap_roundtrip", [&] {
+                     std::stringstream ss;
+                     {
+                       net::PcapWriter writer(ss);
+                       writer.write_all(trace_pkts);
+                     }
+                     net::PcapReader reader(ss);
+                     return digest_packets(reader.read_all());
+                   }});
+
+  core::Json doc = core::Json::object();
+  doc.set("schema_version", core::Json(1));
+  doc.set("bench", core::Json("micro_substrate_trace"));
+  doc.set("threads", core::Json(std::size_t{2}));
+  core::Json arr = core::Json::array();
+
+  bool all_identical = true;
+  for (auto& c : cases) {
+    core::trace::set_mode(core::trace::Mode::kOff);
+    std::string d_off = c.run();  // warm (and digest) before timing
+    double t_off = best_seconds(kReps, c.run);
+    core::trace::reset();
+    core::trace::set_mode(core::trace::Mode::kSpans);
+    std::string d_spans = c.run();
+    double t_spans = best_seconds(kReps, c.run);
+    core::trace::set_mode(core::trace::Mode::kOff);
+    bool identical = d_off == d_spans;
+    all_identical = all_identical && identical;
+
+    core::Json row = core::Json::object();
+    row.set("kernel", core::Json(c.kernel));
+    row.set("off_seconds", core::Json(t_off));
+    row.set("spans_seconds", core::Json(t_spans));
+    row.set("speedup", core::Json(t_off > 0 ? t_spans / t_off : 0.0));
+    row.set("digest_off", core::Json(d_off));
+    row.set("digest_spans", core::Json(d_spans));
+    row.set("identical", core::Json(identical));
+    arr.push(row);
+    std::printf("%-15s off %.4fs  spans %.4fs  overhead %.2fx  %s\n",
+                c.kernel.c_str(), t_off, t_spans,
+                t_off > 0 ? t_spans / t_off : 0.0,
+                identical ? "bit-identical" : "OUTPUT MISMATCH");
+  }
+  core::trace::reset();
+  core::set_global_threads(0);  // restore SUGAR_THREADS / hardware default
+
+  doc.set("cases", arr);
+  doc.set("all_identical", core::Json(all_identical));
+  std::string err;
+  if (!core::atomic_write_file(path, doc.dump(2) + "\n", &err)) {
+    std::fprintf(stderr, "trace-compare: artifact write failed: %s\n",
+                 err.c_str());
+    return 1;
+  }
+  std::printf("Artifact: %s\n", path.c_str());
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "trace-compare: traced output differs from untraced — "
+                 "observability perturbed the computation\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -668,6 +792,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     return run_simd_compare(argv[2]);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "--trace-compare") == 0) {
+    if (argc != 3) {
+      std::fprintf(stderr,
+                   "usage: bench_micro_substrate --trace-compare <out.json>\n");
+      return 2;
+    }
+    return run_trace_compare(argv[2]);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

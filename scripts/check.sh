@@ -4,6 +4,10 @@
 #   scripts/check.sh            plain build + unit tests + perf gates
 #   scripts/check.sh sanitize   asan / ubsan / tsan build-and-test matrix
 #   scripts/check.sh bench      plain build + every bench at smoke scale
+#   scripts/check.sh trace      observability matrix: ctest -L trace (zero-
+#                               interference gate, schema-4 corpus, golden
+#                               artifact, TSan over concurrent span emission)
+#                               + the three-mode scripts/profile.sh harness
 #   scripts/check.sh all        everything above
 #
 # Each configuration builds into its own directory (build-check, build-asan,
@@ -56,17 +60,34 @@ bench() {
   run ctest --test-dir build-check --output-on-failure -L bench_smoke
 }
 
+trace() {
+  configure_build build-check
+  # Everything labeled `trace`: the off-vs-spans digest-identity gate, the
+  # schema-4 validation corpus, the traced Fig 6 smoke + chrome dump, and
+  # the golden-artifact regression compare.
+  run ctest --test-dir build-check --output-on-failure -L trace
+  # Concurrent span emission under TSan: emitters racing snapshotters and
+  # the supervisor's parallel cell crews.
+  configure_build build-tsan -DSUGAR_SANITIZE=thread
+  run ctest --test-dir build-tsan --output-on-failure -R tsan_stress_trace
+  # Three-mode profiling harness: off / summary / spans, each artifact
+  # json_check-validated, normalized results diffed for bit-identity.
+  run scripts/profile.sh build-check
+}
+
 case "$MODE" in
   quick) plain ;;
   sanitize) sanitize ;;
   bench) bench ;;
+  trace) trace ;;
   all)
     plain
     bench
+    trace
     sanitize
     ;;
   *)
-    echo "usage: scripts/check.sh [quick|sanitize|bench|all]" >&2
+    echo "usage: scripts/check.sh [quick|sanitize|bench|trace|all]" >&2
     exit 2
     ;;
 esac

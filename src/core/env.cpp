@@ -1,5 +1,7 @@
 #include "core/env.h"
 
+#include "core/trace.h"
+
 #include <charconv>
 #include <cstdlib>
 #include <cstring>
@@ -69,6 +71,7 @@ BenchmarkEnv::BenchmarkEnv(EnvConfig cfg) : cfg_(cfg) {}
 void BenchmarkEnv::ensure_source(dataset::SourceDataset src) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   if (traces_.count(src)) return;
+  SUGAR_TRACE_SPAN("env.generate_dataset");
   trafficgen::GenOptions opts;
   opts.seed = cfg_.seed;
   trafficgen::GeneratedTrace trace;
@@ -115,6 +118,7 @@ const dataset::CleaningReport& BenchmarkEnv::cleaning_report(
 const dataset::PacketDataset& BenchmarkEnv::backbone() {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!backbone_) {
+    SUGAR_TRACE_SPAN("env.generate_backbone");
     auto trace = trafficgen::generate_backbone(cfg_.seed ^ 0xBACB, cfg_.backbone_flows);
     backbone_ = dataset::make_unlabeled_dataset(trace);
   }
@@ -128,6 +132,7 @@ replearn::ModelBundle BenchmarkEnv::pretrained(replearn::ModelKind kind,
   auto key = std::make_pair(kind, mode);
   auto it = pretrained_.find(key);
   if (it == pretrained_.end()) {
+    SUGAR_TRACE_SPAN("env.pretrain_cache_fill");
     replearn::ModelBundle bundle = replearn::make_model(kind, mode);
     replearn::BackbonePretrainOptions opts;
     opts.pretrain.epochs = cfg_.pretrain_epochs;

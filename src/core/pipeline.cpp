@@ -6,6 +6,7 @@
 #include <random>
 #include <unordered_map>
 
+#include "core/trace.h"
 #include "ml/forest.h"
 #include "ml/gbdt.h"
 #include "ml/mlp.h"
@@ -37,6 +38,7 @@ struct Partitions {
 
 Partitions make_partitions(const dataset::PacketDataset& ds, std::size_t max_train,
                            std::size_t max_test, const ScenarioOptions& opts) {
+  SUGAR_TRACE_SPAN("pipeline.partition");
   dataset::SplitOptions sopts;
   sopts.policy = opts.split;
   sopts.seed = opts.seed;
@@ -132,10 +134,14 @@ ScenarioResult run_packet_scenario_with_bundle(BenchmarkEnv& env,
 
   if (opts.discard_pretraining) bundle.encoder->reinitialize(opts.seed ^ 0xF00D);
 
-  ml::Matrix x_train =
-      bundle.featurize_packets(parts.train, iota_indices(parts.train.size()));
-  ml::Matrix x_test =
-      bundle.featurize_packets(parts.test, iota_indices(parts.test.size()));
+  ml::Matrix x_train, x_test;
+  {
+    SUGAR_TRACE_SPAN("pipeline.featurize");
+    x_train =
+        bundle.featurize_packets(parts.train, iota_indices(parts.train.size()));
+    x_test =
+        bundle.featurize_packets(parts.test, iota_indices(parts.test.size()));
+  }
 
   replearn::DownstreamModel dm(std::move(bundle.encoder), ds.num_classes,
                                downstream_config(env.config(), opts));
@@ -147,11 +153,18 @@ ScenarioResult run_packet_scenario_with_bundle(BenchmarkEnv& env,
   result.ingest = ingest_health(env, task);
 
   auto t0 = Clock::now();
-  dm.fit(x_train, parts.train.label, parts.train.flow_id);
+  {
+    SUGAR_TRACE_SPAN("pipeline.fit");
+    dm.fit(x_train, parts.train.label, parts.train.flow_id);
+  }
   result.train_seconds = seconds_since(t0);
 
   t0 = Clock::now();
-  auto pred = dm.predict(x_test);
+  std::vector<int> pred;
+  {
+    SUGAR_TRACE_SPAN("pipeline.predict");
+    pred = dm.predict(x_test);
+  }
   result.test_seconds = seconds_since(t0);
   result.metrics = ml::evaluate(parts.test.label, pred, ds.num_classes);
 
@@ -252,17 +265,28 @@ ScenarioResult run_flow_scenario(BenchmarkEnv& env, dataset::TaskId task,
   auto bundle = env.pretrained(model, replearn::TaskMode::Flow, opts.cancel);
   if (opts.discard_pretraining) bundle.encoder->reinitialize(opts.seed ^ 0xF00D);
 
-  ml::Matrix x_train = bundle.featurize_flows(parts.train, train_flows);
-  ml::Matrix x_test = bundle.featurize_flows(parts.test, test_flows);
+  ml::Matrix x_train, x_test;
+  {
+    SUGAR_TRACE_SPAN("pipeline.featurize");
+    x_train = bundle.featurize_flows(parts.train, train_flows);
+    x_test = bundle.featurize_flows(parts.test, test_flows);
+  }
 
   replearn::DownstreamModel dm(std::move(bundle.encoder), ds.num_classes,
                                downstream_config(env.config(), opts));
   auto t0 = Clock::now();
-  dm.fit(x_train, y_train);  // one row per flow: sample holdout is flow holdout
+  {
+    SUGAR_TRACE_SPAN("pipeline.fit");
+    dm.fit(x_train, y_train);  // one row per flow: sample holdout is flow holdout
+  }
   result.train_seconds = seconds_since(t0);
 
   t0 = Clock::now();
-  auto pred = dm.predict(x_test);
+  std::vector<int> pred;
+  {
+    SUGAR_TRACE_SPAN("pipeline.predict");
+    pred = dm.predict(x_test);
+  }
   result.test_seconds = seconds_since(t0);
   result.metrics = ml::evaluate(y_test, pred, ds.num_classes);
   return result;
@@ -277,16 +301,24 @@ ShallowResult run_shallow_scenario(BenchmarkEnv& env, dataset::TaskId task,
                                      opts);
 
   replearn::HeaderFeatureSpec spec{.include_ip_addresses = include_ip};
-  ml::Matrix x_train =
-      replearn::header_feature_matrix(parts.train, iota_indices(parts.train.size()), spec);
-  ml::Matrix x_test =
-      replearn::header_feature_matrix(parts.test, iota_indices(parts.test.size()), spec);
+  ml::Matrix x_train, x_test;
+  {
+    SUGAR_TRACE_SPAN("pipeline.featurize");
+    x_train = replearn::header_feature_matrix(
+        parts.train, iota_indices(parts.train.size()), spec);
+    x_test = replearn::header_feature_matrix(
+        parts.test, iota_indices(parts.test.size()), spec);
+  }
 
   ShallowResult result;
   result.ingest = ingest_health(env, task);
   result.feature_names = replearn::header_feature_names(spec);
 
   std::vector<int> pred;
+  // One span over the whole switch: each case interleaves its fit and
+  // predict timing, so they share a train_eval phase here while the ml
+  // layer's own ml.*.fit / ml.*.predict spans keep them separable.
+  SUGAR_TRACE_SPAN("pipeline.train_eval");
   auto t0 = Clock::now();
   switch (kind) {
     case ShallowKind::RandomForest: {

@@ -10,6 +10,8 @@
 #include <thread>
 
 #include "core/threadpool.h"
+#include "core/trace.h"
+#include "core/trace_json.h"
 
 namespace sugar::core {
 namespace {
@@ -128,6 +130,8 @@ std::string bench_usage(std::string_view bench_name) {
   u += "  --cell-timeout-s <n>     wall-clock watchdog deadline per cell (n > 0)\n";
   u += "  --max-retries <n>        divergence retries per cell (n >= 0)\n";
   u += "  --parallel-cells <n>     run up to n independent cells concurrently (n >= 1)\n";
+  u += "  --trace <path>           force SUGAR_TRACE=spans and write a chrome://tracing\n";
+  u += "                           trace_event JSON to <path> on finalize\n";
   return u;
 }
 
@@ -184,6 +188,14 @@ std::optional<SupervisorConfig> parse_bench_cli(std::string_view bench_name,
         return std::nullopt;
       }
       cfg.max_parallel_cells = n;
+    } else if (arg == "--trace") {
+      auto v = value();
+      if (!v) return std::nullopt;
+      if (v->empty()) {
+        error = "malformed --trace '' (want a file path)";
+        return std::nullopt;
+      }
+      cfg.trace_path = std::string(*v);
     } else {
       error = "unknown flag '" + std::string(arg) + "'";
       return std::nullopt;
@@ -196,6 +208,8 @@ std::optional<SupervisorConfig> parse_bench_cli(std::string_view bench_name,
 
 RunSupervisor::RunSupervisor(SupervisorConfig cfg)
     : cfg_(std::move(cfg)), start_(Clock::now()) {
+  // --trace implies the full span timeline regardless of SUGAR_TRACE.
+  if (!cfg_.trace_path.empty()) trace::set_mode(trace::Mode::kSpans);
   if (cfg_.json_path.empty()) cfg_.json_path = "BENCH_" + cfg_.bench_name + ".json";
   if (cfg_.journal_path.empty())
     cfg_.journal_path = cfg_.json_path + ".journal.jsonl";
@@ -321,7 +335,8 @@ std::vector<CellOutcome> RunSupervisor::run_cells(
     std::vector<std::thread> crew;
     crew.reserve(crew_size);
     for (std::size_t t = 0; t < crew_size; ++t)
-      crew.emplace_back([&] {
+      crew.emplace_back([&, t] {
+        trace::set_thread_label("cell-crew-" + std::to_string(t));
         for (;;) {
           std::size_t i = next.fetch_add(1);
           if (i >= n) return;
@@ -363,6 +378,7 @@ CellOutcome RunSupervisor::process_cell(const CellSpec& spec,
         ++health_.ok;
         ++health_.from_journal;
         lock.unlock();
+        SUGAR_TRACE_COUNT("supervisor.cells_from_journal", 1);
         if (!cfg_.quiet)
           std::fprintf(stderr, "[supervisor:%s] %s / %s: from journal\n",
                        cfg_.bench_name.c_str(), spec.row.c_str(), spec.col.c_str());
@@ -373,7 +389,16 @@ CellOutcome RunSupervisor::process_cell(const CellSpec& spec,
 
   CellOutcome outcome;
   auto t0 = Clock::now();
+  // Cell lifecycle observability: one span over all attempts of this cell
+  // plus counter deltas across them (global counters — overlapping under
+  // --parallel-cells; see CellOutcome::trace_counters).
+  const bool tracing = trace::enabled();
+  std::vector<trace::CounterValue> counters_before;
+  if (tracing) counters_before = trace::counters_snapshot();
+  SUGAR_TRACE_COUNT("supervisor.cells_started", 1);
+  SUGAR_TRACE_SPAN("supervisor.cell");
   for (int attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+    if (attempt > 0) SUGAR_TRACE_COUNT("supervisor.retry_attempts", 1);
     if (attempt > 0 && cfg_.backoff_base_s > 0) {
       double delay = cfg_.backoff_base_s * std::pow(2.0, attempt - 1);
       std::this_thread::sleep_for(std::chrono::duration<double>(delay));
@@ -402,6 +427,12 @@ CellOutcome RunSupervisor::process_cell(const CellSpec& spec,
     if (r.error != RunErrorKind::kDivergence) break;
   }
   wall = seconds_since(t0);
+  SUGAR_TRACE_COUNT(outcome.ok() ? "supervisor.cells_ok"
+                                 : "supervisor.cells_failed",
+                    1);
+  if (tracing)
+    outcome.trace_counters =
+        counter_delta_json(counters_before, trace::counters_snapshot());
 
   // Journal the cell (ok or failed) with an atomic rewrite.
   Json entry = Json::object();
@@ -475,6 +506,13 @@ void RunSupervisor::record(const CellSpec& spec, const std::string& key,
     cell.set("error", Json(to_string(outcome.error)));
     cell.set("message", Json(outcome.message));
   }
+  // Schema 4 only: per-cell counter attribution. Off-mode artifacts stay
+  // bit-identical to schema 2.
+  if (trace::enabled()) {
+    Json cell_trace = Json::object();
+    cell_trace.set("counters", outcome.trace_counters);
+    cell.set("trace", std::move(cell_trace));
+  }
   records_.push_back(std::move(cell));
 }
 
@@ -495,8 +533,12 @@ std::string RunSupervisor::format_cell(const CellOutcome& outcome,
 }
 
 bool RunSupervisor::finalize() {
+  // Observability contract: with tracing off the artifact is byte-identical
+  // to the schema-2 form (no new fields anywhere); any active trace mode
+  // upgrades it to schema 4 with a top-level `trace` section.
+  const bool tracing = trace::enabled();
   Json doc = Json::object();
-  doc.set("schema_version", Json(2));
+  doc.set("schema_version", Json(tracing ? 4 : 2));
   doc.set("bench", Json(cfg_.bench_name));
 
   Json config = Json::object();
@@ -522,8 +564,23 @@ bool RunSupervisor::finalize() {
   for (const auto& cell : records_) cells.push(cell);
   doc.set("cells", cells);
 
+  if (tracing) doc.set("trace", trace_section_json());
+
   std::string err;
   bool written = atomic_write_file(cfg_.json_path, doc.dump(2) + "\n", &err);
+
+  bool chrome_written = true;
+  if (!cfg_.trace_path.empty()) {
+    std::string chrome_err;
+    chrome_written = atomic_write_file(
+        cfg_.trace_path, chrome_trace_json().dump(2) + "\n", &chrome_err);
+    if (!chrome_written && !cfg_.quiet)
+      std::printf("TRACE WRITE FAILED: %s\n", chrome_err.c_str());
+    else if (!cfg_.quiet)
+      std::printf("Chrome trace: %s (load via chrome://tracing or Perfetto)\n",
+                  cfg_.trace_path.c_str());
+  }
+  written = written && chrome_written;
 
   if (!cfg_.quiet) {
     std::printf(

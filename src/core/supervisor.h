@@ -85,6 +85,11 @@ struct CellOutcome {
   std::string message;
   int attempts = 0;
   CellSummary summary;  // valid when not kFailed
+  /// Counter deltas observed across this cell's attempts
+  /// ([{name, delta}...]); only populated when tracing is enabled. With
+  /// concurrent cells the deltas overlap (counters are process-global), so
+  /// they attribute cost, not exact per-cell accounting.
+  Json trace_counters = Json::array();
 
   [[nodiscard]] bool ok() const { return status != CellStatus::kFailed; }
 };
@@ -132,11 +137,15 @@ struct SupervisorConfig {
   /// committed in submission order, so results are byte-identical to a
   /// sequential run of the same cells.
   int max_parallel_cells = 1;
+  /// When non-empty (--trace <path>): force trace mode to `spans` and have
+  /// finalize() write a chrome://tracing-loadable trace_event JSON here in
+  /// addition to the BENCH artifact.
+  std::string trace_path;
 };
 
 /// Parses the strict bench CLI: --json <path>, --resume <journal>,
-/// --cell-timeout-s <n>, --max-retries <n>, --parallel-cells <n>. Numeric
-/// values use whole-string
+/// --cell-timeout-s <n>, --max-retries <n>, --parallel-cells <n>,
+/// --trace <path>. Numeric values use whole-string
 /// from_chars discipline (same as core/env); any malformed or unknown flag
 /// yields nullopt with a diagnostic in `error`.
 std::optional<SupervisorConfig> parse_bench_cli(std::string_view bench_name,

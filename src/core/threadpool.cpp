@@ -1,5 +1,7 @@
 #include "core/threadpool.h"
 
+#include "core/trace.h"
+
 #include <algorithm>
 #include <atomic>
 #include <charconv>
@@ -36,7 +38,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   if (threads < 1) threads = 1;
   workers_.reserve(threads - 1);
   for (std::size_t i = 0; i + 1 < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -67,8 +69,11 @@ void ThreadPool::work_on(Job& job) {
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
   tl_in_pool_worker = true;
+  // Unconditional: the pool is often built before --trace flips the mode
+  // on, and one registration per worker thread is not a hot path.
+  trace::set_thread_label("pool-worker-" + std::to_string(index + 1));
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
     cv_work_.wait(lk, [&] {

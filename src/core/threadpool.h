@@ -75,7 +75,7 @@ class ThreadPool {
  private:
   struct Job;
 
-  void worker_loop();
+  void worker_loop(std::size_t index);
   void work_on(Job& job);
 
   std::vector<std::thread> workers_;

@@ -1,0 +1,353 @@
+#include "core/trace.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace sugar::core::trace {
+namespace {
+
+// Retained-event cap per thread; beyond it events are counted as dropped
+// so a pathological span storm cannot exhaust memory. 64k events cover a
+// full bench sweep at cell/epoch granularity with two orders of margin.
+constexpr std::size_t kMaxEventsPerThread = 65536;
+
+std::uint64_t wall_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t thread_cpu_now_ns() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+#endif
+  return 0;
+}
+
+struct Agg {
+  std::uint64_t count = 0;
+  std::uint64_t wall_ns = 0;
+  std::uint64_t cpu_ns = 0;
+};
+
+struct RawEvent {
+  std::uint32_t name_id = 0;
+  std::uint32_t depth = 0;
+  std::uint64_t begin_abs_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint64_t cpu_ns = 0;
+};
+
+struct ThreadState {
+  std::mutex mu;
+  std::uint64_t ordinal = 0;
+  std::string label;
+  std::vector<std::uint32_t> open_stack;     // name ids, LIFO per RAII
+  std::vector<RawEvent> retained;            // kSpans mode only
+  std::map<std::uint32_t, Agg> aggregates;   // keyed by interned name id
+};
+
+}  // namespace
+
+struct Counter::Impl {
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct Registry {
+  std::mutex mu;
+  std::uint64_t epoch_abs_ns = wall_now_ns();
+  std::vector<std::shared_ptr<ThreadState>> threads;
+  std::unordered_map<std::string, std::uint32_t> name_ids;
+  std::vector<std::string> names;
+  // std::map: node-based, so Counter addresses handed out by counter()
+  // stay valid forever; reset() zeroes values but never erases.
+  std::map<std::string, Counter> counters;
+  std::atomic<std::uint64_t> dropped{0};
+
+  static Registry& get() {
+    static Registry* r = new Registry();  // leaked: usable during exit
+    return *r;
+  }
+
+  std::uint32_t intern(const char* name) {
+    std::lock_guard<std::mutex> lk(mu);
+    auto it = name_ids.find(name);
+    if (it != name_ids.end()) return it->second;
+    auto id = static_cast<std::uint32_t>(names.size());
+    names.emplace_back(name);
+    name_ids.emplace(names.back(), id);
+    return id;
+  }
+
+  std::shared_ptr<ThreadState> register_thread() {
+    auto ts = std::make_shared<ThreadState>();
+    std::lock_guard<std::mutex> lk(mu);
+    ts->ordinal = threads.size();
+    threads.push_back(ts);
+    return ts;
+  }
+};
+
+namespace {
+
+ThreadState& thread_state() {
+  thread_local std::shared_ptr<ThreadState> tl_state =
+      Registry::get().register_thread();
+  return *tl_state;
+}
+
+constexpr int kModeUninit = -1;
+std::atomic<int> g_mode{kModeUninit};
+
+Mode init_mode_from_env() {
+  Mode m = Mode::kOff;
+  if (const char* s = std::getenv("SUGAR_TRACE")) {
+    if (auto parsed = parse_mode(s)) {
+      m = *parsed;
+    } else {
+      std::cerr << "sugar: ignoring malformed SUGAR_TRACE='" << s << "'\n";
+    }
+  }
+  int expected = kModeUninit;
+  g_mode.compare_exchange_strong(expected, static_cast<int>(m));
+  return static_cast<Mode>(g_mode.load(std::memory_order_relaxed));
+}
+
+}  // namespace
+
+std::optional<Mode> parse_mode(std::string_view text) {
+  if (text == "off") return Mode::kOff;
+  if (text == "summary") return Mode::kSummary;
+  if (text == "spans") return Mode::kSpans;
+  return std::nullopt;
+}
+
+Mode mode() {
+  int m = g_mode.load(std::memory_order_relaxed);
+  if (m == kModeUninit) return init_mode_from_env();
+  return static_cast<Mode>(m);
+}
+
+void set_mode(Mode m) {
+  g_mode.store(static_cast<int>(m), std::memory_order_relaxed);
+}
+
+bool enabled() {
+  int m = g_mode.load(std::memory_order_relaxed);
+  if (m == kModeUninit) return init_mode_from_env() != Mode::kOff;
+  return static_cast<Mode>(m) != Mode::kOff;
+}
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kOff: return "off";
+    case Mode::kSummary: return "summary";
+    case Mode::kSpans: return "spans";
+  }
+  return "off";
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+
+void Counter::add(std::uint64_t delta) {
+  impl_->value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const {
+  return impl_->value.load(std::memory_order_relaxed);
+}
+
+Counter& counter(const std::string& name) {
+  Registry& r = Registry::get();
+  std::lock_guard<std::mutex> lk(r.mu);
+  auto it = r.counters.find(name);
+  if (it == r.counters.end()) {
+    Counter c;
+    c.impl_ = new Counter::Impl();  // leaked with the registry: stable forever
+    it = r.counters.emplace(name, c).first;
+  }
+  return it->second;
+}
+
+std::vector<CounterValue> counters_snapshot() {
+  Registry& r = Registry::get();
+  std::lock_guard<std::mutex> lk(r.mu);
+  std::vector<CounterValue> out;
+  out.reserve(r.counters.size());
+  for (const auto& [name, c] : r.counters)  // std::map: already name-sorted
+    out.push_back({name, c.value()});
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+
+ScopedSpan::ScopedSpan(const char* name) { open(name); }
+ScopedSpan::ScopedSpan(const std::string& name) { open(name.c_str()); }
+
+void ScopedSpan::open(const char* name) {
+  if (!enabled()) return;
+  active_ = true;
+  name_id_ = Registry::get().intern(name);
+  ThreadState& ts = thread_state();
+  {
+    std::lock_guard<std::mutex> lk(ts.mu);
+    ts.open_stack.push_back(name_id_);
+  }
+  cpu_begin_ns_ = thread_cpu_now_ns();
+  begin_ns_ = wall_now_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const std::uint64_t end_ns = wall_now_ns();
+  const std::uint64_t cpu_end_ns = thread_cpu_now_ns();
+  const std::uint64_t dur = end_ns >= begin_ns_ ? end_ns - begin_ns_ : 0;
+  const std::uint64_t cpu =
+      cpu_end_ns >= cpu_begin_ns_ ? cpu_end_ns - cpu_begin_ns_ : 0;
+  ThreadState& ts = thread_state();
+  Registry& r = Registry::get();
+  std::lock_guard<std::mutex> lk(ts.mu);
+  std::uint32_t depth = 0;
+  if (!ts.open_stack.empty()) {
+    depth = static_cast<std::uint32_t>(ts.open_stack.size() - 1);
+    ts.open_stack.pop_back();  // RAII guarantees LIFO per thread
+  }
+  Agg& a = ts.aggregates[name_id_];
+  a.count += 1;
+  a.wall_ns += dur;
+  a.cpu_ns += cpu;
+  if (mode() == Mode::kSpans) {
+    if (ts.retained.size() < kMaxEventsPerThread)
+      ts.retained.push_back({name_id_, depth, begin_ns_, dur, cpu});
+    else
+      r.dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+// Snapshot helper: copy the thread list (and anything name-indexed) under
+// the registry lock, then visit each thread under its own lock so
+// emission on other threads is only briefly blocked.
+struct Snapshot {
+  std::vector<std::shared_ptr<ThreadState>> threads;
+  std::vector<std::string> names;
+  std::uint64_t epoch_abs_ns = 0;
+};
+
+Snapshot snapshot_threads() {
+  Registry& r = Registry::get();
+  std::lock_guard<std::mutex> lk(r.mu);
+  return {r.threads, r.names, r.epoch_abs_ns};
+}
+
+}  // namespace
+
+std::vector<PhaseStat> phase_stats() {
+  Snapshot snap = snapshot_threads();
+  std::map<std::string, PhaseStat> merged;
+  for (const auto& ts : snap.threads) {
+    std::lock_guard<std::mutex> lk(ts->mu);
+    for (const auto& [name_id, agg] : ts->aggregates) {
+      // A concurrent emitter may have interned this name after our name
+      // snapshot; it will show up in the next snapshot.
+      if (name_id >= snap.names.size()) continue;
+      PhaseStat& p = merged[snap.names[name_id]];
+      p.count += agg.count;
+      p.wall_ns += agg.wall_ns;
+      p.cpu_ns += agg.cpu_ns;
+    }
+  }
+  std::vector<PhaseStat> out;
+  out.reserve(merged.size());
+  for (auto& [name, stat] : merged) {
+    stat.name = name;
+    out.push_back(std::move(stat));
+  }
+  return out;
+}
+
+std::vector<SpanEvent> events() {
+  Snapshot snap = snapshot_threads();
+  std::vector<SpanEvent> out;
+  for (const auto& ts : snap.threads) {
+    std::lock_guard<std::mutex> lk(ts->mu);
+    for (const RawEvent& e : ts->retained) {
+      if (e.name_id >= snap.names.size()) continue;  // interned post-snapshot
+      SpanEvent ev;
+      ev.name = snap.names[e.name_id];
+      ev.thread = ts->ordinal;
+      ev.thread_label = ts->label;
+      ev.begin_ns = e.begin_abs_ns >= snap.epoch_abs_ns
+                        ? e.begin_abs_ns - snap.epoch_abs_ns
+                        : 0;
+      ev.dur_ns = e.dur_ns;
+      ev.cpu_ns = e.cpu_ns;
+      ev.depth = e.depth;
+      out.push_back(std::move(ev));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const SpanEvent& a, const SpanEvent& b) {
+    if (a.thread != b.thread) return a.thread < b.thread;
+    if (a.begin_ns != b.begin_ns) return a.begin_ns < b.begin_ns;
+    return a.depth < b.depth;
+  });
+  return out;
+}
+
+std::uint64_t dropped_events() {
+  return Registry::get().dropped.load(std::memory_order_relaxed);
+}
+
+std::size_t open_span_count() {
+  Snapshot snap = snapshot_threads();
+  std::size_t open = 0;
+  for (const auto& ts : snap.threads) {
+    std::lock_guard<std::mutex> lk(ts->mu);
+    open += ts->open_stack.size();
+  }
+  return open;
+}
+
+void set_thread_label(const std::string& label) {
+  ThreadState& ts = thread_state();
+  std::lock_guard<std::mutex> lk(ts.mu);
+  ts.label = label;
+}
+
+void reset() {
+  Registry& r = Registry::get();
+  std::vector<std::shared_ptr<ThreadState>> threads;
+  {
+    std::lock_guard<std::mutex> lk(r.mu);
+    r.epoch_abs_ns = wall_now_ns();
+    for (auto& [name, c] : r.counters)
+      c.impl_->value.store(0, std::memory_order_relaxed);
+    r.dropped.store(0, std::memory_order_relaxed);
+    threads = r.threads;
+  }
+  for (const auto& ts : threads) {
+    std::lock_guard<std::mutex> lk(ts->mu);
+    ts->retained.clear();
+    ts->aggregates.clear();
+    // open_stack deliberately survives: spans still open will close
+    // normally and record against the new epoch.
+  }
+}
+
+}  // namespace sugar::core::trace

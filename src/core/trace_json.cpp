@@ -1,0 +1,94 @@
+#include "core/trace_json.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace sugar::core {
+namespace {
+
+double ns_to_ms(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+double ns_to_us(std::uint64_t ns) { return static_cast<double>(ns) / 1e3; }
+
+}  // namespace
+
+Json trace_section_json() {
+  Json section = Json::object();
+  section.set("mode", Json(trace::mode_name(trace::mode())));
+  Json phases = Json::array();
+  for (const trace::PhaseStat& p : trace::phase_stats()) {
+    Json row = Json::object();
+    row.set("name", Json(p.name));
+    row.set("count", Json(static_cast<double>(p.count)));
+    row.set("wall_ms", Json(ns_to_ms(p.wall_ns)));
+    row.set("cpu_ms", Json(ns_to_ms(p.cpu_ns)));
+    phases.push(std::move(row));
+  }
+  section.set("phases", std::move(phases));
+  Json counters = Json::array();
+  for (const trace::CounterValue& c : trace::counters_snapshot()) {
+    Json row = Json::object();
+    row.set("name", Json(c.name));
+    row.set("value", Json(static_cast<double>(c.value)));
+    counters.push(std::move(row));
+  }
+  section.set("counters", std::move(counters));
+  section.set("dropped_events",
+              Json(static_cast<double>(trace::dropped_events())));
+  return section;
+}
+
+Json counter_delta_json(const std::vector<trace::CounterValue>& before,
+                        const std::vector<trace::CounterValue>& after) {
+  std::map<std::string, std::uint64_t> base;
+  for (const auto& c : before) base[c.name] = c.value;
+  Json deltas = Json::array();
+  for (const auto& c : after) {
+    auto it = base.find(c.name);
+    const std::uint64_t prev = it == base.end() ? 0 : it->second;
+    if (c.value <= prev) continue;  // counters are monotone; 0-delta omitted
+    Json row = Json::object();
+    row.set("name", Json(c.name));
+    row.set("delta", Json(static_cast<double>(c.value - prev)));
+    deltas.push(std::move(row));
+  }
+  return deltas;
+}
+
+Json chrome_trace_json() {
+  Json doc = Json::object();
+  Json evs = Json::array();
+  std::map<std::uint64_t, std::string> labels;
+  for (const trace::SpanEvent& e : trace::events()) {
+    if (!e.thread_label.empty()) labels.emplace(e.thread, e.thread_label);
+    Json ev = Json::object();
+    ev.set("name", Json(e.name));
+    ev.set("ph", Json("X"));
+    ev.set("ts", Json(ns_to_us(e.begin_ns)));
+    ev.set("dur", Json(ns_to_us(e.dur_ns)));
+    ev.set("pid", Json(1));
+    ev.set("tid", Json(static_cast<double>(e.thread)));
+    Json args = Json::object();
+    args.set("cpu_ms", Json(ns_to_ms(e.cpu_ns)));
+    args.set("depth", Json(static_cast<double>(e.depth)));
+    ev.set("args", std::move(args));
+    evs.push(std::move(ev));
+  }
+  for (const auto& [tid, label] : labels) {
+    Json meta = Json::object();
+    meta.set("name", Json("thread_name"));
+    meta.set("ph", Json("M"));
+    meta.set("pid", Json(1));
+    meta.set("tid", Json(static_cast<double>(tid)));
+    Json args = Json::object();
+    args.set("name", Json(label));
+    meta.set("args", std::move(args));
+    evs.push(std::move(meta));
+  }
+  doc.set("traceEvents", std::move(evs));
+  doc.set("displayTimeUnit", Json("ms"));
+  return doc;
+}
+
+}  // namespace sugar::core

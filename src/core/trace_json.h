@@ -1,0 +1,32 @@
+// JSON views over the core::trace registry. Kept out of trace.{h,cpp}
+// (sugar_parallel) because core::Json lives in sugar_core — this is the
+// one-way bridge: trace records raw data, this file renders it.
+#pragma once
+
+#include <vector>
+
+#include "core/artifact.h"
+#include "core/trace.h"
+
+namespace sugar::core {
+
+/// The `trace` section embedded in schema_version-4 BENCH_*.json
+/// artifacts: {mode, phases: [{name, count, wall_ms, cpu_ms}...],
+/// counters: [{name, value}...], dropped_events}. Phases and counters are
+/// name-sorted; times are milliseconds (double).
+Json trace_section_json();
+
+/// Counter deltas between two snapshots taken with
+/// trace::counters_snapshot(), as [{name, delta}...] for counters whose
+/// value moved. Used for the per-cell `trace.counters` attribution.
+Json counter_delta_json(const std::vector<trace::CounterValue>& before,
+                        const std::vector<trace::CounterValue>& after);
+
+/// Full retained timeline as a Chrome trace_event document (the
+/// chrome://tracing / Perfetto "JSON Array Format" wrapped in an object):
+/// {"traceEvents": [...]} with one "X" complete event per span (ts/dur in
+/// microseconds, pid 1, tid = stable thread ordinal) plus one "M"
+/// thread_name metadata event per labelled thread.
+Json chrome_trace_json();
+
+}  // namespace sugar::core

@@ -1,5 +1,7 @@
 #include "dataset/audit.h"
 
+#include "core/trace.h"
+
 #include <algorithm>
 #include <sstream>
 #include <unordered_map>
@@ -18,6 +20,7 @@ std::string LeakageReport::to_string() const {
 
 LeakageReport audit_split(const PacketDataset& ds, const SplitIndices& split,
                           const AuditOptions& opts) {
+  SUGAR_TRACE_SPAN("dataset.audit_split");
   LeakageReport report;
 
   // --- Explicit leak: flow membership across the boundary.
@@ -80,6 +83,9 @@ LeakageReport audit_split(const PacketDataset& ds, const SplitIndices& split,
     }
     if (hit) ++report.implicit_id_matches;
   }
+  SUGAR_TRACE_COUNT("audit.test_probes", probed);
+  SUGAR_TRACE_COUNT("audit.implicit_matches", report.implicit_id_matches);
+  SUGAR_TRACE_COUNT("audit.straddling_flows", report.straddling_flows);
   return report;
 }
 

@@ -1,5 +1,7 @@
 #include "dataset/clean.h"
 
+#include "core/trace.h"
+
 #include <map>
 #include <sstream>
 #include <unordered_map>
@@ -57,9 +59,16 @@ std::string CleaningReport::to_markdown() const {
 
 CleaningReport clean_trace(trafficgen::GeneratedTrace& trace,
                            const CleaningOptions& opts) {
+  SUGAR_TRACE_SPAN("dataset.clean_trace");
   CleaningReport report;
   report.dataset_name = trace.dataset_name;
   report.total_packets = trace.packets.size();
+  SUGAR_TRACE_COUNT("clean.packets_in", trace.packets.size());
+  if (core::trace::enabled()) {
+    std::uint64_t bytes_in = 0;
+    for (const auto& p : trace.packets) bytes_in += p.data.size();
+    SUGAR_TRACE_COUNT("clean.bytes_parsed", bytes_in);
+  }
 
   std::vector<bool> keep(trace.packets.size(), true);
 
@@ -137,6 +146,9 @@ CleaningReport clean_trace(trafficgen::GeneratedTrace& trace,
       }
     }
   }
+
+  SUGAR_TRACE_COUNT("clean.malformed_frames", report.removed_malformed);
+  SUGAR_TRACE_COUNT("clean.spurious_removed", report.removed_spurious_total());
 
   // --- Compact in place.
   std::size_t w = 0;

@@ -1,5 +1,7 @@
 #include "dataset/split.h"
 
+#include "core/trace.h"
+
 #include <algorithm>
 #include <numeric>
 #include <random>
@@ -12,6 +14,7 @@ std::string to_string(SplitPolicy p) {
 }
 
 SplitIndices split_dataset(const PacketDataset& ds, const SplitOptions& opts) {
+  SUGAR_TRACE_SPAN("dataset.split");
   std::mt19937_64 rng(opts.seed);
   SplitIndices out;
 

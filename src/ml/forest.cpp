@@ -5,6 +5,7 @@
 #include <random>
 
 #include "core/threadpool.h"
+#include "core/trace.h"
 
 namespace sugar::ml {
 namespace {
@@ -23,8 +24,10 @@ std::uint64_t tree_seed(std::uint64_t seed, std::uint64_t tree) {
 }  // namespace
 
 void RandomForest::fit(const Matrix& x, const std::vector<int>& y, int num_classes) {
+  SUGAR_TRACE_SPAN("ml.forest.fit");
   num_classes_ = num_classes;
   trees_.assign(static_cast<std::size_t>(cfg_.num_trees), {});
+  SUGAR_TRACE_COUNT("ml.trees_fit", trees_.size());
 
   TreeConfig tree_cfg = cfg_.tree;
   if (tree_cfg.features_per_split == 0)
@@ -48,6 +51,7 @@ void RandomForest::fit(const Matrix& x, const std::vector<int>& y, int num_class
 }
 
 std::vector<int> RandomForest::predict(const Matrix& x) const {
+  SUGAR_TRACE_SPAN("ml.forest.predict");
   std::vector<int> out(x.rows(), 0);
   core::global_pool().parallel_for(
       0, x.rows(), 64, [&](std::size_t r0, std::size_t r1) {

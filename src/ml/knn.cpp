@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/threadpool.h"
+#include "core/trace.h"
 
 namespace sugar::ml {
 namespace {
@@ -50,6 +51,8 @@ void KnnClassifier::fit(Matrix x, std::vector<int> y, int num_classes) {
 }
 
 std::vector<int> KnnClassifier::predict(const Matrix& x) const {
+  SUGAR_TRACE_SPAN("ml.knn.predict");
+  SUGAR_TRACE_COUNT("ml.knn_queries", x.rows());
   std::vector<int> out(x.rows(), 0);
   core::global_pool().parallel_for(
       0, x.rows(), kQueryGrain, [&](std::size_t r0, std::size_t r1) {
@@ -69,6 +72,8 @@ std::vector<int> KnnClassifier::predict(const Matrix& x) const {
 
 PurityHistogram knn_purity(const Matrix& embeddings, const std::vector<int>& labels,
                            int k) {
+  SUGAR_TRACE_SPAN("ml.knn.purity");
+  SUGAR_TRACE_COUNT("ml.knn_queries", embeddings.rows());
   PurityHistogram result;
   result.histogram.assign(static_cast<std::size_t>(k + 1), 0.0);
   std::size_t n = embeddings.rows();

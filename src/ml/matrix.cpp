@@ -1,10 +1,13 @@
 #include "ml/matrix.h"
 
+#include "core/trace.h"
+
 #include <algorithm>
 #include <cmath>
 
 #include "core/simd.h"
 #include "core/threadpool.h"
+#include "core/trace.h"
 #include "ml/guard.h"
 
 namespace sugar::ml {
@@ -66,6 +69,7 @@ void matmul_into(const Matrix& a, const Matrix& b, Matrix& c) {
   c.reshape(a.rows(), b.cols());
   c.fill(0.0f);
   const std::size_t kk = a.cols(), m = b.cols();
+  SUGAR_TRACE_COUNT("ml.gemm_flops", 2 * a.rows() * kk * m);
   core::global_pool().parallel_for(
       0, a.rows(), kRowGrain, [&](std::size_t r0, std::size_t r1) {
         for (std::size_t k0 = 0; k0 < kk; k0 += kPanel) {
@@ -92,6 +96,7 @@ void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& c) {
                  "matmul_tn_acc: output shape mismatch");
   check_internal(&c != &a && &c != &b, "matmul_tn_acc: output aliases an input");
   const std::size_t n = a.rows(), m = b.cols();
+  SUGAR_TRACE_COUNT("ml.gemm_flops", 2 * n * a.cols() * m);
   // Output rows are columns of A; each block owns rows [i0, i1) of C, and
   // the k (sample) loop stays outermost so A and B are streamed once per
   // block in row-major order.
@@ -117,6 +122,7 @@ void matmul_nt_into(const Matrix& a, const Matrix& b, Matrix& c) {
   check_internal(&c != &a && &c != &b, "matmul_nt: output aliases an input");
   c.reshape(a.rows(), b.rows());
   const std::size_t kk = a.cols(), m = b.rows();
+  SUGAR_TRACE_COUNT("ml.gemm_flops", 2 * a.rows() * kk * m);
   core::global_pool().parallel_for(
       0, a.rows(), kRowGrain, [&](std::size_t r0, std::size_t r1) {
         for (std::size_t i = r0; i < r1; ++i) {

@@ -1,5 +1,7 @@
 #include "ml/mlp.h"
 
+#include "core/trace.h"
+
 #include <algorithm>
 #include <numeric>
 #include <random>
@@ -25,7 +27,10 @@ void MlpClassifier::fit(const Matrix& x, const std::vector<int>& y, int num_clas
   std::vector<std::size_t> idx;
   std::vector<int> yb;
   Matrix xb, grad;
+  SUGAR_TRACE_SPAN("ml.fit");
   for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    SUGAR_TRACE_SPAN("ml.fit.epoch");
+    const std::size_t allocs_before = net_.arena().heap_allocations();
     std::shuffle(order.begin(), order.end(), rng);
     float epoch_loss = 0;
     std::size_t batches = 0;
@@ -46,6 +51,9 @@ void MlpClassifier::fit(const Matrix& x, const std::vector<int>& y, int num_clas
       net_.adam_step(cfg_.learning_rate);
     }
     epoch_loss /= static_cast<float>(std::max<std::size_t>(batches, 1));
+    SUGAR_TRACE_COUNT("ml.epochs", 1);
+    SUGAR_TRACE_COUNT("ml.arena_growths",
+                      net_.arena().heap_allocations() - allocs_before);
     check_loss_finite(epoch_loss, "MlpClassifier::fit", epoch);
     if (cfg_.early_stop_delta > 0) {
       if (epoch_loss < best_loss - cfg_.early_stop_delta) {
@@ -59,6 +67,7 @@ void MlpClassifier::fit(const Matrix& x, const std::vector<int>& y, int num_clas
 }
 
 Matrix MlpClassifier::predict_proba(const Matrix& x) const {
+  SUGAR_TRACE_SPAN("ml.predict");
   Matrix logits = const_cast<MlpNet&>(net_).forward(x, /*training=*/false);
   softmax_rows(logits);
   return logits;

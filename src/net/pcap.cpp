@@ -1,5 +1,7 @@
 #include "net/pcap.h"
 
+#include "core/trace.h"
+
 #include <array>
 #include <bit>
 #include <cstring>
@@ -205,9 +207,24 @@ bool PcapReader::next(Packet& out) {
 }
 
 std::vector<Packet> PcapReader::read_all() {
+  SUGAR_TRACE_SPAN("pcap.read_all");
+  const PcapReadStats before = stats_;
   std::vector<Packet> pkts;
+  std::uint64_t bytes = 0;
   Packet p;
-  while (next(p)) pkts.push_back(std::move(p));
+  while (next(p)) {
+    bytes += p.data.size();
+    pkts.push_back(std::move(p));
+  }
+  SUGAR_TRACE_COUNT("pcap.records_ok", stats_.records_ok - before.records_ok);
+  SUGAR_TRACE_COUNT("pcap.records_truncated",
+                    stats_.records_truncated - before.records_truncated);
+  SUGAR_TRACE_COUNT("pcap.corrupt_headers",
+                    stats_.corrupt_headers - before.corrupt_headers);
+  SUGAR_TRACE_COUNT("pcap.resyncs", stats_.resyncs - before.resyncs);
+  SUGAR_TRACE_COUNT("pcap.bytes_skipped",
+                    stats_.bytes_skipped - before.bytes_skipped);
+  SUGAR_TRACE_COUNT("pcap.bytes_read", bytes);
   return pkts;
 }
 

@@ -1,5 +1,7 @@
 #include "replearn/featurize.h"
 
+#include "core/trace.h"
+
 #include <algorithm>
 #include <cmath>
 #include <cstring>
@@ -181,6 +183,8 @@ void extract_header_features(const net::Packet& pkt, const net::ParsedPacket& p,
 ml::Matrix header_feature_matrix(const dataset::PacketDataset& ds,
                                  const std::vector<std::size_t>& indices,
                                  const HeaderFeatureSpec& spec) {
+  SUGAR_TRACE_SPAN("featurize.header");
+  SUGAR_TRACE_COUNT("featurize.packets", indices.size());
   std::size_t d = header_feature_names(spec).size();
   ml::Matrix x(indices.size(), d);
   for (std::size_t i = 0; i < indices.size(); ++i)

@@ -1,5 +1,7 @@
 #include "replearn/head.h"
 
+#include "core/trace.h"
+
 #include <algorithm>
 #include <numeric>
 #include <random>
@@ -18,6 +20,7 @@ DownstreamModel::DownstreamModel(std::unique_ptr<Encoder> encoder, int num_class
 
 void DownstreamModel::fit(const ml::Matrix& x, const std::vector<int>& y,
                           const std::vector<int>& groups) {
+  SUGAR_TRACE_SPAN("replearn.fit");
   std::mt19937_64 rng(cfg_.seed ^ 0x7EAD);
 
   // --- Hold out a validation share: whole flows (honest) or random samples.
@@ -89,6 +92,8 @@ void DownstreamModel::fit(const ml::Matrix& x, const std::vector<int>& y,
   std::vector<int> yb;
   ml::Matrix xb, emb, grad;
   for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    SUGAR_TRACE_SPAN("replearn.fit.epoch");
+    const std::size_t allocs_before = head_.arena().heap_allocations();
     std::shuffle(train_idx.begin(), train_idx.end(), rng);
     float epoch_loss = 0;
     std::size_t batches = 0;
@@ -121,6 +126,9 @@ void DownstreamModel::fit(const ml::Matrix& x, const std::vector<int>& y,
     }
     ml::check_loss_finite(epoch_loss / static_cast<float>(std::max<std::size_t>(batches, 1)),
                           "DownstreamModel::fit", epoch);
+    SUGAR_TRACE_COUNT("ml.epochs", 1);
+    SUGAR_TRACE_COUNT("ml.arena_growths",
+                      head_.arena().heap_allocations() - allocs_before);
 
     if (!val_idx.empty()) {
       double acc = validation_accuracy();
@@ -143,6 +151,7 @@ void DownstreamModel::fit(const ml::Matrix& x, const std::vector<int>& y,
 }
 
 std::vector<int> DownstreamModel::predict(const ml::Matrix& x) {
+  SUGAR_TRACE_SPAN("replearn.predict");
   ml::Matrix emb = encoder_->embed(x, false);
   const ml::Matrix& logits = head_.forward(emb, false);
   std::vector<int> out(x.rows(), 0);

@@ -1,5 +1,7 @@
 #include "replearn/mae_encoder.h"
 
+#include "core/trace.h"
+
 #include <algorithm>
 #include <numeric>
 #include <random>
@@ -33,6 +35,7 @@ std::size_t MaeEncoder::param_count() const {
 }
 
 void MaeEncoder::pretrain(const ml::Matrix& x, const PretrainOptions& opts) {
+  SUGAR_TRACE_SPAN("replearn.pretrain.mae");
   std::mt19937_64 rng(opts.seed);
   std::uniform_real_distribution<float> unit(0.0f, 1.0f);
   std::vector<std::size_t> order(x.rows());
@@ -43,6 +46,8 @@ void MaeEncoder::pretrain(const ml::Matrix& x, const PretrainOptions& opts) {
   std::vector<std::size_t> idx;
   ml::Matrix target, masked, grad;
   for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    SUGAR_TRACE_SPAN("replearn.pretrain.epoch");
+    SUGAR_TRACE_COUNT("ml.pretrain_epochs", 1);
     std::shuffle(order.begin(), order.end(), rng);
     float epoch_loss = 0;
     std::size_t batches = 0;

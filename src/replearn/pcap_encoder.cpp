@@ -1,5 +1,7 @@
 #include "replearn/pcap_encoder.h"
 
+#include "core/trace.h"
+
 #include <algorithm>
 #include <numeric>
 #include <random>
@@ -28,6 +30,7 @@ std::size_t PcapEncoder::param_count() const {
 
 void PcapEncoder::pretrain(const ml::Matrix& x, const PretrainOptions& opts) {
   if (!cfg_.enable_autoencoder_phase) return;
+  SUGAR_TRACE_SPAN("replearn.pretrain.pcap_ae");
   std::mt19937_64 rng(opts.seed);
   std::uniform_real_distribution<float> unit(0.0f, 1.0f);
   std::vector<std::size_t> order(x.rows());
@@ -38,6 +41,8 @@ void PcapEncoder::pretrain(const ml::Matrix& x, const PretrainOptions& opts) {
   std::vector<std::size_t> idx;
   ml::Matrix target, noisy, grad;
   for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    SUGAR_TRACE_SPAN("replearn.pretrain.epoch");
+    SUGAR_TRACE_COUNT("ml.pretrain_epochs", 1);
     std::shuffle(order.begin(), order.end(), rng);
     float epoch_loss = 0;
     std::size_t batches = 0;
@@ -69,6 +74,7 @@ void PcapEncoder::pretrain(const ml::Matrix& x, const PretrainOptions& opts) {
 void PcapEncoder::pretrain_supervised(const ml::Matrix& x, const ml::Matrix& targets,
                                       const PretrainOptions& opts) {
   if (!cfg_.enable_qa_phase) return;
+  SUGAR_TRACE_SPAN("replearn.pretrain.pcap_qa");
   std::mt19937_64 rng(opts.seed ^ 0x2222);
   std::vector<std::size_t> order(x.rows());
   std::iota(order.begin(), order.end(), 0);
@@ -79,6 +85,8 @@ void PcapEncoder::pretrain_supervised(const ml::Matrix& x, const ml::Matrix& tar
   std::vector<std::size_t> idx;
   ml::Matrix xb, tb, grad;
   for (int epoch = 0; epoch < epochs; ++epoch) {
+    SUGAR_TRACE_SPAN("replearn.pretrain.epoch");
+    SUGAR_TRACE_COUNT("ml.pretrain_epochs", 1);
     std::shuffle(order.begin(), order.end(), rng);
     float epoch_loss = 0;
     std::size_t batches = 0;

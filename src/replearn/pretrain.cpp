@@ -1,5 +1,7 @@
 #include "replearn/pretrain.h"
 
+#include "core/trace.h"
+
 #include <algorithm>
 #include <numeric>
 #include <random>
@@ -8,6 +10,7 @@ namespace sugar::replearn {
 
 void pretrain_on_backbone(ModelBundle& bundle, const dataset::PacketDataset& backbone,
                           const BackbonePretrainOptions& opts) {
+  SUGAR_TRACE_SPAN("replearn.pretrain_backbone");
   std::vector<std::size_t> indices(backbone.size());
   std::iota(indices.begin(), indices.end(), 0);
   if (indices.size() > opts.max_samples) {

@@ -16,6 +16,7 @@
 
 #include "core/supervisor.h"
 #include "core/threadpool.h"
+#include "core/trace.h"
 #include "ml/forest.h"
 #include "ml/matrix.h"
 
@@ -121,6 +122,113 @@ TEST(TsanStress, SupervisorParallelCellsUsingPool) {
   EXPECT_TRUE(sup.finalize());
   EXPECT_TRUE(std::filesystem::exists(dir / "BENCH_tsan_stress.json"));
   std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// TraceConcurrent*: the observability substrate under contention. Span and
+// counter emission from many threads while snapshot readers run
+// concurrently — the seams TSan must see clean (per-thread state mutexes,
+// the counter atomics, registry interning).
+
+TEST(TraceConcurrent, EmittersAndSnapshottersRace) {
+  trace::set_mode(trace::Mode::kSpans);
+  trace::reset();
+  set_global_threads(4);
+
+  std::atomic<bool> stop{false};
+  // Reader thread: continuously snapshots while emitters run.
+  std::thread reader([&stop] {
+    while (!stop.load()) {
+      auto stats = trace::phase_stats();
+      auto evs = trace::events();
+      auto ctrs = trace::counters_snapshot();
+      (void)trace::dropped_events();
+      (void)trace::open_span_count();
+      if (!stats.empty() && !evs.empty() && !ctrs.empty()) {
+        // touch the copies so nothing is optimized away
+        volatile std::size_t sink = stats.size() + evs.size() + ctrs.size();
+        (void)sink;
+      }
+    }
+  });
+
+  std::vector<std::thread> emitters;
+  for (int t = 0; t < 6; ++t) {
+    emitters.emplace_back([t] {
+      trace::set_thread_label("stress-emitter-" + std::to_string(t));
+      for (int round = 0; round < 200; ++round) {
+        SUGAR_TRACE_SPAN("stress.outer");
+        SUGAR_TRACE_COUNT("stress.rounds", 1);
+        {
+          SUGAR_TRACE_SPAN("stress.inner");
+          global_pool().parallel_for(0, 64, 8,
+                                     [](std::size_t lo, std::size_t hi) {
+                                       SUGAR_TRACE_SPAN("stress.block");
+                                       SUGAR_TRACE_COUNT("stress.blocks",
+                                                         hi - lo);
+                                     });
+        }
+      }
+    });
+  }
+  for (auto& t : emitters) t.join();
+  stop.store(true);
+  reader.join();
+  set_global_threads(0);
+
+  EXPECT_EQ(trace::open_span_count(), 0u);
+  EXPECT_EQ(trace::counter("stress.rounds").value(), 6u * 200u);
+  EXPECT_EQ(trace::counter("stress.blocks").value(), 6u * 200u * 64u);
+  trace::set_mode(trace::Mode::kOff);
+  trace::reset();
+}
+
+TEST(TraceConcurrent, SupervisorParallelCellsEmitSpans) {
+  trace::set_mode(trace::Mode::kSpans);
+  trace::reset();
+  set_global_threads(4);
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("sugar_tsan_trace_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+
+  SupervisorConfig cfg;
+  cfg.bench_name = "tsan_trace";
+  cfg.quiet = true;
+  cfg.backoff_base_s = 0;
+  cfg.cell_timeout_s = 120;
+  cfg.max_parallel_cells = 6;
+  cfg.json_path = (dir / "BENCH_tsan_trace.json").string();
+  cfg.trace_path = (dir / "trace.json").string();
+  RunSupervisor sup(std::move(cfg));
+
+  const ml::Matrix a = random_matrix(48, 64, 3);
+  const ml::Matrix b = random_matrix(64, 32, 4);
+
+  std::vector<CellSpec> specs;
+  std::vector<RunSupervisor::CellFn> fns;
+  for (int i = 0; i < 12; ++i) {
+    specs.push_back({"tsan_trace", "cell" + std::to_string(i), "matmul",
+                     generic_cell_key({"tsan_trace", std::to_string(i)})});
+    fns.push_back([&a, &b](CellContext&) {
+      // Concurrent cells: the per-cell counter-delta snapshots in
+      // process_cell race against every other cell's emission.
+      SUGAR_TRACE_SPAN("stress.cell");
+      ml::Matrix c = ml::matmul(a, b);  // bumps ml.gemm_flops
+      CellSummary s;
+      s.accuracy = c.size() > 0 ? 1.0 : 0.0;
+      return s;
+    });
+  }
+  auto outcomes = sup.run_cells(specs, fns);
+  set_global_threads(0);
+
+  for (const auto& o : outcomes) EXPECT_TRUE(o.ok());
+  EXPECT_EQ(trace::counter("supervisor.cells_ok").value(), 12u);
+  EXPECT_TRUE(sup.finalize());
+  EXPECT_TRUE(std::filesystem::exists(dir / "trace.json"));
+  std::filesystem::remove_all(dir);
+  trace::set_mode(trace::Mode::kOff);
+  trace::reset();
 }
 
 }  // namespace
