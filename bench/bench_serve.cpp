@@ -1,0 +1,336 @@
+// bench_serve: robustness benchmark for the online serving engine. A
+// trafficgen trace is replayed through serve::ServeEngine as an arrival
+// stream; cells probe the engine's steady-state capacity, then push offered
+// load at 0.5x / 1x / 2x of it and finally replay fault-injected sequences
+// (reorder / duplicate / mid-flow truncation) under both calm and overload
+// pressure. The engine must survive every cell with bounded memory, and the
+// artifact records the evidence: latency percentiles, flows/sec, shed and
+// eviction counters, plus a snapshot timeline whose counters json_check
+// verifies are monotone.
+//
+// Offered load is modelled in deterministic ticks, not wall time: one
+// pump() per tick processes at most batch_size packets, so offering
+// ratio x batch_size packets per tick is an offered:capacity ratio of
+// `ratio` by construction. At 2x the queue saturates and the shed ladder
+// must engage — observably, without crashing and within the table's
+// bytes_cap().
+//
+// Extra flags on top of the common bench CLI:
+//   --offered-load <pps>   rewrite replay timestamps to this packets/sec
+//   --duration-s <n>       stream-seconds of traffic per load cell
+//   --max-flows <n>        flow-table hard bound
+//   --shards <n>           flow-table shard count
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/artifact.h"
+#include "net/fault.h"
+#include "net/replay.h"
+#include "serve/classifier.h"
+#include "serve/engine.h"
+#include "serve/flow_features.h"
+#include "trafficgen/datasets.h"
+
+using namespace sugar;
+
+namespace {
+
+struct ServeCliOptions {
+  double offered_pps = 0;     // 0: keep captured timestamps
+  double duration_s = 4.0;    // stream-seconds per load cell
+  std::size_t max_flows = 0;  // 0: derived from the trace
+  std::size_t shards = 8;
+  std::size_t queue_capacity = 2048;
+  std::size_t batch_size = 256;
+};
+
+bool parse_serve_flags(const std::vector<std::string>& args, ServeCliOptions& out,
+                       std::string& error) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto value = [&](double& dst) {
+      if (i + 1 >= args.size()) {
+        error = "missing value for " + arg;
+        return false;
+      }
+      char* end = nullptr;
+      dst = std::strtod(args[++i].c_str(), &end);
+      if (end == nullptr || *end != '\0' || args[i].empty()) {
+        error = "malformed value for " + arg + " '" + args[i] + "'";
+        return false;
+      }
+      return true;
+    };
+    double v = 0;
+    auto range = [&](bool ok) {
+      if (!ok && error.empty())
+        error = "out-of-range value for " + arg + " '" + args[i] + "'";
+      return ok;
+    };
+    if (arg == "--offered-load") {
+      if (!value(v) || !range(v >= 0)) return false;
+      out.offered_pps = v;
+    } else if (arg == "--duration-s") {
+      if (!value(v) || !range(v > 0)) return false;
+      out.duration_s = v;
+    } else if (arg == "--max-flows") {
+      if (!value(v) || !range(v >= 1)) return false;
+      out.max_flows = static_cast<std::size_t>(v);
+    } else if (arg == "--shards") {
+      if (!value(v) || !range(v >= 1)) return false;
+      out.shards = static_cast<std::size_t>(v);
+    } else if (arg == "--queue-capacity") {
+      if (!value(v) || !range(v >= 1)) return false;
+      out.queue_capacity = static_cast<std::size_t>(v);
+    } else if (arg == "--batch-size") {
+      if (!value(v) || !range(v >= 1)) return false;
+      out.batch_size = static_cast<std::size_t>(v);
+    } else {
+      error = "unknown flag '" + arg + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+struct GroundTruth {
+  std::unordered_map<net::FlowKey, int, net::FlowKeyHash> label_of;
+};
+
+/// One simulated run: offers `ratio x batch_size` packets per tick from a
+/// looping replay source, pumps once per tick, snapshots counters on a
+/// fixed cadence, then drains and flushes. Returns the summary the cell
+/// reports.
+core::CellSummary run_stream_cell(const std::vector<net::Packet>& stream,
+                                  const ServeCliOptions& cli, double ratio,
+                                  std::size_t total_packets,
+                                  std::shared_ptr<const serve::FlowClassifier> clf,
+                                  const GroundTruth& truth) {
+  serve::ServeConfig cfg;
+  cfg.table.shards = cli.shards;
+  cfg.table.max_flows = cli.max_flows;
+  cfg.queue_capacity = cli.queue_capacity;
+  cfg.batch_size = cli.batch_size;
+  cfg.record_verdicts = true;
+  serve::ServeEngine engine(cfg, std::move(clf));
+
+  net::ReplayOptions ropts;
+  ropts.loops = 0;  // loop forever; total_packets bounds the run
+  ropts.offered_pps = cli.offered_pps;
+  net::ReplaySource source(stream, ropts);
+
+  const auto per_tick = static_cast<std::size_t>(
+      std::max(1.0, ratio * static_cast<double>(cli.batch_size)));
+  const std::size_t snapshot_every =
+      std::max<std::size_t>(1, total_packets / per_tick / 16);
+
+  std::vector<serve::ServeCounters> snapshots;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t offered = 0, tick = 0;
+  net::Packet pkt;
+  while (offered < total_packets) {
+    for (std::size_t i = 0; i < per_tick && offered < total_packets; ++i) {
+      if (!source.next(pkt)) break;
+      engine.offer(pkt);  // a false return is the backpressure drop — counted
+      ++offered;
+    }
+    engine.pump();
+    if (++tick % snapshot_every == 0)
+      snapshots.push_back(engine.stats().counters);
+  }
+  engine.drain();
+  engine.flush();
+  snapshots.push_back(engine.stats().counters);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  // Score the verdicts against generator truth (flows whose key has no
+  // labelled ground truth — spurious traffic — are excluded).
+  const auto verdicts = engine.take_verdicts();
+  std::size_t scored = 0, correct = 0;
+  for (const auto& v : verdicts) {
+    auto it = truth.label_of.find(v.key);
+    if (it == truth.label_of.end() || it->second < 0) continue;
+    ++scored;
+    if (v.label == it->second) ++correct;
+  }
+
+  const serve::ServeStats stats = engine.stats();
+  core::CellSummary s;
+  s.accuracy = scored > 0 ? static_cast<double>(correct) / scored : 0.0;
+  s.macro_f1 = s.accuracy;  // single headline number for format_cell
+  s.n_test = scored;
+  s.test_seconds = wall;
+
+  core::Json serve_json = stats.to_json();
+  serve_json.set("offered_ratio", core::Json(ratio));
+  serve_json.set("verdicts", core::Json(verdicts.size()));
+  serve_json.set(
+      "packets_per_s",
+      core::Json(wall > 0 ? static_cast<double>(
+                                stats.counters.packets_processed) / wall
+                          : 0.0));
+  serve_json.set(
+      "flows_per_s",
+      core::Json(wall > 0
+                     ? static_cast<double>(stats.counters.flows_created) / wall
+                     : 0.0));
+  core::Json snaps = core::Json::array();
+  for (const auto& c : snapshots) snaps.push(c.to_json());
+  serve_json.set("snapshots", snaps);
+  s.extra.set("serve", serve_json);
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string error;
+  std::vector<std::string> extra;
+  auto sup_cfg = core::parse_bench_cli("serve", argc, argv, error, &extra);
+  ServeCliOptions cli;
+  if (sup_cfg && !parse_serve_flags(extra, cli, error)) sup_cfg.reset();
+  if (!sup_cfg) {
+    std::fprintf(stderr, "bench_serve: %s\n%s", error.c_str(),
+                 core::bench_usage("serve").c_str());
+    std::fprintf(stderr,
+                 "  --offered-load <pps>     replay at this packets/sec (0: captured)\n"
+                 "  --duration-s <n>         stream-seconds per load cell\n"
+                 "  --max-flows <n>          flow-table hard bound\n"
+                 "  --shards <n>             flow-table shard count\n"
+                 "  --queue-capacity <n>     bounded ingest queue size\n"
+                 "  --batch-size <n>         packets per pump round\n");
+    return 2;
+  }
+  core::RunSupervisor sup(std::move(*sup_cfg));
+
+  // Trace + classifier setup (outside the cells: shared fixture).
+  const core::EnvConfig env_cfg = core::EnvConfig::from_env();
+  trafficgen::GenOptions gen;
+  gen.seed = env_cfg.seed;
+  gen.flows_per_class = env_cfg.flows_per_class_iscx;
+  gen.spurious_fraction = env_cfg.iscx_spurious;
+  const auto trace = trafficgen::generate_iscx_vpn(gen);
+  std::printf("bench_serve: trace %zu packets, %zu flows\n", trace.size(),
+              trace.num_flows());
+
+  std::vector<int> packet_labels(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    packet_labels[i] = trace.labels[i].cls;
+  serve::FlowFeatureConfig fcfg;
+  const auto flows = serve::batch_flow_features(trace.packets, &packet_labels, fcfg);
+  GroundTruth truth;
+  for (std::size_t i = 0; i < flows.keys.size(); ++i)
+    truth.label_of.emplace(flows.keys[i], flows.labels[i]);
+
+  // Spurious-only flows carry label -1; the forest trains on labelled
+  // traffic only (scoring skips unlabelled flows as well).
+  std::vector<std::size_t> labelled;
+  int num_classes = 0;
+  for (std::size_t i = 0; i < flows.labels.size(); ++i) {
+    if (flows.labels[i] < 0) continue;
+    labelled.push_back(i);
+    num_classes = std::max(num_classes, flows.labels[i] + 1);
+  }
+  if (labelled.empty() || num_classes < 2) {
+    std::fprintf(stderr, "bench_serve: trace produced no labelled flows\n");
+    return 1;
+  }
+  ml::Matrix train_x(labelled.size(), flows.x.cols());
+  std::vector<int> train_y(labelled.size());
+  for (std::size_t r = 0; r < labelled.size(); ++r) {
+    std::copy_n(flows.x.row(labelled[r]), flows.x.cols(), train_x.row(r));
+    train_y[r] = flows.labels[labelled[r]];
+  }
+
+  ml::ForestConfig forest_cfg;
+  forest_cfg.num_trees = 24;
+  std::shared_ptr<const serve::FlowClassifier> clf =
+      serve::fit_forest_classifier(train_x, train_y, num_classes, forest_cfg);
+  std::printf("bench_serve: classifier %zu labelled flows, %d classes\n",
+              labelled.size(), num_classes);
+
+  if (cli.max_flows == 0)
+    cli.max_flows = std::max<std::size_t>(64, trace.num_flows() / 2);
+
+  // The stream length of every cell, in packets: enough ticks at 1x to
+  // exercise the ladder, scaled by --duration-s.
+  const auto total_packets = static_cast<std::size_t>(
+      std::max(1.0, cli.duration_s * 16.0) * static_cast<double>(cli.batch_size));
+
+  auto add_stream_cell = [&](bench::CellBatch& batch, std::string row,
+                             std::string col, std::vector<net::Packet> stream,
+                             double ratio) {
+    core::CellSpec spec{"serve", row, col,
+                        core::generic_cell_key({"serve", row, col})};
+    batch.add(std::move(spec), [&cli, &truth, clf, total_packets, ratio,
+                                stream = std::move(stream)](core::CellContext&) {
+      return run_stream_cell(stream, cli, ratio, total_packets, clf, truth);
+    });
+  };
+
+  // Load ladder: offered:capacity at 0.5x (calm), 1.0x (saturation
+  // boundary) and 2.0x (sustained overload — the shed ladder must engage).
+  bench::CellBatch load_cells;
+  for (double ratio : {0.5, 1.0, 2.0}) {
+    char col[16];
+    std::snprintf(col, sizeof col, "%.1fx", ratio);
+    add_stream_cell(load_cells, "load", col, trace.packets, ratio);
+  }
+
+  // Fault matrix: every delivery fault under calm and overload pressure.
+  const net::SequenceFault kFaults[] = {net::SequenceFault::ReorderWindow,
+                                        net::SequenceFault::DuplicateDelivery,
+                                        net::SequenceFault::TruncateMidFlow};
+  for (auto fault : kFaults) {
+    net::FaultInjector injector(env_cfg.seed * 1000003 +
+                                static_cast<std::uint64_t>(fault));
+    auto mutated = injector.mutate_sequence(trace.packets, fault);
+    for (double ratio : {0.5, 2.0}) {
+      char col[16];
+      std::snprintf(col, sizeof col, "%.1fx", ratio);
+      add_stream_cell(load_cells, "fault " + net::to_string(fault), col,
+                      mutated, ratio);
+    }
+  }
+
+  auto outcomes = load_cells.run(sup);
+
+  std::printf("\n| cell | load | verdict acc | p99 us | shed/evict |\n");
+  std::printf("|---|---|---|---|---|\n");
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const auto& spec = load_cells.specs[i];
+    const auto& o = outcomes[i];
+    std::string detail = "FAILED";
+    if (o.ok()) {
+      const core::Json* serve = o.summary.extra.find("serve");
+      const core::Json* lat = serve ? serve->find("latency") : nullptr;
+      const core::Json* ctr = serve ? serve->find("counters") : nullptr;
+      double p99 = lat && lat->find("p99_us") ? lat->find("p99_us")->number_or(0) : 0;
+      auto counter = [&](const char* name) -> double {
+        const core::Json* v = ctr ? ctr->find(name) : nullptr;
+        return v ? v->number_or(0) : 0;
+      };
+      char buf[128];
+      std::snprintf(buf, sizeof buf, "%.1f%% | %.0f | %d/%d",
+                    100 * o.summary.accuracy, p99,
+                    static_cast<int>(counter("packets_rejected") +
+                                     counter("packets_shed_new_flow")),
+                    static_cast<int>(counter("evicted_idle") +
+                                     counter("evicted_early") +
+                                     counter("evicted_sampled")));
+      detail = buf;
+    }
+    std::printf("| %s | %s | %s |\n", spec.row.c_str(), spec.col.c_str(),
+                detail.c_str());
+  }
+
+  return sup.finalize() ? 0 : 1;
+}

@@ -112,6 +112,57 @@ bool check_trace_section(const char* path, const Json& trace) {
   return true;
 }
 
+/// Requires every member of `obj` to be a non-negative JSON number.
+bool all_nonneg_numbers(const char* path, const Json& obj, const char* what) {
+  if (!obj.is_object()) return fail(path, "serve section field is not an object");
+  for (const auto& [key, value] : obj.members()) {
+    if (value.type() != Json::Type::kNumber || value.number_or(-1) < 0) {
+      std::fprintf(stderr, "json_check: %s: serve %s has a non-numeric or "
+                           "negative field '%s'\n", path, what, key.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The serve cell extra written by bench_serve: counters/gauges/latency
+/// (all non-negative numbers) plus the `snapshots` counter timeline, whose
+/// every field must be monotone non-decreasing — the engine's counters are
+/// contractually monotone, so a decrease means torn stats or a reset bug.
+bool check_serve_section(const char* path, const Json& serve) {
+  if (!serve.is_object()) return fail(path, "serve extra is not an object");
+  for (const char* section : {"counters", "gauges", "latency"}) {
+    const Json* s = serve.find(section);
+    if (!s) return fail(path, "serve extra missing counters/gauges/latency");
+    if (!all_nonneg_numbers(path, *s, section)) return false;
+  }
+  for (const char* field : {"count", "p50_us", "p90_us", "p99_us", "p999_us"}) {
+    const Json* v = serve.find("latency")->find(field);
+    if (!v || v->type() != Json::Type::kNumber)
+      return fail(path, "serve latency missing a percentile field");
+  }
+  const Json* snaps = serve.find("snapshots");
+  if (!snaps || !snaps->is_array())
+    return fail(path, "serve extra missing snapshots array");
+  const Json* prev = nullptr;
+  for (const Json& snap : snaps->items()) {
+    if (!all_nonneg_numbers(path, snap, "snapshot")) return false;
+    if (prev) {
+      for (const auto& [key, value] : prev->members()) {
+        const Json* later = snap.find(key);
+        if (!later || later->number_or(-1) < value.number_or(0)) {
+          std::fprintf(stderr,
+                       "json_check: %s: serve snapshot counter '%s' is not "
+                       "monotone\n", path, key.c_str());
+          return false;
+        }
+      }
+    }
+    prev = &snap;
+  }
+  return true;
+}
+
 /// Per-cell `trace` object (counter deltas attributed to the cell).
 bool check_cell_trace(const char* path, const Json& cell_trace) {
   if (!cell_trace.is_object()) return fail(path, "cell trace is not an object");
@@ -237,6 +288,11 @@ bool check(const char* path) {
     if (const Json* cell_trace = cell.find("trace")) {
       if (!v4) return fail(path, "cell trace present but schema_version < 4");
       if (!check_cell_trace(path, *cell_trace)) return false;
+    }
+    if (const Json* summary = cell.find("summary")) {
+      const Json* extra = summary->find("extra");
+      if (const Json* serve = extra ? extra->find("serve") : nullptr)
+        if (!check_serve_section(path, *serve)) return false;
     }
   }
   return true;

@@ -8,6 +8,11 @@
 #                               interference gate, schema-4 corpus, golden
 #                               artifact, TSan over concurrent span emission)
 #                               + the three-mode scripts/profile.sh harness
+#   scripts/check.sh serve      online-engine matrix: flow-table/engine/
+#                               determinism/stream-fault unit tests, the
+#                               bench_serve load ladder + fault matrix at
+#                               smoke scale, and the serve concurrency
+#                               stress under TSan
 #   scripts/check.sh all        everything above
 #
 # Each configuration builds into its own directory (build-check, build-asan,
@@ -75,19 +80,34 @@ trace() {
   run scripts/profile.sh build-check
 }
 
+serve() {
+  configure_build build-check
+  # The serving tier end-to-end: table/engine/determinism unit tests, the
+  # streaming fault modes, the overload bench with its json_check'd
+  # artifact (latency percentiles + monotone shed/evict snapshots), and
+  # the concurrency stress in its plain-build form.
+  run ctest --test-dir build-check --output-on-failure -j "$JOBS" \
+      -R 'FlowTable|ServeEngine|ServeDeterminism|ServeStress|StreamFaults|serve_stress|bench_serve'
+  # Shard workers vs stats snapshotters vs the idle evictor under TSan.
+  configure_build build-tsan -DSUGAR_SANITIZE=thread
+  run ctest --test-dir build-tsan --output-on-failure -R serve_stress
+}
+
 case "$MODE" in
   quick) plain ;;
   sanitize) sanitize ;;
   bench) bench ;;
   trace) trace ;;
+  serve) serve ;;
   all)
     plain
     bench
     trace
+    serve
     sanitize
     ;;
   *)
-    echo "usage: scripts/check.sh [quick|sanitize|bench|trace|all]" >&2
+    echo "usage: scripts/check.sh [quick|sanitize|bench|trace|serve|all]" >&2
     exit 2
     ;;
 esac

@@ -137,7 +137,8 @@ std::string bench_usage(std::string_view bench_name) {
 
 std::optional<SupervisorConfig> parse_bench_cli(std::string_view bench_name,
                                                 int argc, const char* const* argv,
-                                                std::string& error) {
+                                                std::string& error,
+                                                std::vector<std::string>* extra_args) {
   SupervisorConfig cfg;
   cfg.bench_name = std::string(bench_name);
   for (int i = 1; i < argc; ++i) {
@@ -196,6 +197,8 @@ std::optional<SupervisorConfig> parse_bench_cli(std::string_view bench_name,
         return std::nullopt;
       }
       cfg.trace_path = std::string(*v);
+    } else if (extra_args != nullptr) {
+      extra_args->push_back(std::string(arg));
     } else {
       error = "unknown flag '" + std::string(arg) + "'";
       return std::nullopt;

@@ -148,9 +148,14 @@ struct SupervisorConfig {
 /// --trace <path>. Numeric values use whole-string
 /// from_chars discipline (same as core/env); any malformed or unknown flag
 /// yields nullopt with a diagnostic in `error`.
+///
+/// With a non-null `extra_args`, unknown flags are collected there verbatim
+/// (in order, values included) instead of being an error, so a bench can
+/// layer its own strict flags on top of the common set.
 std::optional<SupervisorConfig> parse_bench_cli(std::string_view bench_name,
                                                 int argc, const char* const* argv,
-                                                std::string& error);
+                                                std::string& error,
+                                                std::vector<std::string>* extra_args = nullptr);
 std::string bench_usage(std::string_view bench_name);
 
 class RunSupervisor {

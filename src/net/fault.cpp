@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <map>
 
+#include "net/flow.h"
 #include "net/parser.h"
 
 namespace sugar::net {
@@ -84,6 +86,16 @@ std::string to_string(StreamFault f) {
     case StreamFault::GarbageTail: return "garbage-tail";
     case StreamFault::BitFlipAnywhere: return "bit-flip-anywhere";
     case StreamFault::kCount: break;
+  }
+  return "?";
+}
+
+std::string to_string(SequenceFault f) {
+  switch (f) {
+    case SequenceFault::ReorderWindow: return "reorder-window";
+    case SequenceFault::DuplicateDelivery: return "duplicate-delivery";
+    case SequenceFault::TruncateMidFlow: return "truncate-mid-flow";
+    case SequenceFault::kCount: break;
   }
   return "?";
 }
@@ -273,6 +285,95 @@ std::string FaultInjector::mutate_stream(const std::string& wire) {
   auto f = static_cast<StreamFault>(
       index_below(static_cast<std::size_t>(StreamFault::kCount)));
   return mutate_stream(wire, f);
+}
+
+std::vector<Packet> FaultInjector::mutate_sequence(const std::vector<Packet>& pkts,
+                                                   SequenceFault fault,
+                                                   const SequenceFaultOptions& opt) {
+  std::vector<Packet> out;
+  switch (fault) {
+    case SequenceFault::ReorderWindow: {
+      out = pkts;
+      const std::size_t w = std::max<std::size_t>(2, opt.reorder_window);
+      for (std::size_t lo = 0; lo < out.size(); lo += w) {
+        const std::size_t hi = std::min(out.size(), lo + w);
+        std::shuffle(out.begin() + static_cast<std::ptrdiff_t>(lo),
+                     out.begin() + static_cast<std::ptrdiff_t>(hi), rng_);
+      }
+      break;
+    }
+    case SequenceFault::DuplicateDelivery: {
+      // Pick (source index, landing slot) pairs first so the RNG draw order
+      // is position-independent, then emit originals interleaved with any
+      // duplicates that have come due.
+      std::bernoulli_distribution dup(std::clamp(opt.duplicate_fraction, 0.0, 1.0));
+      const std::size_t lag_max = std::max<std::size_t>(1, opt.duplicate_lag_max);
+      std::multimap<std::size_t, std::size_t> due;  // landing slot -> source
+      for (std::size_t i = 0; i < pkts.size(); ++i)
+        if (dup(rng_)) due.emplace(i + 1 + index_below(lag_max), i);
+      out.reserve(pkts.size() + due.size());
+      for (std::size_t i = 0; i < pkts.size(); ++i) {
+        out.push_back(pkts[i]);
+        auto range = due.equal_range(i);
+        for (auto it = range.first; it != range.second; ++it)
+          out.push_back(pkts[it->second]);
+      }
+      // Duplicates scheduled past the end of the stream land at the tail.
+      for (auto it = due.upper_bound(pkts.size() - 1); it != due.end(); ++it)
+        if (it->first >= pkts.size()) out.push_back(pkts[it->second]);
+      break;
+    }
+    case SequenceFault::TruncateMidFlow: {
+      // Group packets by canonical bi-flow key (first-appearance order) and
+      // cut a sampled fraction of flows after a random prefix.
+      std::vector<int> flow_of(pkts.size(), -1);
+      std::unordered_map<FlowKey, int, FlowKeyHash> ids;
+      std::vector<std::size_t> flow_len;
+      for (std::size_t i = 0; i < pkts.size(); ++i) {
+        auto parsed = parse_packet(pkts[i]);
+        FlowKey key;
+        bool forward = false;
+        if (!parsed.ok() || !FlowKey::from_parsed(*parsed.parsed, key, forward))
+          continue;
+        auto [it, fresh] = ids.emplace(key, static_cast<int>(flow_len.size()));
+        if (fresh) flow_len.push_back(0);
+        flow_of[i] = it->second;
+        ++flow_len[static_cast<std::size_t>(it->second)];
+      }
+      std::bernoulli_distribution cut(
+          std::clamp(opt.truncate_flow_fraction, 0.0, 1.0));
+      std::vector<std::size_t> keep_prefix(flow_len.size());
+      for (std::size_t f = 0; f < flow_len.size(); ++f) {
+        keep_prefix[f] = flow_len[f];
+        if (flow_len[f] > opt.truncate_min_kept && cut(rng_))
+          keep_prefix[f] =
+              opt.truncate_min_kept + index_below(flow_len[f] - opt.truncate_min_kept);
+      }
+      std::vector<std::size_t> seen(flow_len.size(), 0);
+      out.reserve(pkts.size());
+      for (std::size_t i = 0; i < pkts.size(); ++i) {
+        const int f = flow_of[i];
+        if (f < 0) {
+          out.push_back(pkts[i]);  // keyless packets are never dropped
+          continue;
+        }
+        if (seen[static_cast<std::size_t>(f)]++ < keep_prefix[static_cast<std::size_t>(f)])
+          out.push_back(pkts[i]);
+      }
+      break;
+    }
+    case SequenceFault::kCount:
+      out = pkts;
+      break;
+  }
+  return out;
+}
+
+std::vector<Packet> FaultInjector::mutate_sequence(const std::vector<Packet>& pkts,
+                                                   const SequenceFaultOptions& opt) {
+  auto f = static_cast<SequenceFault>(
+      index_below(static_cast<std::size_t>(SequenceFault::kCount)));
+  return mutate_sequence(pkts, f, opt);
 }
 
 }  // namespace sugar::net

@@ -48,8 +48,29 @@ enum class StreamFault : std::uint8_t {
   kCount,
 };
 
+/// Streaming delivery faults applied to a whole packet *sequence* — the
+/// damage a live capture path (SPAN port, kernel ring, overloaded tap)
+/// inflicts on delivery order and completeness rather than on individual
+/// frames. The serve engine's fault matrix replays sequences mutated here.
+enum class SequenceFault : std::uint8_t {
+  ReorderWindow,     // shuffle delivery order inside fixed-size windows
+  DuplicateDelivery, // re-deliver a fraction of packets a few slots later
+  TruncateMidFlow,   // cut a fraction of flows short mid-stream
+  kCount,
+};
+
+/// Knobs for mutate_sequence(). Defaults model a moderately hostile tap.
+struct SequenceFaultOptions {
+  std::size_t reorder_window = 8;       // shuffle span in packets
+  double duplicate_fraction = 0.05;     // probability a packet is re-delivered
+  std::size_t duplicate_lag_max = 8;    // dup lands within this many slots
+  double truncate_flow_fraction = 0.3;  // fraction of flows cut short
+  std::size_t truncate_min_kept = 1;    // packets a truncated flow keeps
+};
+
 std::string to_string(FrameFault f);
 std::string to_string(StreamFault f);
+std::string to_string(SequenceFault f);
 
 /// Seeded mutation engine. All choices (fault sites, random values) come
 /// from the internal mt19937_64, so a (seed, input) pair always produces the
@@ -71,6 +92,19 @@ class FaultInjector {
 
   /// Applies a uniformly chosen stream fault.
   std::string mutate_stream(const std::string& wire);
+
+  /// Applies one delivery fault to a copy of a packet sequence. Timestamps
+  /// are left untouched, so a reordered sequence is genuinely non-monotone
+  /// in time — exactly what an online flow table must absorb. Mid-flow
+  /// truncation groups packets by canonical bi-flow key; keyless packets
+  /// are never dropped.
+  std::vector<Packet> mutate_sequence(const std::vector<Packet>& pkts,
+                                      SequenceFault fault,
+                                      const SequenceFaultOptions& opt = {});
+
+  /// Applies a uniformly chosen delivery fault.
+  std::vector<Packet> mutate_sequence(const std::vector<Packet>& pkts,
+                                      const SequenceFaultOptions& opt = {});
 
   std::mt19937_64& engine() { return rng_; }
 

@@ -1,0 +1,458 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "core/threadpool.h"
+#include "core/trace.h"
+#include "net/parser.h"
+
+namespace sugar::serve {
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Per-thread mean-feature scratch; sized on first use per engine dim.
+std::vector<float>& mean_scratch(std::size_t dim) {
+  thread_local std::vector<float> scratch;
+  if (scratch.size() < dim) scratch.resize(dim);
+  return scratch;
+}
+
+}  // namespace
+
+const char* to_string(ShedStage s) {
+  switch (s) {
+    case ShedStage::kNone: return "none";
+    case ShedStage::kDropNewFlows: return "drop-new-flows";
+    case ShedStage::kEarlyClassify: return "early-classify";
+    case ShedStage::kSampleEvict: return "sample-evict";
+  }
+  return "?";
+}
+
+const char* to_string(VerdictReason r) {
+  switch (r) {
+    case VerdictReason::kFirstN: return "first-n";
+    case VerdictReason::kEvictIdle: return "evict-idle";
+    case VerdictReason::kEvictEarly: return "evict-early";
+    case VerdictReason::kEvictSampled: return "evict-sampled";
+    case VerdictReason::kFlush: return "flush";
+  }
+  return "?";
+}
+
+ServeEngine::ServeEngine(ServeConfig cfg,
+                         std::shared_ptr<const FlowClassifier> classifier)
+    : cfg_(std::move(cfg)),
+      classifier_(std::move(classifier)),
+      table_([&] {
+        FlowTableConfig t = cfg_.table;
+        t.feature_dim = flow_feature_dim(cfg_.features);
+        t.classify_at = cfg_.features.first_n;
+        return t;
+      }()) {
+  feature_dim_ = table_.config().feature_dim;
+  if (classifier_ && classifier_->feature_dim() != feature_dim_) {
+    std::fprintf(stderr,
+                 "serve: classifier dim %zu != featurizer dim %zu — "
+                 "verdicts will be garbage\n",
+                 classifier_->feature_dim(), feature_dim_);
+  }
+  stats_.gauges.table_bytes_cap = table_.bytes_cap();
+  if (cfg_.watchdog_timeout_s > 0)
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+ServeEngine::~ServeEngine() {
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mu_);
+      stop_watchdog_.store(true);
+    }
+    watchdog_cv_.notify_all();
+    watchdog_.join();
+  }
+}
+
+bool ServeEngine::offer(const net::Packet& pkt) {
+  offered_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  if (queue_.size() >= cfg_.queue_capacity) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    SUGAR_TRACE_COUNT("serve.backpressure.rejected", 1);
+    return false;
+  }
+  queue_.push_back(QueueEntry{pkt, now_ns()});
+  peak_queue_depth_ = std::max<std::uint64_t>(peak_queue_depth_, queue_.size());
+  return true;
+}
+
+ShedStage ServeEngine::evaluate_stage(std::size_t queued, std::size_t live) {
+  const double queue_frac =
+      static_cast<double>(queued) / static_cast<double>(cfg_.queue_capacity);
+  const double table_frac = static_cast<double>(live) /
+                            static_cast<double>(table_.config().max_flows);
+  ShedStage desired = ShedStage::kNone;
+  if (queue_frac >= cfg_.queue_hi && table_frac >= cfg_.table_hi)
+    desired = ShedStage::kSampleEvict;
+  else if (table_frac >= cfg_.table_hi)
+    desired = ShedStage::kEarlyClassify;
+  else if (queue_frac >= cfg_.queue_hi)
+    desired = ShedStage::kDropNewFlows;
+
+  const auto current = static_cast<ShedStage>(stage_.load(std::memory_order_relaxed));
+  ShedStage next = desired;
+  if (desired < current) {
+    // Hysteresis: step down only once both pressures are clearly relieved.
+    const bool relieved =
+        queue_frac <= cfg_.queue_lo && table_frac <= cfg_.table_lo;
+    next = relieved ? desired : current;
+  }
+  if (next != current) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (next > current) {
+      ++stats_.counters.shed_stage_enters;
+      SUGAR_TRACE_COUNT("serve.shed.stage_enter", 1);
+    } else {
+      ++stats_.counters.shed_stage_exits;
+    }
+    stage_.store(static_cast<std::uint32_t>(next), std::memory_order_relaxed);
+  }
+  return next;
+}
+
+void ServeEngine::classify_into(const FlowView& v, VerdictReason reason,
+                                RoundDelta& delta) {
+  if (v.classified) return;  // labelled at first-N already
+  if (v.feature_packets <
+      (reason == VerdictReason::kFirstN ? 1u : cfg_.min_classify_packets)) {
+    ++delta.counters.evicted_unclassified;
+    return;
+  }
+  // Mean over the packets actually folded in. The 1/n-multiply matches
+  // batch_flow_features() exactly, so an at-N verdict is bit-identical to
+  // the offline feature of the same prefix.
+  auto& mean = mean_scratch(feature_dim_);
+  const float inv = 1.0f / static_cast<float>(v.feature_packets);
+  for (std::size_t d = 0; d < feature_dim_; ++d)
+    mean[d] = v.feature_sum[d] * inv;
+  const int label = classifier_ ? classifier_->classify(mean.data()) : -1;
+  if (reason == VerdictReason::kFirstN)
+    ++delta.counters.classified_at_n;
+  else
+    ++delta.counters.classified_on_evict;
+  if (cfg_.record_verdicts) {
+    Verdict verdict;
+    verdict.key = v.key;
+    verdict.label = label;
+    verdict.packets = v.packets;
+    verdict.feature_packets = v.feature_packets;
+    verdict.reason = reason;
+    verdict.first_ts_usec = v.first_ts_usec;
+    verdict.last_ts_usec = v.last_ts_usec;
+    delta.verdicts.push_back(verdict);
+  }
+}
+
+void ServeEngine::process_shard(std::size_t shard,
+                                const std::vector<QueueEntry>& batch,
+                                const std::vector<std::uint32_t>& order,
+                                const std::vector<net::FlowKey>& keys,
+                                const std::vector<float>& features,
+                                std::uint64_t round_now, ShedStage stage,
+                                RoundDelta& delta) {
+  SUGAR_TRACE_SPAN("serve.shard");
+  if (cfg_.shard_hook) cfg_.shard_hook(shard);
+
+  // 1. Idle sweep on the stream's virtual clock.
+  delta.counters.evicted_idle += table_.evict_idle(
+      shard, round_now, cfg_.idle_timeout_usec,
+      [&](const FlowView& v) { classify_into(v, VerdictReason::kEvictIdle, delta); });
+
+  // 2. Fold this shard's packets in arrival order.
+  const bool admit_new = stage < ShedStage::kDropNewFlows;
+  for (const std::uint32_t idx : order) {
+    const QueueEntry& entry = batch[idx];
+    auto res = table_.touch(shard, keys[idx], entry.pkt.ts_usec,
+                            features.data() + std::size_t{idx} * feature_dim_,
+                            admit_new);
+    switch (res.status) {
+      case ShardedFlowTable::TouchStatus::kNotAdmitted:
+        ++delta.counters.packets_shed_new_flow;
+        continue;
+      case ShardedFlowTable::TouchStatus::kFull:
+        ++delta.counters.flows_rejected_full;
+        continue;
+      case ShardedFlowTable::TouchStatus::kCreated:
+        ++delta.counters.flows_created;
+        break;
+      case ShardedFlowTable::TouchStatus::kExisting:
+        break;
+    }
+    if (res.ready) {
+      const FlowView v = table_.view(shard, res.slot);
+      classify_into(v, VerdictReason::kFirstN, delta);
+      table_.mark_classified(shard, res.slot);
+    }
+  }
+
+  // 3. Shed-ladder sweeps, most aggressive last. Targets pull occupancy
+  // back to the low watermark so the ladder can actually step down.
+  const auto target = static_cast<std::size_t>(
+      cfg_.table_lo * static_cast<double>(table_.shard_capacity()));
+  if (stage >= ShedStage::kEarlyClassify) {
+    delta.counters.evicted_early += table_.evict_ready(
+        shard, target, cfg_.min_classify_packets, cfg_.early_evict_scan,
+        [&](const FlowView& v) {
+          classify_into(v, VerdictReason::kEvictEarly, delta);
+        });
+  }
+  if (stage >= ShedStage::kSampleEvict) {
+    std::size_t forced = 0;
+    while (table_.live(shard) > target && forced < cfg_.early_evict_scan) {
+      if (!table_.evict_tail(shard, [&](const FlowView& v) {
+            classify_into(v, VerdictReason::kEvictSampled, delta);
+          }))
+        break;
+      ++forced;
+    }
+    delta.counters.evicted_sampled += forced;
+  }
+
+  // 4. Per-packet latency (enqueue -> shard completion). Wall-clock only;
+  // never feeds back into any decision.
+  const std::uint64_t end_ns = now_ns();
+  for (const std::uint32_t idx : order)
+    delta.latency.record(end_ns - std::min(end_ns, batch[idx].enq_ns));
+}
+
+std::size_t ServeEngine::pump() {
+  std::lock_guard<std::mutex> pump_lock(pump_mu_);
+  SUGAR_TRACE_SPAN("serve.pump");
+
+  std::vector<QueueEntry> batch;
+  std::size_t depth_at_start = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    depth_at_start = queue_.size();
+    const std::size_t n = std::min(cfg_.batch_size, queue_.size());
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+  }
+  const ShedStage stage = evaluate_stage(depth_at_start, table_.live_total());
+  if (batch.empty()) return 0;
+
+  const std::size_t n = batch.size();
+  const std::size_t shards = table_.shard_count();
+
+  // Prepare phase: parse, key and featurize every packet in parallel
+  // blocks (fixed grain — deterministic at any thread count).
+  enum : std::uint8_t { kOk = 0, kKeyless = 1, kMalformed = 2 };
+  std::vector<net::FlowKey> keys(n);
+  std::vector<std::uint8_t> kind(n, kMalformed);
+  std::vector<float> features(n * feature_dim_);
+  core::global_pool().parallel_for(0, n, 64, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      auto parsed = net::parse_packet(batch[i].pkt);
+      if (!parsed.ok()) {
+        kind[i] = kMalformed;
+        continue;
+      }
+      bool forward = false;
+      if (!net::FlowKey::from_parsed(*parsed.parsed, keys[i], forward)) {
+        kind[i] = kKeyless;
+        continue;
+      }
+      kind[i] = kOk;
+      replearn::extract_header_features(batch[i].pkt, *parsed.parsed,
+                                        cfg_.features.spec,
+                                        features.data() + i * feature_dim_);
+    }
+  });
+
+  // Partition by flow-key hash (pure function of the key, so the shard a
+  // packet lands on never depends on the arrival thread).
+  RoundDelta base;
+  std::vector<std::vector<std::uint32_t>> order(shards);
+  std::uint64_t round_now = virtual_now_usec_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < n; ++i)
+    round_now = std::max(round_now, batch[i].pkt.ts_usec);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (kind[i] == kMalformed) {
+      ++base.counters.packets_malformed;
+    } else if (kind[i] == kKeyless) {
+      ++base.counters.packets_keyless;
+    } else {
+      order[table_.shard_of(keys[i])].push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  virtual_now_usec_.store(round_now, std::memory_order_relaxed);
+
+  // Shard phase: one worker per shard, heartbeat per completed shard so
+  // the watchdog can tell a slow round from a stuck one.
+  std::vector<RoundDelta> deltas(shards);
+  round_active_.store(true, std::memory_order_release);
+  core::global_pool().parallel_for(0, shards, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t s = lo; s < hi; ++s) {
+      process_shard(s, batch, order[s], keys, features, round_now, stage,
+                    deltas[s]);
+      heartbeat_.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  round_active_.store(false, std::memory_order_release);
+
+  // Malformed/keyless packets complete here; give them a latency sample too.
+  const std::uint64_t end_ns = now_ns();
+  for (std::size_t i = 0; i < n; ++i)
+    if (kind[i] != kOk)
+      base.latency.record(end_ns - std::min(end_ns, batch[i].enq_ns));
+  base.counters.packets_processed += n;
+  ++base.counters.rounds;
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.counters.merge(base.counters);
+    stats_.latency.merge(base.latency);
+    merge_deltas(deltas);
+    peak_flows_ = std::max<std::uint64_t>(peak_flows_, table_.live_total());
+  }
+  SUGAR_TRACE_COUNT("serve.packets.processed", n);
+  SUGAR_TRACE_COUNT("serve.rounds", 1);
+  return n;
+}
+
+void ServeEngine::merge_deltas(std::vector<RoundDelta>& deltas) {
+  // Caller holds stats_mu_. Ascending shard order keeps verdict order (and
+  // therefore every downstream aggregate) deterministic.
+  for (RoundDelta& d : deltas) {
+    stats_.counters.merge(d.counters);
+    stats_.latency.merge(d.latency);
+    for (Verdict& v : d.verdicts) {
+      if (verdicts_.size() >= cfg_.max_recorded_verdicts) {
+        ++stats_.counters.verdicts_dropped;
+        continue;
+      }
+      verdicts_.push_back(std::move(v));
+    }
+    SUGAR_TRACE_COUNT("serve.evict.idle", d.counters.evicted_idle);
+    SUGAR_TRACE_COUNT("serve.evict.early", d.counters.evicted_early);
+    SUGAR_TRACE_COUNT("serve.evict.sampled", d.counters.evicted_sampled);
+    SUGAR_TRACE_COUNT("serve.shed.new_flow", d.counters.packets_shed_new_flow);
+  }
+}
+
+void ServeEngine::drain() {
+  while (pump() > 0) {
+  }
+}
+
+std::size_t ServeEngine::evict_idle_now(std::uint64_t now_usec) {
+  std::size_t evicted = 0;
+  std::vector<RoundDelta> deltas(table_.shard_count());
+  for (std::size_t s = 0; s < table_.shard_count(); ++s) {
+    evicted += table_.evict_idle(s, now_usec, cfg_.idle_timeout_usec,
+                                 [&](const FlowView& v) {
+                                   classify_into(v, VerdictReason::kEvictIdle,
+                                                 deltas[s]);
+                                 });
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.counters.evicted_idle += evicted;
+  merge_deltas(deltas);
+  return evicted;
+}
+
+void ServeEngine::flush() {
+  std::lock_guard<std::mutex> pump_lock(pump_mu_);
+  std::vector<RoundDelta> deltas(table_.shard_count());
+  std::size_t evicted = 0;
+  for (std::size_t s = 0; s < table_.shard_count(); ++s)
+    evicted += table_.evict_all(s, [&](const FlowView& v) {
+      classify_into(v, VerdictReason::kFlush, deltas[s]);
+    });
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.counters.evicted_flush += evicted;
+  merge_deltas(deltas);
+}
+
+ServeStats ServeEngine::stats() const {
+  ServeStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+    out.gauges.peak_flows = peak_flows_;
+  }
+  out.counters.packets_offered = offered_.load(std::memory_order_relaxed);
+  out.counters.packets_rejected = rejected_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    out.gauges.queue_depth = queue_.size();
+    out.gauges.peak_queue_depth = peak_queue_depth_;
+  }
+  out.gauges.current_flows = table_.live_total();
+  out.gauges.peak_flows = std::max(out.gauges.peak_flows, out.gauges.current_flows);
+  out.gauges.table_bytes = table_.bytes_resident();
+  out.gauges.table_bytes_cap = table_.bytes_cap();
+  out.gauges.shed_stage = stage_.load(std::memory_order_relaxed);
+  out.gauges.virtual_now_usec = virtual_now_usec_.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::size_t ServeEngine::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return queue_.size();
+}
+
+std::vector<Verdict> ServeEngine::take_verdicts() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  std::vector<Verdict> out;
+  out.swap(verdicts_);
+  return out;
+}
+
+void ServeEngine::watchdog_loop() {
+  const auto timeout = std::chrono::duration<double>(cfg_.watchdog_timeout_s);
+  std::uint64_t last_beat = heartbeat_.load(std::memory_order_relaxed);
+  auto last_change = std::chrono::steady_clock::now();
+  bool reported = false;
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  while (!stop_watchdog_.load(std::memory_order_relaxed)) {
+    watchdog_cv_.wait_for(lock, timeout / 4, [this] {
+      return stop_watchdog_.load(std::memory_order_relaxed);
+    });
+    if (stop_watchdog_.load(std::memory_order_relaxed)) break;
+    const std::uint64_t beat = heartbeat_.load(std::memory_order_relaxed);
+    const auto now = std::chrono::steady_clock::now();
+    if (beat != last_beat || !round_active_.load(std::memory_order_acquire)) {
+      last_beat = beat;
+      last_change = now;
+      reported = false;
+      continue;
+    }
+    if (now - last_change >= timeout && !reported) {
+      reported = true;
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        ++stats_.counters.watchdog_stalls;
+      }
+      SUGAR_TRACE_COUNT("serve.watchdog.stalls", 1);
+      std::fprintf(stderr,
+                   "serve: watchdog — round stuck for %.1fs (heartbeat %llu); "
+                   "a shard worker is not making progress\n",
+                   cfg_.watchdog_timeout_s,
+                   static_cast<unsigned long long>(beat));
+    }
+  }
+}
+
+}  // namespace sugar::serve

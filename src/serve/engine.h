@@ -1,0 +1,209 @@
+// ServeEngine: the online classification pipeline. Packets enter through a
+// bounded ingest queue (offer(), thread-safe, explicit backpressure); pump()
+// drains one batch and runs a deterministic round on the shared
+// core::ThreadPool — parse + featurize in parallel blocks, partition by
+// flow-key hash, then one worker per shard folds its packets into the
+// ShardedFlowTable in arrival order, classifying flows at first-N packets
+// and on eviction.
+//
+// Overload control is a three-stage shed ladder evaluated (with hysteresis)
+// at every round boundary from queue depth and table occupancy:
+//
+//   stage 0  accept everything; a full queue still drops at offer()
+//            (bounded-memory backpressure, counted packets_rejected)
+//   stage 1  drop-newest-flows: packets that would create a new flow are
+//            shed; resident flows keep progressing toward first-N
+//   stage 2  early-classify: shard workers sweep the LRU tail and evict
+//            (classifying) flows that already carry enough packets,
+//            pulling occupancy back under the high watermark
+//   stage 3  sample-evict: a new flow arriving at a full shard replaces
+//            the LRU tail (classified if eligible, dropped otherwise)
+//
+// Every transition and every shed decision is counted in ServeStats — the
+// engine degrades observably, never silently, and its memory is bounded by
+// queue_capacity frames + the flow table's preallocated slabs.
+//
+// Determinism: given the same packet sequence and the same offer()/pump()
+// schedule, verdicts and every eviction/shed counter are identical at any
+// SUGAR_THREADS value — shard assignment and round partitioning depend
+// only on the stream, and eviction time is the stream's own virtual clock
+// (max packet timestamp seen), never the wall. Only the latency histogram
+// and wall-time gauges are non-deterministic.
+//
+// Supervision: with watchdog_timeout_s > 0 a RunSupervisor-style watchdog
+// thread checks that an in-flight round makes progress (per-shard
+// heartbeat); a stuck shard is reported via counters.watchdog_stalls and a
+// stderr diagnostic instead of hanging the process silently.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/packet.h"
+#include "serve/classifier.h"
+#include "serve/flow_features.h"
+#include "serve/flow_table.h"
+#include "serve/stats.h"
+
+namespace sugar::serve {
+
+enum class ShedStage : std::uint8_t {
+  kNone = 0,
+  kDropNewFlows = 1,
+  kEarlyClassify = 2,
+  kSampleEvict = 3,
+};
+const char* to_string(ShedStage s);
+
+enum class VerdictReason : std::uint8_t {
+  kFirstN,        // reached classify_at while resident
+  kEvictIdle,     // idle timeout
+  kEvictEarly,    // shed ladder stage 2
+  kEvictSampled,  // shed ladder stage 3 replacement
+  kFlush,         // engine flush()
+};
+const char* to_string(VerdictReason r);
+
+/// One classified flow.
+struct Verdict {
+  net::FlowKey key;
+  int label = -1;
+  std::uint32_t packets = 0;
+  std::uint32_t feature_packets = 0;
+  VerdictReason reason = VerdictReason::kFirstN;
+  std::uint64_t first_ts_usec = 0;
+  std::uint64_t last_ts_usec = 0;
+};
+
+struct ServeConfig {
+  FlowTableConfig table;  // feature_dim is overwritten from the featurizer
+  FlowFeatureConfig features;
+  /// Bounded ingest queue (packets). Full queue => offer() returns false.
+  std::size_t queue_capacity = 8192;
+  /// Max packets drained per pump() round.
+  std::size_t batch_size = 1024;
+  /// Flows evicted with fewer feature packets than this go unclassified.
+  std::size_t min_classify_packets = 2;
+  /// Flows idle longer than this (stream virtual time) are evicted.
+  std::uint64_t idle_timeout_usec = 2'000'000;
+  // Shed ladder watermarks (fractions; *_lo gives hysteresis on exit).
+  double queue_hi = 0.75;
+  double queue_lo = 0.50;
+  double table_hi = 0.90;
+  double table_lo = 0.75;
+  /// LRU entries scanned per shard per round by the stage-2 sweep.
+  std::size_t early_evict_scan = 64;
+  /// Watchdog deadline for one round; 0 disables the watchdog thread.
+  double watchdog_timeout_s = 0;
+  /// Record per-flow verdicts for retrieval via take_verdicts(). Off by
+  /// default so an unattended engine cannot grow without bound.
+  bool record_verdicts = false;
+  /// Cap on buffered verdicts (overflow counted verdicts_dropped).
+  std::size_t max_recorded_verdicts = 1 << 20;
+  /// Test hook invoked inside each shard worker (stall injection).
+  std::function<void(std::size_t shard)> shard_hook;
+};
+
+class ServeEngine {
+ public:
+  ServeEngine(ServeConfig cfg, std::shared_ptr<const FlowClassifier> classifier);
+  ~ServeEngine();
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Enqueues one packet. False (with packets_rejected++) when the bounded
+  /// queue is full — the explicit backpressure signal. Thread-safe.
+  bool offer(const net::Packet& pkt);
+
+  /// Drains and processes one batch. Returns packets processed (0 when the
+  /// queue was empty). Concurrent pump() calls serialize. Thread-safe
+  /// against offer(), stats(), evict_idle_now() and flush().
+  std::size_t pump();
+
+  /// pump() until the queue is empty.
+  void drain();
+
+  /// Evicts flows idle at `now_usec` (stream time) across all shards —
+  /// the maintenance path a background evictor thread drives. Returns the
+  /// number evicted.
+  std::size_t evict_idle_now(std::uint64_t now_usec);
+
+  /// Evicts and classifies everything still resident.
+  void flush();
+
+  [[nodiscard]] ServeStats stats() const;
+  [[nodiscard]] ShedStage stage() const {
+    return static_cast<ShedStage>(stage_.load(std::memory_order_relaxed));
+  }
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] const ServeConfig& config() const { return cfg_; }
+  [[nodiscard]] const ShardedFlowTable& table() const { return table_; }
+
+  /// Moves out the recorded verdicts (record_verdicts mode).
+  std::vector<Verdict> take_verdicts();
+
+ private:
+  struct QueueEntry {
+    net::Packet pkt;
+    std::uint64_t enq_ns = 0;
+  };
+
+  /// Per-shard, per-round accumulation merged serially in shard order.
+  struct RoundDelta {
+    ServeCounters counters;
+    LatencyHistogram latency;
+    std::vector<Verdict> verdicts;
+  };
+
+  void process_shard(std::size_t shard, const std::vector<QueueEntry>& batch,
+                     const std::vector<std::uint32_t>& order,
+                     const std::vector<net::FlowKey>& keys,
+                     const std::vector<float>& features,
+                     std::uint64_t round_now, ShedStage stage,
+                     RoundDelta& delta);
+  void classify_into(const FlowView& v, VerdictReason reason, RoundDelta& delta);
+  ShedStage evaluate_stage(std::size_t queued, std::size_t live);
+  void merge_deltas(std::vector<RoundDelta>& deltas);
+  void watchdog_loop();
+
+  ServeConfig cfg_;
+  std::shared_ptr<const FlowClassifier> classifier_;
+  ShardedFlowTable table_;
+  std::size_t feature_dim_ = 0;
+
+  // Ingest queue.
+  mutable std::mutex queue_mu_;
+  std::deque<QueueEntry> queue_;
+  std::uint64_t peak_queue_depth_ = 0;
+
+  // offer()-side counters (atomic: hot path, no round context).
+  std::atomic<std::uint64_t> offered_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+
+  // Round-side state (stats_mu_ guards stats_ and verdicts_).
+  mutable std::mutex stats_mu_;
+  ServeStats stats_;
+  std::vector<Verdict> verdicts_;
+
+  std::mutex pump_mu_;  // serializes pump()/flush() rounds
+  std::atomic<std::uint64_t> virtual_now_usec_{0};
+  std::atomic<std::uint32_t> stage_{0};
+  std::uint64_t peak_flows_ = 0;  // under stats_mu_
+
+  // Watchdog.
+  std::atomic<std::uint64_t> heartbeat_{0};
+  std::atomic<bool> round_active_{false};
+  std::atomic<bool> stop_watchdog_{false};
+  std::condition_variable watchdog_cv_;
+  std::mutex watchdog_mu_;
+  std::thread watchdog_;
+};
+
+}  // namespace sugar::serve

@@ -1,0 +1,66 @@
+#include "serve/flow_features.h"
+
+#include <algorithm>
+#include <map>
+
+#include "net/parser.h"
+
+namespace sugar::serve {
+
+std::size_t flow_feature_dim(const FlowFeatureConfig& cfg) {
+  return replearn::header_feature_names(cfg.spec).size();
+}
+
+LabeledFlowFeatures batch_flow_features(const std::vector<net::Packet>& packets,
+                                        const std::vector<int>* packet_labels,
+                                        const FlowFeatureConfig& cfg,
+                                        std::size_t min_packets) {
+  const std::size_t dim = flow_feature_dim(cfg);
+  const net::FlowTable table = net::assemble_flows(packets);
+
+  LabeledFlowFeatures out;
+  std::vector<float> scratch(dim);
+  std::vector<std::vector<float>> rows;
+  for (const net::Flow& flow : table.flows()) {
+    if (flow.size() < min_packets) continue;
+    std::vector<float> sum(dim, 0.0f);
+    std::size_t used = 0;
+    std::map<int, std::size_t> votes;
+    for (const net::FlowPacketRef& ref : flow.packets) {
+      const net::Packet& pkt = packets[ref.packet_index];
+      if (used < cfg.first_n) {
+        auto parsed = net::parse_packet(pkt);
+        if (parsed.ok()) {
+          replearn::extract_header_features(pkt, *parsed.parsed, cfg.spec,
+                                            scratch.data());
+          for (std::size_t d = 0; d < dim; ++d) sum[d] += scratch[d];
+          ++used;
+        }
+      }
+      if (packet_labels) {
+        const int label = (*packet_labels)[ref.packet_index];
+        if (label >= 0) ++votes[label];
+      }
+    }
+    if (used == 0) continue;
+    const float inv = 1.0f / static_cast<float>(used);
+    for (float& v : sum) v *= inv;
+    rows.push_back(std::move(sum));
+    int label = -1;
+    std::size_t best = 0;
+    for (const auto& [cls, n] : votes)
+      if (n > best) {
+        best = n;
+        label = cls;
+      }
+    out.labels.push_back(label);
+    out.keys.push_back(flow.key);
+  }
+
+  out.x = ml::Matrix(rows.size(), dim);
+  for (std::size_t r = 0; r < rows.size(); ++r)
+    std::copy(rows[r].begin(), rows[r].end(), out.x.row(r));
+  return out;
+}
+
+}  // namespace sugar::serve

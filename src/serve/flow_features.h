@@ -1,0 +1,47 @@
+// First-N-packet flow features — the paper's winning representation, made
+// incremental. A flow's feature vector is the running mean of the
+// hand-crafted per-packet header features (replearn::extract_header_features)
+// over its first `first_n` packets. The online engine accumulates the sum
+// packet-by-packet in arrival order; batch_flow_features() computes the same
+// quantity offline for training, summing in the same order, so an online
+// classification at packet N is bit-identical to the offline feature of the
+// same prefix.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/matrix.h"
+#include "net/flow.h"
+#include "net/packet.h"
+#include "replearn/featurize.h"
+
+namespace sugar::serve {
+
+struct FlowFeatureConfig {
+  /// Packets accumulated before the feature freezes (the paper's first-N).
+  std::size_t first_n = 8;
+  /// Header-field selection. IP addresses default OFF: they are the
+  /// shortcut feature the paper debunks, and an online classifier keyed on
+  /// them would memorize the flow table instead of the traffic.
+  replearn::HeaderFeatureSpec spec{.include_ip_addresses = false};
+};
+
+[[nodiscard]] std::size_t flow_feature_dim(const FlowFeatureConfig& cfg);
+
+/// Offline mirror of the engine's incremental featurization: assembles
+/// bi-flows, averages header features over each flow's first-N packets, and
+/// majority-votes a label per flow from `packet_labels` (flows whose packets
+/// are all unlabelled get -1). Flows shorter than `min_packets` are skipped.
+struct LabeledFlowFeatures {
+  ml::Matrix x;                     // one row per kept flow
+  std::vector<int> labels;          // parallel to rows
+  std::vector<net::FlowKey> keys;   // parallel to rows
+};
+
+LabeledFlowFeatures batch_flow_features(const std::vector<net::Packet>& packets,
+                                        const std::vector<int>* packet_labels,
+                                        const FlowFeatureConfig& cfg,
+                                        std::size_t min_packets = 1);
+
+}  // namespace sugar::serve

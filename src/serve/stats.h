@@ -1,0 +1,96 @@
+// Serve-side health accounting: a fixed-bucket log2 latency histogram and
+// the ServeStats snapshot the engine exports. The stats contract is the
+// robustness headline — every counter is monotone for the engine's
+// lifetime (json_check verifies this over the bench's snapshot timeline),
+// gauges are point-in-time, and everything stays finite and well-defined
+// under overload and fault injection.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/artifact.h"
+
+namespace sugar::serve {
+
+/// Power-of-two latency buckets: bucket b counts samples with
+/// 2^(b-1) <= ns < 2^b (bucket 0 is [0,1)). 64 buckets cover every
+/// representable duration, so record() can never overflow or allocate —
+/// safe to call on the per-packet hot path.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(std::uint64_t ns);
+  void merge(const LatencyHistogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+  /// Quantile estimate (geometric bucket midpoint); 0 when empty.
+  [[nodiscard]] double quantile_ns(double q) const;
+
+  /// {count, p50_us, p90_us, p99_us, p999_us, max_bucket_us}.
+  [[nodiscard]] core::Json to_json() const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+};
+
+/// Monotone counters. Split from the gauges so consumers (json_check, the
+/// bench's snapshot timeline) can assert monotonicity mechanically.
+struct ServeCounters {
+  // Ingest.
+  std::uint64_t packets_offered = 0;       // offer() calls
+  std::uint64_t packets_rejected = 0;      // bounded-queue backpressure drops
+  std::uint64_t packets_processed = 0;     // drained through a round
+  std::uint64_t packets_malformed = 0;     // parser rejected the frame
+  std::uint64_t packets_keyless = 0;       // no 5-tuple (ARP, ICMP, ...)
+  std::uint64_t packets_shed_new_flow = 0; // ladder stage >= 1 drops
+  // Flow table.
+  std::uint64_t flows_created = 0;
+  std::uint64_t flows_rejected_full = 0;   // shard full below ladder stage 3
+  std::uint64_t evicted_idle = 0;
+  std::uint64_t evicted_early = 0;         // ladder stage 2 early-classify
+  std::uint64_t evicted_sampled = 0;       // ladder stage 3 LRU replacement
+  std::uint64_t evicted_flush = 0;
+  // Classification.
+  std::uint64_t classified_at_n = 0;       // reached first-N while resident
+  std::uint64_t classified_on_evict = 0;
+  std::uint64_t evicted_unclassified = 0;  // too short to classify
+  std::uint64_t verdicts_dropped = 0;      // verdict ring hit its cap
+  // Shed ladder / supervision.
+  std::uint64_t shed_stage_enters = 0;     // upward stage transitions
+  std::uint64_t shed_stage_exits = 0;      // downward stage transitions
+  std::uint64_t rounds = 0;                // pump() batches completed
+  std::uint64_t watchdog_stalls = 0;
+
+  void merge(const ServeCounters& other);
+  [[nodiscard]] core::Json to_json() const;
+  /// True when every counter of `later` is >= the matching one here.
+  [[nodiscard]] bool monotone_le(const ServeCounters& later) const;
+};
+
+/// Point-in-time gauges (not monotone).
+struct ServeGauges {
+  std::uint64_t current_flows = 0;
+  std::uint64_t peak_flows = 0;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t peak_queue_depth = 0;
+  std::uint64_t table_bytes = 0;       // resident flow-state bound
+  std::uint64_t table_bytes_cap = 0;   // hard bound from the config
+  std::uint64_t shed_stage = 0;        // current ladder stage (0..3)
+  std::uint64_t virtual_now_usec = 0;  // stream time the engine has reached
+
+  [[nodiscard]] core::Json to_json() const;
+};
+
+/// One engine snapshot: counters + gauges + latency histogram.
+struct ServeStats {
+  ServeCounters counters;
+  ServeGauges gauges;
+  LatencyHistogram latency;
+
+  [[nodiscard]] core::Json to_json() const;
+};
+
+}  // namespace sugar::serve

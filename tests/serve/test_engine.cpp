@@ -1,0 +1,323 @@
+// ServeEngine behaviour tests: ingest backpressure, first-N classification
+// matching the offline featurizer bit-for-bit, idle eviction on stream
+// virtual time, the shed ladder under overload, flush, the fault-injection
+// matrix (every sequence fault at calm and overload pressure must complete
+// with consistent accounting), and the watchdog detecting a stuck shard.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/fault.h"
+#include "serve/engine.h"
+#include "serve/flow_features.h"
+#include "trafficgen/datasets.h"
+
+namespace sugar::serve {
+namespace {
+
+std::shared_ptr<const FlowClassifier> zero_classifier() {
+  FlowFeatureConfig fcfg;
+  return std::make_shared<HeuristicClassifier>(flow_feature_dim(fcfg), 2,
+                                               [](const float*) { return 0; });
+}
+
+std::vector<net::Packet> sample_stream(std::size_t flows_per_class = 2,
+                                       double spurious = 0.0) {
+  trafficgen::GenOptions opts;
+  opts.seed = 31;
+  opts.flows_per_class = flows_per_class;
+  opts.spurious_fraction = spurious;
+  return trafficgen::generate_iscx_vpn(opts).packets;
+}
+
+ServeConfig small_config() {
+  ServeConfig cfg;
+  cfg.table.shards = 4;
+  cfg.table.max_flows = 256;
+  cfg.queue_capacity = 64;
+  cfg.batch_size = 32;
+  cfg.record_verdicts = true;
+  return cfg;
+}
+
+/// Accounting identity that must hold after any drain+flush: every offered
+/// packet is either rejected at the queue or processed, and every created
+/// flow left through exactly one eviction path or the final flush.
+void expect_consistent(const ServeStats& s) {
+  EXPECT_EQ(s.counters.packets_offered,
+            s.counters.packets_rejected + s.counters.packets_processed);
+  EXPECT_EQ(s.counters.flows_created,
+            s.counters.evicted_idle + s.counters.evicted_early +
+                s.counters.evicted_sampled + s.counters.evicted_flush +
+                s.gauges.current_flows);
+  EXPECT_LE(s.gauges.table_bytes, s.gauges.table_bytes_cap);
+}
+
+TEST(ServeEngine, OfferPumpClassifiesFlows) {
+  const auto stream = sample_stream();
+  ServeEngine engine(small_config(), zero_classifier());
+  for (const auto& pkt : stream) {
+    if (!engine.offer(pkt)) engine.pump();
+    // Re-offer after pump: the queue has room again.
+  }
+  engine.drain();
+  engine.flush();
+
+  const auto stats = engine.stats();
+  EXPECT_GT(stats.counters.packets_processed, 0u);
+  EXPECT_GT(stats.counters.flows_created, 0u);
+  EXPECT_GT(stats.counters.classified_at_n + stats.counters.classified_on_evict,
+            0u);
+  EXPECT_EQ(stats.gauges.current_flows, 0u);  // flush emptied the table
+  const auto verdicts = engine.take_verdicts();
+  EXPECT_EQ(verdicts.size(),
+            stats.counters.classified_at_n + stats.counters.classified_on_evict);
+  for (const auto& v : verdicts) EXPECT_EQ(v.label, 0);
+}
+
+TEST(ServeEngine, BackpressureIsExplicit) {
+  ServeConfig cfg = small_config();
+  cfg.queue_capacity = 8;
+  const auto stream = sample_stream();
+  ASSERT_GT(stream.size(), 16u);
+  ServeEngine engine(cfg, zero_classifier());
+
+  std::size_t accepted = 0, rejected = 0;
+  for (std::size_t i = 0; i < 16; ++i)
+    (engine.offer(stream[i]) ? accepted : rejected)++;
+  EXPECT_EQ(accepted, 8u);
+  EXPECT_EQ(rejected, 8u);
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.counters.packets_offered, 16u);
+  EXPECT_EQ(stats.counters.packets_rejected, 8u);
+  EXPECT_EQ(stats.gauges.queue_depth, 8u);
+  EXPECT_EQ(stats.gauges.peak_queue_depth, 8u);
+}
+
+TEST(ServeEngine, FirstNVerdictMatchesOfflineFeatures) {
+  // The online verdict at first-N must be computed from exactly the mean
+  // feature the offline batch featurizer produces for the same prefix —
+  // verified by a classifier that captures its input.
+  FlowFeatureConfig fcfg;
+  const std::size_t dim = flow_feature_dim(fcfg);
+  struct Capture {
+    std::mutex mu;  // classify() runs concurrently in shard workers
+    std::vector<std::vector<float>> rows;
+  };
+  auto captured = std::make_shared<Capture>();
+  auto classifier = std::make_shared<HeuristicClassifier>(
+      dim, 2, [captured, dim](const float* f) {
+        std::lock_guard<std::mutex> lock(captured->mu);
+        captured->rows.emplace_back(f, f + dim);
+        return 1;
+      });
+
+  const auto stream = sample_stream();
+  ServeConfig cfg = small_config();
+  // No overload pressure (queue stays far below the shed watermark) and no
+  // mid-stream idle splits: every long-enough flow must classify at exactly
+  // its first-N prefix.
+  cfg.queue_capacity = 1024;
+  cfg.batch_size = 64;
+  cfg.idle_timeout_usec = 3'600'000'000ull;
+  ServeEngine engine(cfg, classifier);
+  for (std::size_t i = 0; i < stream.size();) {
+    for (std::size_t k = 0; k < cfg.batch_size && i < stream.size(); ++k, ++i)
+      ASSERT_TRUE(engine.offer(stream[i]));
+    engine.pump();
+  }
+  engine.drain();
+  engine.flush();
+  EXPECT_EQ(engine.stats().counters.packets_shed_new_flow, 0u);
+
+  const auto batch = batch_flow_features(stream, nullptr, fcfg,
+                                         /*min_packets=*/cfg.features.first_n);
+  ASSERT_FALSE(captured->rows.empty());
+  ASSERT_GT(batch.x.rows(), 0u);
+  // Every offline first-N feature row must appear bit-identically among the
+  // online classifier inputs.
+  std::size_t matched = 0;
+  for (std::size_t r = 0; r < batch.x.rows(); ++r) {
+    const float* want = batch.x.row(r);
+    for (const auto& got : captured->rows) {
+      if (std::equal(want, want + dim, got.begin(),
+                     [](float a, float b) { return a == b; })) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(matched, batch.x.rows());
+}
+
+TEST(ServeEngine, IdleEvictionUsesStreamTime) {
+  ServeConfig cfg = small_config();
+  cfg.idle_timeout_usec = 1000;
+  const auto stream = sample_stream();
+  ServeEngine engine(cfg, zero_classifier());
+
+  // Feed the first flows, then a packet far in the future: the idle sweep
+  // at the next round must evict everything older than the timeout.
+  for (std::size_t i = 0; i < 16; ++i) {
+    while (!engine.offer(stream[i])) engine.pump();
+  }
+  engine.drain();
+  const auto live_before = engine.stats().gauges.current_flows;
+  ASSERT_GT(live_before, 0u);
+
+  net::Packet future = stream[16];
+  future.ts_usec = engine.stats().gauges.virtual_now_usec + 10'000'000;
+  ASSERT_TRUE(engine.offer(future));
+  engine.drain();
+  const auto stats = engine.stats();
+  EXPECT_GT(stats.counters.evicted_idle, 0u);
+  EXPECT_LT(stats.gauges.current_flows, live_before + 1);
+}
+
+TEST(ServeEngine, EvictIdleNowSweepsAllShards) {
+  ServeConfig cfg = small_config();
+  cfg.idle_timeout_usec = 1000;
+  const auto stream = sample_stream();
+  ServeEngine engine(cfg, zero_classifier());
+  for (std::size_t i = 0; i < 32; ++i) {
+    while (!engine.offer(stream[i])) engine.pump();
+  }
+  engine.drain();
+  ASSERT_GT(engine.stats().gauges.current_flows, 0u);
+
+  const auto evicted =
+      engine.evict_idle_now(engine.stats().gauges.virtual_now_usec + 1'000'000);
+  EXPECT_GT(evicted, 0u);
+  EXPECT_EQ(engine.stats().gauges.current_flows, 0u);
+  EXPECT_EQ(engine.stats().counters.evicted_idle, evicted);
+}
+
+TEST(ServeEngine, ShedLadderEngagesUnderOverload) {
+  // A tiny table and queue under a firehose: the ladder must step up, shed
+  // observably, and keep the hard bounds.
+  ServeConfig cfg;
+  cfg.table.shards = 2;
+  cfg.table.max_flows = 16;
+  cfg.queue_capacity = 64;
+  cfg.batch_size = 16;
+  cfg.record_verdicts = true;
+  const auto stream = sample_stream(6, 0.05);
+  ServeEngine engine(cfg, zero_classifier());
+
+  // Offer 4x faster than one pump can drain.
+  std::size_t i = 0;
+  while (i < stream.size()) {
+    for (std::size_t k = 0; k < 4 * cfg.batch_size && i < stream.size(); ++k)
+      engine.offer(stream[i++]);
+    engine.pump();
+  }
+  engine.drain();
+  engine.flush();
+
+  const auto stats = engine.stats();
+  EXPECT_GT(stats.counters.packets_rejected, 0u);  // stage-0 backpressure
+  EXPECT_GT(stats.counters.shed_stage_enters, 0u);
+  EXPECT_GT(stats.counters.packets_shed_new_flow +
+                stats.counters.flows_rejected_full +
+                stats.counters.evicted_early + stats.counters.evicted_sampled,
+            0u);
+  EXPECT_LE(stats.gauges.peak_flows, cfg.table.max_flows + cfg.table.shards);
+  expect_consistent(stats);
+}
+
+TEST(ServeEngine, FaultMatrixStaysConsistent) {
+  const auto base = sample_stream(3, 0.05);
+  for (auto fault : {net::SequenceFault::ReorderWindow,
+                     net::SequenceFault::DuplicateDelivery,
+                     net::SequenceFault::TruncateMidFlow}) {
+    net::FaultInjector inj(17);
+    const auto mutated = inj.mutate_sequence(base, fault);
+    for (const std::size_t per_round : {16u, 128u}) {  // calm and overload
+      ServeConfig cfg;
+      cfg.table.shards = 2;
+      cfg.table.max_flows = 32;
+      cfg.queue_capacity = 64;
+      cfg.batch_size = 32;
+      ServeEngine engine(cfg, zero_classifier());
+      std::size_t i = 0;
+      while (i < mutated.size()) {
+        for (std::size_t k = 0; k < per_round && i < mutated.size(); ++k)
+          engine.offer(mutated[i++]);
+        engine.pump();
+      }
+      engine.drain();
+      engine.flush();
+      const auto stats = engine.stats();
+      EXPECT_GT(stats.counters.packets_processed, 0u)
+          << net::to_string(fault) << " per_round=" << per_round;
+      expect_consistent(stats);
+    }
+  }
+}
+
+TEST(ServeEngine, MonotoneCountersAcrossSnapshots) {
+  const auto stream = sample_stream();
+  ServeEngine engine(small_config(), zero_classifier());
+  ServeCounters prev;
+  for (const auto& pkt : stream) {
+    if (!engine.offer(pkt)) {
+      engine.pump();
+      const auto now = engine.stats().counters;
+      EXPECT_TRUE(prev.monotone_le(now));
+      prev = now;
+    }
+  }
+  engine.drain();
+  engine.flush();
+  EXPECT_TRUE(prev.monotone_le(engine.stats().counters));
+}
+
+TEST(ServeEngine, WatchdogFlagsStuckShard) {
+  ServeConfig cfg = small_config();
+  cfg.watchdog_timeout_s = 0.2;
+  std::atomic<bool> stall{true};
+  cfg.shard_hook = [&](std::size_t shard) {
+    if (shard == 0 && stall.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(600));
+      stall.store(false);  // stall exactly one round
+    }
+  };
+  const auto stream = sample_stream();
+  ServeEngine engine(cfg, zero_classifier());
+  for (std::size_t i = 0; i < 32 && i < stream.size(); ++i)
+    engine.offer(stream[i]);
+  engine.drain();
+  EXPECT_GE(engine.stats().counters.watchdog_stalls, 1u);
+
+  // A healthy engine with the same watchdog reports nothing.
+  ServeConfig healthy = small_config();
+  healthy.watchdog_timeout_s = 5.0;
+  ServeEngine engine2(healthy, zero_classifier());
+  for (std::size_t i = 0; i < 32 && i < stream.size(); ++i)
+    engine2.offer(stream[i]);
+  engine2.drain();
+  EXPECT_EQ(engine2.stats().counters.watchdog_stalls, 0u);
+}
+
+TEST(ServeEngine, VerdictCapCountsDrops) {
+  ServeConfig cfg = small_config();
+  cfg.record_verdicts = true;
+  cfg.max_recorded_verdicts = 2;
+  const auto stream = sample_stream();
+  ServeEngine engine(cfg, zero_classifier());
+  for (const auto& pkt : stream) {
+    while (!engine.offer(pkt)) engine.pump();
+  }
+  engine.drain();
+  engine.flush();
+  const auto stats = engine.stats();
+  EXPECT_EQ(engine.take_verdicts().size(), 2u);
+  EXPECT_GT(stats.counters.verdicts_dropped, 0u);
+}
+
+}  // namespace
+}  // namespace sugar::serve

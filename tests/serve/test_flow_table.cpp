@@ -1,0 +1,198 @@
+// ShardedFlowTable unit tests: admission and the hard capacity bound,
+// feature accumulation freezing at classify_at, LRU ordering under the
+// idle / ready / tail eviction sweeps, and the bytes_cap() arithmetic the
+// memory-bound story rests on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/flow_table.h"
+
+namespace sugar::serve {
+namespace {
+
+net::FlowKey make_key(std::uint16_t n) {
+  net::FlowKey key;
+  key.a_ip.bytes[14] = static_cast<std::uint8_t>(n >> 8);
+  key.a_ip.bytes[15] = static_cast<std::uint8_t>(n & 0xFF);
+  key.b_ip.bytes[15] = 1;
+  key.a_port = n;
+  key.b_port = 443;
+  key.proto = 6;
+  return key;
+}
+
+FlowTableConfig small_config() {
+  FlowTableConfig cfg;
+  cfg.shards = 1;  // single shard: LRU order fully observable
+  cfg.max_flows = 4;
+  cfg.feature_dim = 3;
+  cfg.classify_at = 2;
+  return cfg;
+}
+
+TEST(FlowTable, CreateTouchAndFeatureFreeze) {
+  ShardedFlowTable table(small_config());
+  const auto key = make_key(1);
+  const float f1[3] = {1, 2, 3}, f2[3] = {10, 20, 30}, f3[3] = {100, 200, 300};
+
+  auto r1 = table.touch(0, key, 1000, f1, true);
+  EXPECT_EQ(r1.status, ShardedFlowTable::TouchStatus::kCreated);
+  EXPECT_FALSE(r1.ready);
+
+  auto r2 = table.touch(0, key, 2000, f2, true);
+  EXPECT_EQ(r2.status, ShardedFlowTable::TouchStatus::kExisting);
+  EXPECT_TRUE(r2.ready);  // hit classify_at = 2
+
+  // Third packet arrives after the freeze: counted, not accumulated.
+  auto r3 = table.touch(0, key, 3000, f3, true);
+  EXPECT_FALSE(r3.ready);
+
+  const FlowView v = table.view(0, r3.slot);
+  EXPECT_EQ(v.packets, 3u);
+  EXPECT_EQ(v.feature_packets, 2u);
+  EXPECT_EQ(v.first_ts_usec, 1000u);
+  EXPECT_EQ(v.last_ts_usec, 3000u);
+  EXPECT_FLOAT_EQ(v.feature_sum[0], 11.0f);
+  EXPECT_FLOAT_EQ(v.feature_sum[1], 22.0f);
+  EXPECT_FLOAT_EQ(v.feature_sum[2], 33.0f);
+}
+
+TEST(FlowTable, AdmissionControlAndHardBound) {
+  ShardedFlowTable table(small_config());
+  for (std::uint16_t i = 0; i < 4; ++i)
+    EXPECT_EQ(table.touch(0, make_key(i), i, nullptr, true).status,
+              ShardedFlowTable::TouchStatus::kCreated);
+  EXPECT_EQ(table.live(0), 4u);
+
+  // At capacity: a new flow is refused, an existing one still progresses.
+  EXPECT_EQ(table.touch(0, make_key(9), 10, nullptr, true).status,
+            ShardedFlowTable::TouchStatus::kFull);
+  EXPECT_EQ(table.touch(0, make_key(0), 11, nullptr, true).status,
+            ShardedFlowTable::TouchStatus::kExisting);
+
+  // admit_new = false (shed ladder): unknown keys refused regardless.
+  EXPECT_EQ(table.touch(0, make_key(10), 12, nullptr, false).status,
+            ShardedFlowTable::TouchStatus::kNotAdmitted);
+  EXPECT_EQ(table.live(0), 4u);
+}
+
+TEST(FlowTable, IdleEvictionWalksColdTail) {
+  ShardedFlowTable table(small_config());
+  table.touch(0, make_key(1), 1000, nullptr, true);
+  table.touch(0, make_key(2), 5000, nullptr, true);
+  table.touch(0, make_key(3), 9000, nullptr, true);
+
+  std::vector<std::uint64_t> evicted;
+  // Idle threshold 3000 at now=9000: flows last seen <= 6000 expire.
+  auto n = table.evict_idle(0, 9000, 3000,
+                            [&](const FlowView& v) { evicted.push_back(v.last_ts_usec); });
+  EXPECT_EQ(n, 2u);
+  ASSERT_EQ(evicted.size(), 2u);
+  EXPECT_EQ(evicted[0], 1000u);  // coldest first
+  EXPECT_EQ(evicted[1], 5000u);
+  EXPECT_EQ(table.live(0), 1u);
+
+  // Touching a flow rescues it from the tail.
+  table.touch(0, make_key(3), 9500, nullptr, true);
+  EXPECT_EQ(table.evict_idle(0, 12000, 3000, nullptr), 0u);
+}
+
+TEST(FlowTable, ReadyEvictionSkipsShortFlows) {
+  auto cfg = small_config();
+  cfg.classify_at = 8;
+  ShardedFlowTable table(cfg);
+  const float f[3] = {1, 1, 1};
+  // Flow 1: 3 packets (eligible at min_packets=2); flow 2: 1 packet.
+  for (int i = 0; i < 3; ++i) table.touch(0, make_key(1), 100 + i, f, true);
+  table.touch(0, make_key(2), 200, f, true);
+
+  std::vector<std::uint32_t> evicted;
+  auto n = table.evict_ready(0, /*target_live=*/0, /*min_packets=*/2,
+                             /*max_scan=*/16,
+                             [&](const FlowView& v) { evicted.push_back(v.packets); });
+  EXPECT_EQ(n, 1u);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 3u);  // only the classifiable flow went
+  EXPECT_EQ(table.live(0), 1u);
+}
+
+TEST(FlowTable, TailEvictionAndFlush) {
+  ShardedFlowTable table(small_config());
+  for (std::uint16_t i = 0; i < 3; ++i)
+    table.touch(0, make_key(i), i * 100, nullptr, true);
+
+  std::uint64_t first_evicted = 0;
+  EXPECT_TRUE(table.evict_tail(
+      0, [&](const FlowView& v) { first_evicted = v.first_ts_usec; }));
+  EXPECT_EQ(first_evicted, 0u);  // coldest flow
+
+  EXPECT_EQ(table.evict_all(0, nullptr), 2u);
+  EXPECT_EQ(table.live(0), 0u);
+  EXPECT_FALSE(table.evict_tail(0, nullptr));
+}
+
+TEST(FlowTable, SlotRecyclingAfterEviction) {
+  ShardedFlowTable table(small_config());
+  const float f[3] = {5, 5, 5};
+  for (int round = 0; round < 10; ++round) {
+    for (std::uint16_t i = 0; i < 4; ++i)
+      table.touch(0, make_key(static_cast<std::uint16_t>(round * 16 + i)),
+                  round, f, true);
+    EXPECT_EQ(table.live(0), 4u);
+    table.evict_all(0, nullptr);
+  }
+  // Recycled slots must come back zeroed.
+  auto r = table.touch(0, make_key(999), 1, f, true);
+  const FlowView v = table.view(0, r.slot);
+  EXPECT_EQ(v.packets, 1u);
+  EXPECT_FLOAT_EQ(v.feature_sum[0], 5.0f);
+  EXPECT_FALSE(v.classified);
+}
+
+TEST(FlowTable, ShardOfIsPureFunctionOfKey) {
+  FlowTableConfig cfg;
+  cfg.shards = 7;
+  cfg.max_flows = 70;
+  ShardedFlowTable table(cfg);
+  for (std::uint16_t i = 0; i < 100; ++i) {
+    const auto key = make_key(i);
+    const std::size_t s = table.shard_of(key);
+    EXPECT_LT(s, table.shard_count());
+    EXPECT_EQ(s, table.shard_of(key));  // stable
+  }
+}
+
+TEST(FlowTable, BytesCapBoundsResidency) {
+  FlowTableConfig cfg;
+  cfg.shards = 4;
+  cfg.max_flows = 64;
+  cfg.feature_dim = 10;
+  ShardedFlowTable table(cfg);
+  EXPECT_GT(table.bytes_per_flow(), 10 * sizeof(float));
+  EXPECT_EQ(table.bytes_cap(),
+            table.shard_count() * table.shard_capacity() * table.bytes_per_flow());
+  EXPECT_EQ(table.bytes_resident(), 0u);
+
+  const std::vector<float> f(10, 1.0f);
+  for (std::uint16_t i = 0; i < 200; ++i) {
+    const auto key = make_key(i);
+    table.touch(table.shard_of(key), key, i, f.data(), true);
+    EXPECT_LE(table.bytes_resident(), table.bytes_cap());
+  }
+  EXPECT_LE(table.live_total(), cfg.max_flows + table.shard_count());
+}
+
+TEST(FlowTable, MarkClassifiedSuppressesReadiness) {
+  ShardedFlowTable table(small_config());
+  const float f[3] = {1, 1, 1};
+  auto r1 = table.touch(0, make_key(1), 1, f, true);
+  auto r2 = table.touch(0, make_key(1), 2, f, true);
+  EXPECT_TRUE(r2.ready);
+  table.mark_classified(0, r2.slot);
+  EXPECT_TRUE(table.view(0, r1.slot).classified);
+}
+
+}  // namespace
+}  // namespace sugar::serve
