@@ -6,7 +6,12 @@
 // pressure. The engine must survive every cell with bounded memory, and the
 // artifact records the evidence: latency percentiles, flows/sec, shed and
 // eviction counters, plus a snapshot timeline whose counters json_check
-// verifies are monotone.
+// verifies are monotone. Two more cell families cover crash tolerance:
+// crash-recovery cells kill the engine at a deterministic tick, restore from
+// a checkpointed snapshot and assert bit-identical verdicts and counters
+// against an uninterrupted run, and a chaos matrix injects classifier,
+// flow-table-allocation and disk faults, recording circuit-breaker
+// transitions and recovery accounting for json_check to validate.
 //
 // Offered load is modelled in deterministic ticks, not wall time: one
 // pump() per tick processes at most batch_size packets, so offering
@@ -31,11 +36,15 @@
 
 #include "bench_common.h"
 #include "core/artifact.h"
+#include "core/chaos.h"
+#include "core/io.h"
 #include "net/fault.h"
 #include "net/replay.h"
+#include "serve/breaker.h"
 #include "serve/classifier.h"
 #include "serve/engine.h"
 #include "serve/flow_features.h"
+#include "serve/snapshot.h"
 #include "trafficgen/datasets.h"
 
 using namespace sugar;
@@ -189,6 +198,281 @@ core::CellSummary run_stream_cell(const std::vector<net::Packet>& stream,
   return s;
 }
 
+/// Deterministic, resumable replay cursor: packet `pos` is the stream
+/// repeated with its whole time span added per loop, so timestamps advance
+/// monotonically and any absolute position can be regenerated after a
+/// restore — no iterator state to lose in a crash.
+struct LoopedStream {
+  const std::vector<net::Packet>* pkts = nullptr;
+  std::uint64_t span_usec = 0;
+
+  explicit LoopedStream(const std::vector<net::Packet>& stream) : pkts(&stream) {
+    for (const net::Packet& p : stream)
+      span_usec = std::max(span_usec, p.ts_usec);
+    span_usec += 1'000;  // inter-loop gap
+  }
+
+  [[nodiscard]] net::Packet at(std::size_t pos) const {
+    net::Packet p = (*pkts)[pos % pkts->size()];
+    p.ts_usec += (pos / pkts->size()) * span_usec;
+    return p;
+  }
+};
+
+serve::ServeConfig make_engine_cfg(const ServeCliOptions& cli) {
+  serve::ServeConfig cfg;
+  cfg.table.shards = cli.shards;
+  cfg.table.max_flows = cli.max_flows;
+  cfg.queue_capacity = cli.queue_capacity;
+  cfg.batch_size = cli.batch_size;
+  cfg.record_verdicts = true;
+  return cfg;
+}
+
+/// Offers per_tick packets per tick (engine.stream_pos() is the cursor) and
+/// pumps once per tick, for `ticks` ticks or until the stream is exhausted.
+/// Returns ticks actually run.
+std::size_t drive_ticks(serve::ServeEngine& engine, const LoopedStream& ls,
+                        std::size_t per_tick, std::size_t total_packets,
+                        std::size_t ticks) {
+  std::size_t ran = 0;
+  while (ran < ticks && engine.stream_pos() < total_packets) {
+    std::size_t pos = engine.stream_pos();
+    for (std::size_t i = 0; i < per_tick && pos < total_packets; ++i) {
+      engine.offer(ls.at(pos));
+      ++pos;
+    }
+    engine.set_stream_pos(pos);
+    engine.pump();
+    ++ran;
+  }
+  return ran;
+}
+
+bool verdicts_equal(const std::vector<serve::Verdict>& a,
+                    const std::vector<serve::Verdict>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].key != b[i].key || a[i].label != b[i].label ||
+        a[i].packets != b[i].packets ||
+        a[i].feature_packets != b[i].feature_packets ||
+        a[i].reason != b[i].reason ||
+        a[i].first_ts_usec != b[i].first_ts_usec ||
+        a[i].last_ts_usec != b[i].last_ts_usec)
+      return false;
+  }
+  return true;
+}
+
+std::string snapshot_dir() {
+  const char* dir = std::getenv("SUGAR_SNAPSHOT_DIR");
+  return dir && *dir ? std::string(dir) : std::string(".");
+}
+
+/// Crash-recovery cell: run the stream uninterrupted, then re-run it with a
+/// kill at tick `kill_tick` — snapshot, destroy the engine, restore into a
+/// fresh one and continue from the recorded stream position. The two runs
+/// must agree bit-for-bit on every verdict and every counter; `identical`
+/// in the artifact is that assertion, and the counter pair at the crash
+/// boundary lets json_check verify restore monotonicity mechanically.
+core::CellSummary run_crash_cell(const std::vector<net::Packet>& stream,
+                                 const ServeCliOptions& cli,
+                                 std::shared_ptr<const serve::FlowClassifier> clf,
+                                 std::size_t kill_tick,
+                                 std::size_t total_packets) {
+  const LoopedStream ls(stream);
+  const std::size_t per_tick = cli.batch_size;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Baseline: never interrupted.
+  std::vector<serve::Verdict> base_verdicts;
+  serve::ServeCounters base_counters;
+  {
+    serve::ServeEngine engine(make_engine_cfg(cli), clf);
+    drive_ticks(engine, ls, per_tick, total_packets, ~std::size_t{0});
+    engine.drain();
+    engine.flush();
+    base_verdicts = engine.take_verdicts();
+    base_counters = engine.stats().counters;
+  }
+
+  // Crashed run: kill at tick k, snapshot, restore, replay the rest.
+  const std::string path =
+      snapshot_dir() + "/bench_serve_crash_" + std::to_string(kill_tick) + ".snap";
+  serve::ServeCounters kill_counters;
+  serve::SnapshotOutcome saved, restored;
+  std::vector<serve::Verdict> crash_verdicts;
+  serve::ServeCounters crash_counters;
+  serve::RecoveryStats recovery;
+  {
+    serve::ServeEngine engine(make_engine_cfg(cli), clf);
+    drive_ticks(engine, ls, per_tick, total_packets, kill_tick);
+    saved = engine.save_snapshot(path);
+    kill_counters = engine.stats().counters;
+    // Engine destroyed here — the simulated crash.
+  }
+  {
+    serve::ServeEngine engine(make_engine_cfg(cli), clf);
+    restored = engine.restore_snapshot(path);
+    if (restored.ok()) {
+      drive_ticks(engine, ls, per_tick, total_packets, ~std::size_t{0});
+      engine.drain();
+      engine.flush();
+    }
+    crash_verdicts = engine.take_verdicts();
+    crash_counters = engine.stats().counters;
+    recovery = engine.recovery();
+  }
+  core::real_io().remove_file(path);
+
+  const bool counters_ok =
+      base_counters.to_values() == crash_counters.to_values();
+  const bool identical = saved.ok() && restored.ok() && counters_ok &&
+                         verdicts_equal(base_verdicts, crash_verdicts);
+
+  core::CellSummary s;
+  s.accuracy = identical ? 1.0 : 0.0;
+  s.macro_f1 = s.accuracy;
+  s.n_test = crash_verdicts.size();
+  s.test_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  core::Json j = core::Json::object();
+  j.set("kill_tick", core::Json(kill_tick));
+  j.set("save_ok", core::Json(saved.ok()));
+  j.set("restore_ok", core::Json(restored.ok()));
+  j.set("counters_identical", core::Json(counters_ok));
+  j.set("verdicts_identical",
+        core::Json(verdicts_equal(base_verdicts, crash_verdicts)));
+  j.set("identical", core::Json(identical));
+  j.set("verdicts", core::Json(crash_verdicts.size()));
+  j.set("recovery", recovery.to_json());
+  // Counter timeline across the crash boundary: at-kill must be <= final
+  // field-for-field (json_check enforces).
+  core::Json snaps = core::Json::array();
+  snaps.push(kill_counters.to_json());
+  snaps.push(crash_counters.to_json());
+  j.set("snapshots", std::move(snaps));
+  s.extra.set("crash_recovery", std::move(j));
+  if (!identical) {
+    std::fprintf(stderr,
+                 "bench_serve: crash cell kill_tick=%zu NOT identical "
+                 "(save=%s restore=%s counters=%d verdicts %zu vs %zu)\n",
+                 kill_tick, to_string(saved.error), to_string(restored.error),
+                 counters_ok ? 1 : 0, base_verdicts.size(),
+                 crash_verdicts.size());
+  }
+  return s;
+}
+
+enum class ChaosMode { kBreaker, kAlloc, kIo };
+
+/// Chaos-matrix cell: one deterministic chaos configuration per mode.
+///   breaker  classifier faults + latency spikes; the circuit breaker must
+///            trip to the heuristic fallback and recover via half-open
+///            probes (its transitions land in the artifact for json_check)
+///   alloc    flow-table allocation failures surface as flows_rejected_full
+///   io       snapshot writes run through ChaosIo (disk-full, short write,
+///            rename failure); a final clean save must still restore
+core::CellSummary run_chaos_cell(const std::vector<net::Packet>& stream,
+                                 const ServeCliOptions& cli,
+                                 std::shared_ptr<const serve::FlowClassifier> clf,
+                                 std::shared_ptr<const serve::FlowClassifier> fallback,
+                                 std::uint64_t seed, ChaosMode mode,
+                                 std::size_t total_packets) {
+  core::ChaosConfig ccfg;
+  ccfg.enabled = true;
+  ccfg.seed = seed;
+  ccfg.stall_usec = 200;
+  ccfg.classifier_delay_usec = 200;
+  switch (mode) {
+    case ChaosMode::kBreaker:
+      ccfg.with(core::ChaosSite::kClassifierFault, 0.5)
+          .with(core::ChaosSite::kClassifierDelay, 0.05);
+      break;
+    case ChaosMode::kAlloc:
+      ccfg.with(core::ChaosSite::kFlowTableAlloc, 0.25);
+      break;
+    case ChaosMode::kIo:
+      ccfg.with(core::ChaosSite::kIoWriteFail, 0.30)
+          .with(core::ChaosSite::kIoShortWrite, 0.30)
+          .with(core::ChaosSite::kIoRenameFail, 0.20);
+      break;
+  }
+  core::ChaosInjector chaos(ccfg);
+  core::ChaosIo chaos_io(chaos);
+
+  serve::BreakerConfig bcfg;
+  bcfg.failure_threshold = 2;
+  bcfg.open_cooldown_calls = 8;
+  bcfg.half_open_successes = 2;
+  bcfg = serve::BreakerConfig::from_env(bcfg);
+  auto breaker = std::make_shared<serve::CircuitBreakerClassifier>(
+      *clf, *fallback, bcfg, mode == ChaosMode::kBreaker ? &chaos : nullptr);
+
+  serve::ServeConfig cfg = make_engine_cfg(cli);
+  cfg.chaos = &chaos;
+  cfg.fallback = fallback;
+  serve::ServeEngine engine(
+      cfg, mode == ChaosMode::kBreaker
+               ? std::static_pointer_cast<const serve::FlowClassifier>(breaker)
+               : clf);
+
+  const LoopedStream ls(stream);
+  const std::string path = snapshot_dir() + "/bench_serve_chaos.snap";
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t tick = 0;
+  while (engine.stream_pos() < total_packets) {
+    drive_ticks(engine, ls, cli.batch_size, total_packets, 1);
+    // The io cell checkpoints on a cadence through the fault-injecting Io;
+    // failed saves are counted, never fatal.
+    if (mode == ChaosMode::kIo && ++tick % 4 == 0)
+      engine.save_snapshot(path, &chaos_io);
+  }
+  engine.drain();
+  engine.flush();
+
+  bool final_restore_ok = true;
+  if (mode == ChaosMode::kIo) {
+    // After the storm: one clean save must restore into a fresh engine.
+    final_restore_ok = false;
+    if (engine.save_snapshot(path).ok()) {
+      serve::ServeEngine fresh(make_engine_cfg(cli), clf);
+      final_restore_ok = fresh.restore_snapshot(path).ok();
+    }
+  }
+  core::real_io().remove_file(path);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  const auto verdicts = engine.take_verdicts();
+  const serve::ServeStats stats = engine.stats();
+  const auto bc = breaker->counters();
+
+  core::CellSummary s;
+  s.accuracy = mode == ChaosMode::kBreaker && bc.trips > 0 && bc.recoveries > 0
+                   ? 1.0
+                   : (mode == ChaosMode::kBreaker ? 0.0 : 1.0);
+  s.macro_f1 = s.accuracy;
+  s.n_test = verdicts.size();
+  s.test_seconds = wall;
+
+  core::Json j = core::Json::object();
+  j.set("mode", core::Json(mode == ChaosMode::kBreaker
+                               ? "breaker"
+                               : (mode == ChaosMode::kAlloc ? "alloc" : "io")));
+  j.set("chaos", chaos.to_json());
+  j.set("stats", stats.to_json());
+  j.set("verdicts", core::Json(verdicts.size()));
+  if (mode == ChaosMode::kBreaker) j.set("breaker", breaker->to_json());
+  if (mode == ChaosMode::kIo) {
+    j.set("recovery", engine.recovery().to_json());
+    j.set("final_restore_ok", core::Json(final_restore_ok));
+  }
+  s.extra.set("chaos_cell", std::move(j));
+  return s;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -299,6 +583,50 @@ int main(int argc, char** argv) {
       add_stream_cell(load_cells, "fault " + net::to_string(fault), col,
                       mutated, ratio);
     }
+  }
+
+  // Crash-recovery cells: kill at a deterministic tick, snapshot, restore
+  // into a fresh engine and replay — the run must be bit-identical to an
+  // uninterrupted one (verdicts and every ServeCounter).
+  for (std::size_t kill_tick : {std::size_t{3}, std::size_t{11}}) {
+    core::CellSpec spec{
+        "serve", "crash", "k=" + std::to_string(kill_tick),
+        core::generic_cell_key(
+            {"serve", "crash", "k" + std::to_string(kill_tick)})};
+    load_cells.add(std::move(spec),
+                   [&cli, clf, kill_tick, total_packets,
+                    stream = trace.packets](core::CellContext&) {
+                     return run_crash_cell(stream, cli, clf, kill_tick,
+                                           total_packets);
+                   });
+  }
+
+  // Chaos matrix: deterministic fault injection per subsystem. The breaker
+  // cell must show a full closed→open→half-open→closed timeline.
+  const int classes = clf->num_classes();
+  std::shared_ptr<const serve::FlowClassifier> fallback =
+      std::make_shared<serve::HeuristicClassifier>(
+          clf->feature_dim(), classes, [classes](const float* f) {
+            const float v = f[0] > 0 ? f[0] : 0.0f;
+            return static_cast<int>(
+                static_cast<std::uint64_t>(v < 1e9f ? v : 1e9f) % classes);
+          });
+  const std::pair<ChaosMode, const char*> kChaosModes[] = {
+      {ChaosMode::kBreaker, "breaker"},
+      {ChaosMode::kAlloc, "alloc"},
+      {ChaosMode::kIo, "io"},
+  };
+  for (const auto& [mode, name] : kChaosModes) {
+    core::CellSpec spec{"serve", "chaos", name,
+                        core::generic_cell_key({"serve", "chaos", name})};
+    const std::uint64_t seed =
+        env_cfg.seed * 1000003 + static_cast<std::uint64_t>(mode) + 1;
+    load_cells.add(std::move(spec),
+                   [&cli, clf, fallback, seed, mode, total_packets,
+                    stream = trace.packets](core::CellContext&) {
+                     return run_chaos_cell(stream, cli, clf, fallback, seed,
+                                           mode, total_packets);
+                   });
   }
 
   auto outcomes = load_cells.run(sup);

@@ -13,6 +13,11 @@
 #                               bench_serve load ladder + fault matrix at
 #                               smoke scale, and the serve concurrency
 #                               stress under TSan
+#   scripts/check.sh crash      crash-tolerance matrix: the chaos label
+#                               (snapshot kill/restore/replay determinism,
+#                               corruption corpus, breaker, watchdog) swept
+#                               at SUGAR_THREADS=1/2/7, plus the chaos
+#                               smoke under TSan
 #   scripts/check.sh all        everything above
 #
 # Each configuration builds into its own directory (build-check, build-asan,
@@ -93,21 +98,40 @@ serve() {
   run ctest --test-dir build-tsan --output-on-failure -R serve_stress
 }
 
+crash() {
+  configure_build build-check
+  # Crash-recovery determinism is part of the bit-identity contract, so the
+  # whole chaos label (kill/restore/replay identity, corruption corpus,
+  # breaker state machine, watchdog escalation) runs at several pool
+  # widths: the suite pins its own widths internally AND the ambient
+  # substrate is varied on top, catching width assumptions either way.
+  for threads in 1 2 7; do
+    SUGAR_THREADS="$threads" run ctest --test-dir build-check \
+        --output-on-failure -L chaos
+  done
+  # Chaos storm (stalls, classifier faults, disk faults, breaker flips)
+  # under TSan: every injection site racing the shard workers.
+  configure_build build-tsan -DSUGAR_SANITIZE=thread
+  run ctest --test-dir build-tsan --output-on-failure -R chaos_tsan_smoke
+}
+
 case "$MODE" in
   quick) plain ;;
   sanitize) sanitize ;;
   bench) bench ;;
   trace) trace ;;
   serve) serve ;;
+  crash) crash ;;
   all)
     plain
     bench
     trace
     serve
+    crash
     sanitize
     ;;
   *)
-    echo "usage: scripts/check.sh [quick|sanitize|bench|trace|serve|all]" >&2
+    echo "usage: scripts/check.sh [quick|sanitize|bench|trace|serve|crash|all]" >&2
     exit 2
     ;;
 esac

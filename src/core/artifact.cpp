@@ -1,5 +1,7 @@
 #include "core/artifact.h"
 
+#include "core/io.h"
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -280,26 +282,15 @@ std::optional<Json> Json::parse(std::string_view text) {
 }
 
 bool atomic_write_file(const std::string& path, std::string_view content,
-                       std::string* error) {
+                       std::string* error, Io* io) {
+  Io& fs = io ? *io : real_io();
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      if (error) *error = "cannot open temp file " + tmp;
-      return false;
-    }
-    out.write(content.data(), static_cast<std::streamsize>(content.size()));
-    out.flush();
-    if (!out) {
-      if (error) *error = "short write to temp file " + tmp;
-      out.close();
-      std::remove(tmp.c_str());
-      return false;
-    }
+  if (!fs.write_file(tmp, content, error)) {
+    fs.remove_file(tmp);  // a short write may have left a partial temp file
+    return false;
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    if (error) *error = "rename " + tmp + " -> " + path + " failed";
-    std::remove(tmp.c_str());
+  if (!fs.rename_file(tmp, path, error)) {
+    fs.remove_file(tmp);
     return false;
   }
   return true;

@@ -84,12 +84,15 @@ class Json {
   std::vector<Json> arr_;
 };
 
+class Io;
+
 /// Writes `content` to `path` via a sibling temp file + rename, so readers
 /// only ever observe the old or the new complete content. On failure the
 /// target is left untouched, the temp file is removed, and `error` (when
-/// non-null) receives a description.
+/// non-null) receives a description. `io` overrides the filesystem (fault
+/// injection); null means the real one.
 bool atomic_write_file(const std::string& path, std::string_view content,
-                       std::string* error = nullptr);
+                       std::string* error = nullptr, Io* io = nullptr);
 
 /// Loads a JSONL file, one Json per parseable line. Unparsable lines — in
 /// particular a torn final line from a crashed writer — are counted in

@@ -1,33 +1,14 @@
 #include "core/env.h"
 
+#include "core/envparse.h"
 #include "core/trace.h"
 
-#include <charconv>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string_view>
 
 namespace sugar::core {
-namespace {
-
-// Strict whole-string numeric parsing: "12x" or "" is malformed, not "12".
-// Malformed values warn on stderr and leave the default untouched, so a
-// typo'd SUGAR_* never silently runs a zero-sized benchmark.
-template <typename T>
-bool parse_env_number(const char* name, const char* s, T& out) {
-  std::string_view sv{s};
-  T value{};
-  auto [ptr, ec] = std::from_chars(sv.data(), sv.data() + sv.size(), value);
-  if (ec != std::errc{} || ptr != sv.data() + sv.size()) {
-    std::cerr << "sugar: ignoring malformed " << name << "='" << s << "'\n";
-    return false;
-  }
-  out = value;
-  return true;
-}
-
-}  // namespace
 
 EnvConfig EnvConfig::from_env() {
   EnvConfig cfg;

@@ -1,0 +1,30 @@
+// Strict whole-string parsing for SUGAR_* environment knobs, shared by
+// every layer (header-only so the bottom-most sugar_parallel target can use
+// it too). The PR 1 convention: "12x" or "" is malformed, not "12" —
+// malformed values warn on stderr and leave the caller's default untouched,
+// so a typo'd knob never silently reconfigures a run.
+#pragma once
+
+#include <charconv>
+#include <cstdio>
+#include <string_view>
+
+namespace sugar::core {
+
+/// Parses the whole of `s` as a number into `out`. On any leftover
+/// character, empty string, or out-of-range value, warns (naming the knob)
+/// and returns false with `out` untouched.
+template <typename T>
+bool parse_env_number(const char* name, const char* s, T& out) {
+  std::string_view sv{s};
+  T value{};
+  auto [ptr, ec] = std::from_chars(sv.data(), sv.data() + sv.size(), value);
+  if (ec != std::errc{} || ptr != sv.data() + sv.size()) {
+    std::fprintf(stderr, "sugar: ignoring malformed %s='%s'\n", name, s);
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace sugar::core

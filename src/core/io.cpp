@@ -1,0 +1,54 @@
+#include "core/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace sugar::core {
+
+bool Io::write_file(const std::string& path, std::string_view content,
+                    std::string* error) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    if (error) *error = "cannot open " + path;
+    return false;
+  }
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out) {
+    if (error) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+bool Io::rename_file(const std::string& from, const std::string& to,
+                     std::string* error) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    if (error) *error = "rename " + from + " -> " + to + " failed";
+    return false;
+  }
+  return true;
+}
+
+void Io::remove_file(const std::string& path) { std::remove(path.c_str()); }
+
+bool Io::read_file(const std::string& path, std::string& out,
+                   std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+Io& real_io() {
+  static Io io;
+  return io;
+}
+
+}  // namespace sugar::core

@@ -1,0 +1,42 @@
+// Injectable filesystem shim. Everything that persists state through a
+// crash boundary — the supervisor's artifacts and journal, the serve
+// engine's snapshots — goes through an Io instance instead of raw stdio, so
+// the chaos harness can interpose disk-full, short-write and rename faults
+// without touching a real filesystem limit. The default implementation is
+// the real filesystem; real_io() is the process-wide instance used when a
+// caller passes no override.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace sugar::core {
+
+/// Filesystem operations behind the crash-safety paths. The base class IS
+/// the real implementation; fault-injecting shims subclass and wrap it.
+class Io {
+ public:
+  virtual ~Io() = default;
+
+  /// Writes `content` to `path`, truncating. False (with `error` set when
+  /// non-null) on open failure or short write; a short write may leave a
+  /// partial file behind — exactly why callers write temp-then-rename.
+  virtual bool write_file(const std::string& path, std::string_view content,
+                          std::string* error);
+
+  /// Atomically replaces `to` with `from` (POSIX rename semantics).
+  virtual bool rename_file(const std::string& from, const std::string& to,
+                           std::string* error);
+
+  /// Removes a file; missing files are not an error.
+  virtual void remove_file(const std::string& path);
+
+  /// Reads the whole file into `out`. False (with `error`) when unreadable.
+  virtual bool read_file(const std::string& path, std::string& out,
+                         std::string* error);
+};
+
+/// The process-wide real-filesystem instance.
+Io& real_io();
+
+}  // namespace sugar::core

@@ -1,10 +1,10 @@
 #include "core/threadpool.h"
 
+#include "core/envparse.h"
 #include "core/trace.h"
 
 #include <algorithm>
 #include <atomic>
-#include <charconv>
 #include <cstdlib>
 #include <exception>
 #include <iostream>
@@ -137,13 +137,8 @@ std::size_t threads_from_env() {
   std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
   const char* s = std::getenv("SUGAR_THREADS");
   if (!s) return hw;
-  std::string_view sv{s};
   std::size_t value = 0;
-  auto [ptr, ec] = std::from_chars(sv.data(), sv.data() + sv.size(), value);
-  if (ec != std::errc{} || ptr != sv.data() + sv.size()) {
-    std::cerr << "sugar: ignoring malformed SUGAR_THREADS='" << s << "'\n";
-    return hw;
-  }
+  if (!core::parse_env_number("SUGAR_THREADS", s, value)) return hw;
   if (value == 0) return hw;  // 0 = auto
   constexpr std::size_t kMaxThreads = 512;
   if (value > kMaxThreads) {

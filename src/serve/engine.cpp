@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "core/chaos.h"
 #include "core/threadpool.h"
 #include "core/trace.h"
 #include "net/parser.h"
@@ -56,9 +57,17 @@ ServeEngine::ServeEngine(ServeConfig cfg,
         FlowTableConfig t = cfg_.table;
         t.feature_dim = flow_feature_dim(cfg_.features);
         t.classify_at = cfg_.features.first_n;
+        if (cfg_.chaos) {
+          t.alloc_fault = [chaos = cfg_.chaos] {
+            return chaos->should_fire(core::ChaosSite::kFlowTableAlloc);
+          };
+        }
         return t;
       }()) {
   feature_dim_ = table_.config().feature_dim;
+  shard_active_ = std::vector<std::atomic<std::uint8_t>>(table_.shard_count());
+  quarantined_ = std::vector<std::atomic<std::uint8_t>>(table_.shard_count());
+  clean_rounds_ = std::vector<std::atomic<std::uint32_t>>(table_.shard_count());
   if (classifier_ && classifier_->feature_dim() != feature_dim_) {
     std::fprintf(stderr,
                  "serve: classifier dim %zu != featurizer dim %zu — "
@@ -128,8 +137,8 @@ ShedStage ServeEngine::evaluate_stage(std::size_t queued, std::size_t live) {
   return next;
 }
 
-void ServeEngine::classify_into(const FlowView& v, VerdictReason reason,
-                                RoundDelta& delta) {
+void ServeEngine::classify_into(std::size_t shard, const FlowView& v,
+                                VerdictReason reason, RoundDelta& delta) {
   if (v.classified) return;  // labelled at first-N already
   if (v.feature_packets <
       (reason == VerdictReason::kFirstN ? 1u : cfg_.min_classify_packets)) {
@@ -143,7 +152,17 @@ void ServeEngine::classify_into(const FlowView& v, VerdictReason reason,
   const float inv = 1.0f / static_cast<float>(v.feature_packets);
   for (std::size_t d = 0; d < feature_dim_; ++d)
     mean[d] = v.feature_sum[d] * inv;
-  const int label = classifier_ ? classifier_->classify(mean.data()) : -1;
+  // A quarantined shard's verdicts come from the cheap fallback so a stuck
+  // or faulty primary can't stall the whole round again.
+  const FlowClassifier* clf = classifier_.get();
+  bool via_fallback = false;
+  if (cfg_.fallback &&
+      quarantined_[shard].load(std::memory_order_relaxed) != 0) {
+    clf = cfg_.fallback.get();
+    via_fallback = true;
+  }
+  const int label = clf ? clf->classify(mean.data()) : -1;
+  if (via_fallback) ++delta.counters.fallback_classified;
   if (reason == VerdictReason::kFirstN)
     ++delta.counters.classified_at_n;
   else
@@ -170,15 +189,27 @@ void ServeEngine::process_shard(std::size_t shard,
                                 RoundDelta& delta) {
   SUGAR_TRACE_SPAN("serve.shard");
   if (cfg_.shard_hook) cfg_.shard_hook(shard);
+  if (cfg_.chaos)
+    cfg_.chaos->maybe_stall(core::ChaosSite::kShardStall, &round_abort_);
 
   // 1. Idle sweep on the stream's virtual clock.
   delta.counters.evicted_idle += table_.evict_idle(
-      shard, round_now, cfg_.idle_timeout_usec,
-      [&](const FlowView& v) { classify_into(v, VerdictReason::kEvictIdle, delta); });
+      shard, round_now, cfg_.idle_timeout_usec, [&](const FlowView& v) {
+        classify_into(shard, v, VerdictReason::kEvictIdle, delta);
+      });
 
-  // 2. Fold this shard's packets in arrival order.
+  // 2. Fold this shard's packets in arrival order, polling the abort flag
+  // so a watchdog-forced round restart can reclaim the rest of the batch.
   const bool admit_new = stage < ShedStage::kDropNewFlows;
-  for (const std::uint32_t idx : order) {
+  std::size_t processed = order.size();
+  for (std::size_t oi = 0; oi < order.size(); ++oi) {
+    if (round_abort_.load(std::memory_order_relaxed)) {
+      delta.requeued.insert(delta.requeued.end(), order.begin() + oi,
+                            order.end());
+      processed = oi;
+      break;
+    }
+    const std::uint32_t idx = order[oi];
     const QueueEntry& entry = batch[idx];
     auto res = table_.touch(shard, keys[idx], entry.pkt.ts_usec,
                             features.data() + std::size_t{idx} * feature_dim_,
@@ -198,27 +229,28 @@ void ServeEngine::process_shard(std::size_t shard,
     }
     if (res.ready) {
       const FlowView v = table_.view(shard, res.slot);
-      classify_into(v, VerdictReason::kFirstN, delta);
+      classify_into(shard, v, VerdictReason::kFirstN, delta);
       table_.mark_classified(shard, res.slot);
     }
   }
 
-  // 3. Shed-ladder sweeps, most aggressive last. Targets pull occupancy
-  // back to the low watermark so the ladder can actually step down.
+  // 3. Shed-ladder sweeps, most aggressive last (skipped by an aborted
+  // round — bail fast). Targets pull occupancy back to the low watermark
+  // so the ladder can actually step down.
   const auto target = static_cast<std::size_t>(
       cfg_.table_lo * static_cast<double>(table_.shard_capacity()));
-  if (stage >= ShedStage::kEarlyClassify) {
+  if (delta.requeued.empty() && stage >= ShedStage::kEarlyClassify) {
     delta.counters.evicted_early += table_.evict_ready(
         shard, target, cfg_.min_classify_packets, cfg_.early_evict_scan,
         [&](const FlowView& v) {
-          classify_into(v, VerdictReason::kEvictEarly, delta);
+          classify_into(shard, v, VerdictReason::kEvictEarly, delta);
         });
   }
-  if (stage >= ShedStage::kSampleEvict) {
+  if (delta.requeued.empty() && stage >= ShedStage::kSampleEvict) {
     std::size_t forced = 0;
     while (table_.live(shard) > target && forced < cfg_.early_evict_scan) {
       if (!table_.evict_tail(shard, [&](const FlowView& v) {
-            classify_into(v, VerdictReason::kEvictSampled, delta);
+            classify_into(shard, v, VerdictReason::kEvictSampled, delta);
           }))
         break;
       ++forced;
@@ -226,11 +258,13 @@ void ServeEngine::process_shard(std::size_t shard,
     delta.counters.evicted_sampled += forced;
   }
 
-  // 4. Per-packet latency (enqueue -> shard completion). Wall-clock only;
-  // never feeds back into any decision.
+  // 4. Per-packet latency (enqueue -> shard completion) for the packets
+  // this round actually consumed. Wall-clock only; never feeds back into
+  // any decision.
   const std::uint64_t end_ns = now_ns();
-  for (const std::uint32_t idx : order)
-    delta.latency.record(end_ns - std::min(end_ns, batch[idx].enq_ns));
+  for (std::size_t oi = 0; oi < processed; ++oi)
+    delta.latency.record(end_ns -
+                         std::min(end_ns, batch[order[oi]].enq_ns));
 }
 
 std::size_t ServeEngine::pump() {
@@ -299,24 +333,42 @@ std::size_t ServeEngine::pump() {
   virtual_now_usec_.store(round_now, std::memory_order_relaxed);
 
   // Shard phase: one worker per shard, heartbeat per completed shard so
-  // the watchdog can tell a slow round from a stuck one.
+  // the watchdog can tell a slow round from a stuck one, active markers so
+  // it knows WHICH shard to quarantine.
   std::vector<RoundDelta> deltas(shards);
+  round_abort_.store(false, std::memory_order_release);
   round_active_.store(true, std::memory_order_release);
   core::global_pool().parallel_for(0, shards, 1, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t s = lo; s < hi; ++s) {
+      shard_active_[s].store(1, std::memory_order_release);
       process_shard(s, batch, order[s], keys, features, round_now, stage,
                     deltas[s]);
+      shard_active_[s].store(0, std::memory_order_release);
       heartbeat_.fetch_add(1, std::memory_order_relaxed);
     }
   });
   round_active_.store(false, std::memory_order_release);
+
+  // Packets an aborted round skipped go back to the FRONT of the queue in
+  // arrival order, so the restarted round sees the same stream.
+  std::vector<std::uint32_t> requeued;
+  for (RoundDelta& d : deltas)
+    requeued.insert(requeued.end(), d.requeued.begin(), d.requeued.end());
+  if (!requeued.empty()) {
+    std::sort(requeued.begin(), requeued.end());
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    for (auto it = requeued.rbegin(); it != requeued.rend(); ++it)
+      queue_.push_front(std::move(batch[*it]));
+    base.counters.packets_requeued += requeued.size();
+  }
 
   // Malformed/keyless packets complete here; give them a latency sample too.
   const std::uint64_t end_ns = now_ns();
   for (std::size_t i = 0; i < n; ++i)
     if (kind[i] != kOk)
       base.latency.record(end_ns - std::min(end_ns, batch[i].enq_ns));
-  base.counters.packets_processed += n;
+  // Requeued packets will be counted when a later round consumes them.
+  base.counters.packets_processed += n - requeued.size();
   ++base.counters.rounds;
 
   {
@@ -325,6 +377,28 @@ std::size_t ServeEngine::pump() {
     stats_.latency.merge(base.latency);
     merge_deltas(deltas);
     peak_flows_ = std::max<std::uint64_t>(peak_flows_, table_.live_total());
+  }
+
+  // A completed (non-aborted) round is a clean round for every quarantined
+  // shard; two in a row lift the quarantine.
+  if (requeued.empty()) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (quarantined_[s].load(std::memory_order_relaxed) == 0) continue;
+      const std::uint32_t clean =
+          clean_rounds_[s].fetch_add(1, std::memory_order_relaxed) + 1;
+      if (clean >= 2) {
+        quarantined_[s].store(0, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.counters.watchdog_recoveries;
+        }
+        SUGAR_TRACE_COUNT("serve.watchdog.recoveries", 1);
+        std::fprintf(stderr,
+                     "serve: watchdog — shard %zu recovered after %u clean "
+                     "rounds; primary classifier restored\n",
+                     s, clean);
+      }
+    }
   }
   SUGAR_TRACE_COUNT("serve.packets.processed", n);
   SUGAR_TRACE_COUNT("serve.rounds", 1);
@@ -362,7 +436,8 @@ std::size_t ServeEngine::evict_idle_now(std::uint64_t now_usec) {
   for (std::size_t s = 0; s < table_.shard_count(); ++s) {
     evicted += table_.evict_idle(s, now_usec, cfg_.idle_timeout_usec,
                                  [&](const FlowView& v) {
-                                   classify_into(v, VerdictReason::kEvictIdle,
+                                   classify_into(s, v,
+                                                 VerdictReason::kEvictIdle,
                                                  deltas[s]);
                                  });
   }
@@ -378,7 +453,7 @@ void ServeEngine::flush() {
   std::size_t evicted = 0;
   for (std::size_t s = 0; s < table_.shard_count(); ++s)
     evicted += table_.evict_all(s, [&](const FlowView& v) {
-      classify_into(v, VerdictReason::kFlush, deltas[s]);
+      classify_into(s, v, VerdictReason::kFlush, deltas[s]);
     });
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.counters.evicted_flush += evicted;
@@ -424,7 +499,10 @@ void ServeEngine::watchdog_loop() {
   const auto timeout = std::chrono::duration<double>(cfg_.watchdog_timeout_s);
   std::uint64_t last_beat = heartbeat_.load(std::memory_order_relaxed);
   auto last_change = std::chrono::steady_clock::now();
-  bool reported = false;
+  // Escalation within one stall episode: 0 none, 1 flagged (1x timeout),
+  // 2 quarantined (2x), 3 round aborted (4x). Resets when the heartbeat
+  // moves again.
+  int escalation = 0;
   std::unique_lock<std::mutex> lock(watchdog_mu_);
   while (!stop_watchdog_.load(std::memory_order_relaxed)) {
     watchdog_cv_.wait_for(lock, timeout / 4, [this] {
@@ -436,11 +514,12 @@ void ServeEngine::watchdog_loop() {
     if (beat != last_beat || !round_active_.load(std::memory_order_acquire)) {
       last_beat = beat;
       last_change = now;
-      reported = false;
+      escalation = 0;
       continue;
     }
-    if (now - last_change >= timeout && !reported) {
-      reported = true;
+    const auto stalled = now - last_change;
+    if (escalation < 1 && stalled >= timeout) {
+      escalation = 1;
       {
         std::lock_guard<std::mutex> stats_lock(stats_mu_);
         ++stats_.counters.watchdog_stalls;
@@ -451,6 +530,42 @@ void ServeEngine::watchdog_loop() {
                    "a shard worker is not making progress\n",
                    cfg_.watchdog_timeout_s,
                    static_cast<unsigned long long>(beat));
+    }
+    if (escalation < 2 && stalled >= 2 * timeout) {
+      escalation = 2;
+      std::size_t quarantined = 0;
+      for (std::size_t s = 0; s < shard_active_.size(); ++s) {
+        if (shard_active_[s].load(std::memory_order_acquire) != 0 &&
+            quarantined_[s].load(std::memory_order_relaxed) == 0) {
+          clean_rounds_[s].store(0, std::memory_order_relaxed);
+          quarantined_[s].store(1, std::memory_order_relaxed);
+          ++quarantined;
+        }
+      }
+      if (quarantined > 0) {
+        {
+          std::lock_guard<std::mutex> stats_lock(stats_mu_);
+          stats_.counters.watchdog_quarantines += quarantined;
+        }
+        SUGAR_TRACE_COUNT("serve.watchdog.quarantines", quarantined);
+        std::fprintf(stderr,
+                     "serve: watchdog — quarantined %zu stuck shard(s); "
+                     "their flows route to the fallback classifier\n",
+                     quarantined);
+      }
+    }
+    if (escalation < 3 && stalled >= 4 * timeout) {
+      escalation = 3;
+      round_abort_.store(true, std::memory_order_release);
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        ++stats_.counters.watchdog_round_aborts;
+      }
+      SUGAR_TRACE_COUNT("serve.watchdog.round_aborts", 1);
+      std::fprintf(stderr,
+                   "serve: watchdog — forcing round restart after %.1fs; "
+                   "unprocessed packets will be re-queued\n",
+                   4 * cfg_.watchdog_timeout_s);
     }
   }
 }

@@ -32,8 +32,22 @@
 //
 // Supervision: with watchdog_timeout_s > 0 a RunSupervisor-style watchdog
 // thread checks that an in-flight round makes progress (per-shard
-// heartbeat); a stuck shard is reported via counters.watchdog_stalls and a
-// stderr diagnostic instead of hanging the process silently.
+// heartbeat) and escalates through a ladder instead of hanging silently:
+//
+//   1x timeout  flag: counters.watchdog_stalls++ and a stderr diagnostic
+//   2x timeout  quarantine: every shard still mid-round is marked; its
+//               classifications route to cfg.fallback (when present) until
+//               the shard completes two clean rounds
+//   4x timeout  abort: round_abort_ asks shard workers to bail; their
+//               unprocessed packets are re-queued at the front of the
+//               ingest queue in arrival order and re-drained next round
+//
+// Crash tolerance: save_snapshot()/restore_snapshot() (see snapshot.h)
+// checkpoint the full engine state between rounds, so a restored engine
+// replaying from the recorded stream position is bit-identical to one that
+// never crashed. cfg.chaos (core::ChaosInjector) injects deterministic
+// worker stalls, classifier faults and flow-table allocation failures for
+// exercising all of the above.
 #pragma once
 
 #include <atomic>
@@ -50,7 +64,13 @@
 #include "serve/classifier.h"
 #include "serve/flow_features.h"
 #include "serve/flow_table.h"
+#include "serve/snapshot.h"
 #include "serve/stats.h"
+
+namespace sugar::core {
+class ChaosInjector;
+class Io;
+}  // namespace sugar::core
 
 namespace sugar::serve {
 
@@ -109,6 +129,12 @@ struct ServeConfig {
   std::size_t max_recorded_verdicts = 1 << 20;
   /// Test hook invoked inside each shard worker (stall injection).
   std::function<void(std::size_t shard)> shard_hook;
+  /// Degradation target: quarantined shards classify through this instead
+  /// of the primary (counted fallback_classified). Null disables routing.
+  std::shared_ptr<const FlowClassifier> fallback;
+  /// Deterministic fault injection (worker stalls, flow-table allocation
+  /// failures). Not owned; must outlive the engine. Null injects nothing.
+  core::ChaosInjector* chaos = nullptr;
 };
 
 class ServeEngine {
@@ -149,6 +175,39 @@ class ServeEngine {
   /// Moves out the recorded verdicts (record_verdicts mode).
   std::vector<Verdict> take_verdicts();
 
+  /// Checkpoints the full engine state (flows + LRU order, accumulators,
+  /// counters, queue, verdict buffer, stream position) to `path` via
+  /// atomic temp-then-rename. `io` defaults to the real filesystem —
+  /// inject core::ChaosIo to exercise disk faults. Quiesces rounds
+  /// (takes the pump lock); call it between pumps. Defined in snapshot.cpp.
+  SnapshotOutcome save_snapshot(const std::string& path,
+                                core::Io* io = nullptr);
+
+  /// Restores a checkpoint into this engine (whose config must match the
+  /// snapshot's fingerprint). All-or-nothing: the file is parsed and
+  /// validated in full before any state is touched, so a failed restore
+  /// leaves the engine exactly as it was (a counted cold start).
+  SnapshotOutcome restore_snapshot(const std::string& path,
+                                   core::Io* io = nullptr);
+
+  /// Recovery-path bookkeeping (separate from ServeCounters by design).
+  [[nodiscard]] RecoveryStats recovery() const;
+
+  /// Opaque replay cursor persisted in snapshots: the harness records how
+  /// far into its input stream it has offered packets, and resumes from
+  /// here after a restore. The engine itself never interprets it.
+  void set_stream_pos(std::uint64_t pos) {
+    stream_pos_.store(pos, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t stream_pos() const {
+    return stream_pos_.load(std::memory_order_relaxed);
+  }
+
+  /// True while shard `s` routes classifications to cfg.fallback.
+  [[nodiscard]] bool quarantined(std::size_t s) const {
+    return quarantined_[s].load(std::memory_order_relaxed) != 0;
+  }
+
  private:
   struct QueueEntry {
     net::Packet pkt;
@@ -160,6 +219,7 @@ class ServeEngine {
     ServeCounters counters;
     LatencyHistogram latency;
     std::vector<Verdict> verdicts;
+    std::vector<std::uint32_t> requeued;  // batch indices an abort skipped
   };
 
   void process_shard(std::size_t shard, const std::vector<QueueEntry>& batch,
@@ -168,7 +228,8 @@ class ServeEngine {
                      const std::vector<float>& features,
                      std::uint64_t round_now, ShedStage stage,
                      RoundDelta& delta);
-  void classify_into(const FlowView& v, VerdictReason reason, RoundDelta& delta);
+  void classify_into(std::size_t shard, const FlowView& v,
+                     VerdictReason reason, RoundDelta& delta);
   ShedStage evaluate_stage(std::size_t queued, std::size_t live);
   void merge_deltas(std::vector<RoundDelta>& deltas);
   void watchdog_loop();
@@ -197,13 +258,22 @@ class ServeEngine {
   std::atomic<std::uint32_t> stage_{0};
   std::uint64_t peak_flows_ = 0;  // under stats_mu_
 
-  // Watchdog.
+  // Watchdog + escalation ladder.
   std::atomic<std::uint64_t> heartbeat_{0};
   std::atomic<bool> round_active_{false};
   std::atomic<bool> stop_watchdog_{false};
   std::condition_variable watchdog_cv_;
   std::mutex watchdog_mu_;
   std::thread watchdog_;
+  std::vector<std::atomic<std::uint8_t>> shard_active_;   // mid-round markers
+  std::vector<std::atomic<std::uint8_t>> quarantined_;    // fallback routing
+  std::vector<std::atomic<std::uint32_t>> clean_rounds_;  // toward recovery
+  std::atomic<bool> round_abort_{false};  // cooperative round restart
+
+  // Crash tolerance (snapshot.cpp).
+  std::atomic<std::uint64_t> stream_pos_{0};
+  mutable std::mutex recovery_mu_;
+  RecoveryStats recovery_;
 };
 
 }  // namespace sugar::serve

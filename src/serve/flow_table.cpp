@@ -69,7 +69,7 @@ ShardedFlowTable::TouchResult ShardedFlowTable::touch(std::size_t shard,
       res.status = TouchStatus::kNotAdmitted;
       return res;
     }
-    if (s.live >= per_shard_cap_) {
+    if (s.live >= per_shard_cap_ || (cfg_.alloc_fault && cfg_.alloc_fault())) {
       res.status = TouchStatus::kFull;
       return res;
     }
@@ -207,6 +207,57 @@ std::size_t ShardedFlowTable::evict_all(std::size_t shard, const EvictFn& fn) {
     ++evicted;
   }
   return evicted;
+}
+
+void ShardedFlowTable::for_each_lru(
+    std::size_t shard, const std::function<void(const FlowRecord&)>& fn) const {
+  const Shard& s = shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  FlowRecord rec;
+  for (std::uint32_t i = s.lru_tail; i != kNil; i = s.slots[i].lru_prev) {
+    const Slot& slot = s.slots[i];
+    rec.key = slot.key;
+    rec.first_ts_usec = slot.first_ts_usec;
+    rec.last_ts_usec = slot.last_ts_usec;
+    rec.packets = slot.packets;
+    rec.feature_packets = slot.feature_packets;
+    rec.classified = slot.classified;
+    const float* acc = s.features.data() + std::size_t{i} * cfg_.feature_dim;
+    rec.feature_sum.assign(acc, acc + cfg_.feature_dim);
+    fn(rec);
+  }
+}
+
+bool ShardedFlowTable::restore_flow(std::size_t shard, const FlowRecord& record) {
+  if (record.feature_sum.size() != cfg_.feature_dim) return false;
+  Shard& s = shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.live >= per_shard_cap_) return false;
+  if (s.index.count(record.key)) return false;
+  std::uint32_t i;
+  if (!s.free.empty()) {
+    i = s.free.back();
+    s.free.pop_back();
+  } else {
+    i = static_cast<std::uint32_t>(s.slots.size());
+    s.slots.emplace_back();
+    s.features.resize(s.slots.size() * cfg_.feature_dim, 0.0f);
+  }
+  Slot& slot = s.slots[i];
+  slot = Slot{};
+  slot.key = record.key;
+  slot.first_ts_usec = record.first_ts_usec;
+  slot.last_ts_usec = record.last_ts_usec;
+  slot.packets = record.packets;
+  slot.feature_packets = record.feature_packets;
+  slot.classified = record.classified;
+  slot.live = true;
+  std::copy(record.feature_sum.begin(), record.feature_sum.end(),
+            s.features.data() + std::size_t{i} * cfg_.feature_dim);
+  s.index.emplace(record.key, i);
+  ++s.live;
+  lru_push_head(s, i);
+  return true;
 }
 
 std::size_t ShardedFlowTable::live(std::size_t shard) const {

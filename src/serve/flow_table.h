@@ -34,6 +34,22 @@ struct FlowTableConfig {
   std::size_t feature_dim = 0;
   /// Packets accumulated into the feature sum before it freezes.
   std::size_t classify_at = 8;
+  /// Chaos hook: when set and returning true, the next slot creation fails
+  /// as if the shard were at capacity (TouchStatus::kFull). Consulted only
+  /// on the create path, so resident flows are never affected.
+  std::function<bool()> alloc_fault;
+};
+
+/// Full state of one resident flow (snapshot serialization) — FlowView plus
+/// the LRU-order context a restore needs to rebuild the table exactly.
+struct FlowRecord {
+  net::FlowKey key;
+  std::uint64_t first_ts_usec = 0;
+  std::uint64_t last_ts_usec = 0;
+  std::uint32_t packets = 0;
+  std::uint32_t feature_packets = 0;
+  bool classified = false;
+  std::vector<float> feature_sum;  // feature_dim floats
 };
 
 /// Read-only view of one resident or just-evicted flow.
@@ -123,6 +139,20 @@ class ShardedFlowTable {
 
   [[nodiscard]] std::size_t live(std::size_t shard) const;
   [[nodiscard]] std::size_t live_total() const;
+
+  /// Visits every resident flow of a shard in LRU tail→head order (coldest
+  /// first) under the shard lock. Replaying the records through
+  /// restore_flow() in the same order rebuilds the identical LRU chain,
+  /// because each restore inserts at the head.
+  void for_each_lru(std::size_t shard,
+                    const std::function<void(const FlowRecord&)>& fn) const;
+
+  /// Re-inserts a snapshotted flow at the LRU head (so a tail→head replay
+  /// reproduces the original order). False when the shard is at capacity,
+  /// the key is already resident, or the record's feature width disagrees
+  /// with the table's — a config-mismatch restore must fail loudly, not
+  /// truncate accumulators.
+  bool restore_flow(std::size_t shard, const FlowRecord& record);
 
  private:
   struct Slot {

@@ -3,18 +3,40 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <limits>
 
 namespace sugar::serve {
 
+namespace {
+
+std::uint64_t saturating_add(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  return a > max - b ? max : a + b;
+}
+
+}  // namespace
+
+std::size_t LatencyHistogram::bucket_of(std::uint64_t ns) {
+  return std::min<std::size_t>(kBuckets - 1,
+                               static_cast<std::size_t>(std::bit_width(ns)));
+}
+
 void LatencyHistogram::record(std::uint64_t ns) {
-  counts_[std::min<std::size_t>(kBuckets - 1,
-                                static_cast<std::size_t>(std::bit_width(ns)))]++;
-  ++total_;
+  counts_[bucket_of(ns)] = saturating_add(counts_[bucket_of(ns)], 1);
+  total_ = saturating_add(total_, 1);
 }
 
 void LatencyHistogram::merge(const LatencyHistogram& other) {
-  for (std::size_t b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
-  total_ += other.total_;
+  for (std::size_t b = 0; b < kBuckets; ++b)
+    counts_[b] = saturating_add(counts_[b], other.counts_[b]);
+  total_ = saturating_add(total_, other.total_);
+}
+
+void LatencyHistogram::restore(
+    const std::array<std::uint64_t, kBuckets>& counts) {
+  counts_ = counts;
+  total_ = 0;
+  for (std::uint64_t c : counts_) total_ = saturating_add(total_, c);
 }
 
 double LatencyHistogram::quantile_ns(double q) const {
@@ -73,6 +95,11 @@ constexpr CounterField kCounterFields[] = {
     {"shed_stage_exits", &ServeCounters::shed_stage_exits},
     {"rounds", &ServeCounters::rounds},
     {"watchdog_stalls", &ServeCounters::watchdog_stalls},
+    {"watchdog_quarantines", &ServeCounters::watchdog_quarantines},
+    {"watchdog_recoveries", &ServeCounters::watchdog_recoveries},
+    {"watchdog_round_aborts", &ServeCounters::watchdog_round_aborts},
+    {"packets_requeued", &ServeCounters::packets_requeued},
+    {"fallback_classified", &ServeCounters::fallback_classified},
 };
 
 }  // namespace
@@ -91,6 +118,20 @@ core::Json ServeCounters::to_json() const {
 bool ServeCounters::monotone_le(const ServeCounters& later) const {
   for (const auto& f : kCounterFields)
     if (later.*f.member < this->*f.member) return false;
+  return true;
+}
+
+std::vector<std::uint64_t> ServeCounters::to_values() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(std::size(kCounterFields));
+  for (const auto& f : kCounterFields) out.push_back(this->*f.member);
+  return out;
+}
+
+bool ServeCounters::from_values(const std::vector<std::uint64_t>& values) {
+  if (values.size() != std::size(kCounterFields)) return false;
+  std::size_t i = 0;
+  for (const auto& f : kCounterFields) this->*f.member = values[i++];
   return true;
 }
 

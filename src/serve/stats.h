@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "core/artifact.h"
 
@@ -16,7 +17,10 @@ namespace sugar::serve {
 /// Power-of-two latency buckets: bucket b counts samples with
 /// 2^(b-1) <= ns < 2^b (bucket 0 is [0,1)). 64 buckets cover every
 /// representable duration, so record() can never overflow or allocate —
-/// safe to call on the per-packet hot path.
+/// safe to call on the per-packet hot path. Bucket and total counts
+/// accumulate saturating at UINT64_MAX: a chaos-injected latency storm can
+/// pin the top of a bucket but can never wrap it around and silently
+/// reshape the percentiles.
 class LatencyHistogram {
  public:
   static constexpr std::size_t kBuckets = 64;
@@ -24,9 +28,23 @@ class LatencyHistogram {
   void record(std::uint64_t ns);
   void merge(const LatencyHistogram& other);
 
+  /// Bucket a sample lands in: bit_width(ns) clamped to the top bucket.
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t ns);
+
   [[nodiscard]] std::uint64_t count() const { return total_; }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t b) const {
+    return counts_[b];
+  }
   /// Quantile estimate (geometric bucket midpoint); 0 when empty.
   [[nodiscard]] double quantile_ns(double q) const;
+
+  /// Raw bucket array (snapshot serialization).
+  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets() const {
+    return counts_;
+  }
+  /// Replaces the whole histogram (snapshot restore); total is recomputed
+  /// (saturating) from the buckets so the two can never disagree.
+  void restore(const std::array<std::uint64_t, kBuckets>& counts);
 
   /// {count, p50_us, p90_us, p99_us, p999_us, max_bucket_us}.
   [[nodiscard]] core::Json to_json() const;
@@ -63,11 +81,26 @@ struct ServeCounters {
   std::uint64_t shed_stage_exits = 0;      // downward stage transitions
   std::uint64_t rounds = 0;                // pump() batches completed
   std::uint64_t watchdog_stalls = 0;
+  // Watchdog escalation ladder (zero unless the watchdog is enabled, so
+  // they never perturb the bit-identity contract).
+  std::uint64_t watchdog_quarantines = 0;  // shards routed to the fallback
+  std::uint64_t watchdog_recoveries = 0;   // quarantines lifted
+  std::uint64_t watchdog_round_aborts = 0; // forced round restarts
+  std::uint64_t packets_requeued = 0;      // re-enqueued by an aborted round
+  std::uint64_t fallback_classified = 0;   // verdicts from the fallback path
 
   void merge(const ServeCounters& other);
   [[nodiscard]] core::Json to_json() const;
   /// True when every counter of `later` is >= the matching one here.
   [[nodiscard]] bool monotone_le(const ServeCounters& later) const;
+
+  /// Counter values in declaration order (snapshot serialization). The
+  /// field table in stats.cpp drives this, so a new counter is picked up
+  /// automatically.
+  [[nodiscard]] std::vector<std::uint64_t> to_values() const;
+  /// Inverse of to_values(); false when `values` has the wrong arity (a
+  /// snapshot from a different counter-set version).
+  bool from_values(const std::vector<std::uint64_t>& values);
 };
 
 /// Point-in-time gauges (not monotone).

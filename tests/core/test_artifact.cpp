@@ -6,6 +6,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "core/chaos.h"
+
 namespace sugar::core {
 namespace {
 
@@ -110,6 +112,51 @@ TEST_F(ArtifactFiles, AtomicWriteFailureLeavesTargetIntact) {
   EXPECT_FALSE(atomic_write_file(bad.string(), "new", &error));
   EXPECT_FALSE(error.empty());
   EXPECT_EQ(read_file(target), "original");
+}
+
+TEST_F(ArtifactFiles, AtomicWriteThroughInjectedIoFaults) {
+  auto target = dir_ / "out.json";
+  std::string error;
+  ASSERT_TRUE(atomic_write_file(target.string(), "original", &error));
+
+  // Disk full at the temp-write step: the committed target is untouched.
+  {
+    ChaosConfig cfg;
+    cfg.enabled = true;
+    cfg.seed = 1;
+    cfg.with(ChaosSite::kIoWriteFail, 1.0);
+    ChaosInjector chaos(cfg);
+    ChaosIo io(chaos);
+    error.clear();
+    EXPECT_FALSE(atomic_write_file(target.string(), "new", &error, &io));
+    EXPECT_FALSE(error.empty());
+    EXPECT_EQ(read_file(target), "original");
+  }
+
+  // Rename (commit) failure: the target keeps its previous content — the
+  // whole point of temp-then-rename.
+  {
+    ChaosConfig cfg;
+    cfg.enabled = true;
+    cfg.seed = 1;
+    cfg.with(ChaosSite::kIoRenameFail, 1.0);
+    ChaosInjector chaos(cfg);
+    ChaosIo io(chaos);
+    error.clear();
+    EXPECT_FALSE(atomic_write_file(target.string(), "new", &error, &io));
+    EXPECT_EQ(read_file(target), "original");
+  }
+
+  // A clean injected run behaves exactly like the real filesystem.
+  {
+    ChaosConfig cfg;  // enabled but all probabilities zero
+    cfg.enabled = true;
+    cfg.seed = 1;
+    ChaosInjector chaos(cfg);
+    ChaosIo io(chaos);
+    EXPECT_TRUE(atomic_write_file(target.string(), "new", &error, &io));
+    EXPECT_EQ(read_file(target), "new");
+  }
 }
 
 TEST_F(ArtifactFiles, LoadJsonlSkipsTornTrailingLine) {

@@ -1,0 +1,108 @@
+// LatencyHistogram bucket geometry and saturation, plus the ServeCounters
+// value-vector round trip the snapshot codec depends on. The bucket
+// boundaries are pinned explicitly: bucket b holds [2^(b-1), 2^b), so a
+// refactor that shifts the mapping (and silently reshapes every latency
+// percentile in the artifact record) fails here first.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "serve/stats.h"
+
+namespace sugar::serve {
+namespace {
+
+constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+
+TEST(LatencyHistogram, BucketBoundariesArePowersOfTwo) {
+  // Bucket 0 is [0, 1); every later bucket b is [2^(b-1), 2^b).
+  EXPECT_EQ(LatencyHistogram::bucket_of(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1), 1u);
+  for (std::size_t b = 1; b < 63; ++b) {
+    const std::uint64_t lo = std::uint64_t{1} << (b - 1);
+    const std::uint64_t hi = (std::uint64_t{1} << b) - 1;
+    EXPECT_EQ(LatencyHistogram::bucket_of(lo), b) << "lower edge of " << b;
+    EXPECT_EQ(LatencyHistogram::bucket_of(hi), b) << "upper edge of " << b;
+    EXPECT_EQ(LatencyHistogram::bucket_of(hi + 1), b + 1) << "past " << b;
+  }
+}
+
+TEST(LatencyHistogram, TopBucketAbsorbsEverything) {
+  EXPECT_EQ(LatencyHistogram::bucket_of(std::uint64_t{1} << 63),
+            LatencyHistogram::kBuckets - 1);
+  EXPECT_EQ(LatencyHistogram::bucket_of(kMax), LatencyHistogram::kBuckets - 1);
+}
+
+TEST(LatencyHistogram, RecordLandsInItsBucket) {
+  LatencyHistogram h;
+  h.record(0);
+  h.record(1);
+  h.record(1023);   // bucket 10
+  h.record(1024);   // bucket 11
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(10), 1u);
+  EXPECT_EQ(h.bucket_count(11), 1u);
+}
+
+TEST(LatencyHistogram, RecordSaturatesAtTop) {
+  LatencyHistogram h;
+  std::array<std::uint64_t, LatencyHistogram::kBuckets> counts{};
+  counts[3] = kMax;
+  h.restore(counts);
+  EXPECT_EQ(h.bucket_count(3), kMax);
+  EXPECT_EQ(h.count(), kMax);
+  h.record(5);  // bucket 3 again: both the bucket and the total must pin
+  EXPECT_EQ(h.bucket_count(3), kMax);
+  EXPECT_EQ(h.count(), kMax);
+}
+
+TEST(LatencyHistogram, MergeSaturatesPerBucket) {
+  LatencyHistogram a, b;
+  std::array<std::uint64_t, LatencyHistogram::kBuckets> counts{};
+  counts[7] = kMax - 1;
+  a.restore(counts);
+  b.record(100);  // bucket 7
+  b.record(100);
+  a.merge(b);
+  EXPECT_EQ(a.bucket_count(7), kMax);
+  EXPECT_EQ(a.count(), kMax);
+}
+
+TEST(LatencyHistogram, RestoreRecomputesTotalSaturating) {
+  LatencyHistogram h;
+  std::array<std::uint64_t, LatencyHistogram::kBuckets> counts{};
+  counts[0] = kMax;
+  counts[1] = 17;  // sum would wrap; total must clamp instead
+  h.restore(counts);
+  EXPECT_EQ(h.count(), kMax);
+  EXPECT_EQ(h.bucket_count(1), 17u);
+}
+
+TEST(ServeCounters, ValuesRoundTrip) {
+  ServeCounters c;
+  c.packets_offered = 10;
+  c.flows_created = 3;
+  c.watchdog_quarantines = 2;
+  c.fallback_classified = 5;
+  ServeCounters restored;
+  ASSERT_TRUE(restored.from_values(c.to_values()));
+  EXPECT_TRUE(c.monotone_le(restored) && restored.monotone_le(c));
+  EXPECT_EQ(restored.watchdog_quarantines, 2u);
+  EXPECT_EQ(restored.fallback_classified, 5u);
+}
+
+TEST(ServeCounters, FromValuesRejectsWrongArity) {
+  ServeCounters c;
+  auto values = c.to_values();
+  values.pop_back();
+  EXPECT_FALSE(c.from_values(values));
+  values.push_back(0);
+  values.push_back(0);
+  EXPECT_FALSE(c.from_values(values));
+}
+
+}  // namespace
+}  // namespace sugar::serve
