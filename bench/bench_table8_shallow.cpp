@@ -36,5 +36,39 @@ int main(int argc, char** argv) {
   core::print_table(
       "Table 8 — Shallow baselines on header features (per-flow split, macro F1)",
       table);
+
+  // Forest-size ladder: the quantize-once histogram substrate is what makes
+  // bigger forests affordable inside the same per-cell wall budget
+  // (--cell-timeout-s). 1x/4x/10x the default tree count on VPN-app base
+  // features, each cell under the supervisor watchdog with the tree count
+  // in its journal key.
+  core::MarkdownTable ladder{{"Forest", "VPN-app base F1", "train s"}};
+  for (int mult : {1, 4, 10}) {
+    const int trees = 40 * mult;
+    core::ScenarioOptions opts;
+    opts.split = dataset::SplitPolicy::PerFlow;
+    opts.forest_trees = trees;
+    core::CellSpec spec{
+        "table8", "RF x" + std::to_string(mult),
+        "VPN-app base (" + std::to_string(trees) + " trees)",
+        core::generic_cell_key(
+            {"shallow_ladder", "RF", dataset::to_string(dataset::TaskId::VpnApp),
+             dataset::to_string(opts.split), "ip", std::to_string(opts.seed),
+             std::to_string(trees)})};
+    auto outcome = sup.run_cell(spec, [&](core::CellContext& ctx) {
+      core::ScenarioOptions o = opts;
+      ctx.apply(o);
+      return core::summarize(core::run_shallow_scenario(
+          env, dataset::TaskId::VpnApp, core::ShallowKind::RandomForest, true,
+          o));
+    });
+    char secs[32];
+    std::snprintf(secs, sizeof secs, "%.2f", outcome.summary.train_seconds);
+    ladder.add_row({"RF x" + std::to_string(mult) + " (" +
+                        std::to_string(trees) + " trees)",
+                    bench::cell_pct_f1(outcome), secs});
+  }
+  core::print_table("Table 8b — Forest-size ladder (binned histogram training)",
+                    ladder);
   return sup.finalize() ? 0 : 1;
 }

@@ -13,6 +13,11 @@
 #                               bench_serve load ladder + fault matrix at
 #                               smoke scale, and the serve concurrency
 #                               stress under TSan
+#   scripts/check.sh trees      histogram-tree matrix: binned/tree/forest/
+#                               gbdt unit tests swept at SUGAR_THREADS=1/2/7
+#                               plus the tree_compare perf gate (legacy vs
+#                               BinnedMatrix speedup >= 1, digests identical
+#                               across pool widths, json_check'd artifact)
 #   scripts/check.sh crash      crash-tolerance matrix: the chaos label
 #                               (snapshot kill/restore/replay determinism,
 #                               corruption corpus, breaker, watchdog) swept
@@ -98,6 +103,23 @@ serve() {
   run ctest --test-dir build-tsan --output-on-failure -R serve_stress
 }
 
+trees() {
+  configure_build build-check
+  # The histogram-tree substrate's determinism contract: quantization,
+  # sibling subtraction, and the forest/GBDT fit digests must be identical
+  # at every pool width. The unit tests pin widths internally; the ambient
+  # sweep on top catches any width assumption they missed.
+  for threads in 1 2 7; do
+    SUGAR_THREADS="$threads" run ctest --test-dir build-check \
+        --output-on-failure \
+        -R 'BinnedMatrix|DecisionTree|RandomForest|Gbdt|ParallelDeterminism'
+  done
+  # Legacy vs binned engine head-to-head: fit speedup >= 1 and the
+  # accuracy delta stamped, enforced by json_check on the artifact.
+  run ctest --test-dir build-check --output-on-failure \
+      -R 'tree_compare|tree_compare_json'
+}
+
 crash() {
   configure_build build-check
   # Crash-recovery determinism is part of the bit-identity contract, so the
@@ -120,18 +142,20 @@ case "$MODE" in
   sanitize) sanitize ;;
   bench) bench ;;
   trace) trace ;;
+  trees) trees ;;
   serve) serve ;;
   crash) crash ;;
   all)
     plain
     bench
     trace
+    trees
     serve
     crash
     sanitize
     ;;
   *)
-    echo "usage: scripts/check.sh [quick|sanitize|bench|trace|serve|crash|all]" >&2
+    echo "usage: scripts/check.sh [quick|sanitize|bench|trace|trees|serve|crash|all]" >&2
     exit 2
     ;;
 esac

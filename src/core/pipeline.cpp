@@ -324,6 +324,7 @@ ShallowResult run_shallow_scenario(BenchmarkEnv& env, dataset::TaskId task,
     case ShallowKind::RandomForest: {
       ml::ForestConfig cfg;
       cfg.cancel = opts.cancel;
+      if (opts.forest_trees > 0) cfg.num_trees = opts.forest_trees;
       ml::RandomForest rf(cfg);
       rf.fit(x_train, parts.train.label, ds.num_classes);
       result.train_seconds = seconds_since(t0);

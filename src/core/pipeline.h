@@ -32,6 +32,9 @@ struct ScenarioOptions {
   /// When set, test embeddings (subsampled) are exported for Fig-4-style
   /// purity analysis.
   std::size_t export_embeddings = 0;
+  /// Random-forest tree count override for scaling ladders (0 = the
+  /// ForestConfig default). Cells varying this must put it in their key.
+  int forest_trees = 0;
 
   // --- Runtime knobs set by the supervisor, excluded from journal keys. ---
   /// Learning-rate multiplier; the divergence retry halves it per attempt.

@@ -1,0 +1,87 @@
+// Quantize-once feature binning for histogram tree training. A
+// BinnedMatrix is built ONCE per dataset (per forest / GBDT fit): every
+// feature column is summarized by a deterministic merge-based quantile
+// sketch, cut points are extracted at evenly spaced quantile ranks, and
+// each (row, feature) value is quantized to a uint8 bin code stored
+// column-major. Tree building then accumulates per-node histograms by
+// indexing codes directly — no per-node std::upper_bound binary search,
+// and no per-tree re-derivation of cut points.
+//
+// Determinism: the sketch is a pure function of the column values in row
+// order (no RNG, no thread-count dependence — features are quantized in
+// parallel but each feature's sketch is computed sequentially by one
+// block), so the same Matrix always yields the same cuts and codes at any
+// SUGAR_THREADS value.
+//
+// Bin semantics match the tree's strict '<' partition convention: code b
+// holds values in [cuts[b-1], cuts[b]); a split "after bin b" uses
+// threshold cuts[b], sending exactly the rows with value < cuts[b] (codes
+// <= b) to the left child. Values equal to a cut belong to the bin to its
+// RIGHT.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace sugar::ml {
+
+/// Bin index of `v` under the strict '<' convention: the number of cuts
+/// <= v (std::upper_bound). cuts must be sorted ascending and distinct.
+int quantize_bin(const std::vector<float>& cuts, float v);
+
+class BinnedMatrix {
+ public:
+  /// Codes can index at most 256 bins (uint8 storage).
+  static constexpr int kMaxBins = 256;
+
+  BinnedMatrix() = default;
+
+  /// Quantizes `x` with at most `bins` bins per feature (clamped to
+  /// [2, kMaxBins]). Features are processed in parallel on the global
+  /// thread pool; the result is identical at any pool width.
+  BinnedMatrix(const Matrix& x, int bins);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  /// Configured maximum bin count (the uniform histogram stride).
+  [[nodiscard]] int bins() const { return bins_; }
+
+  /// Actual bin count of feature f: cuts(f).size() + 1. Constant columns
+  /// have one bin (no cuts) and can never be split.
+  [[nodiscard]] int bin_count(std::size_t f) const {
+    return static_cast<int>(cuts_[f].size()) + 1;
+  }
+
+  /// Ascending distinct cut points of feature f (actual data values, so
+  /// split thresholds stay on the raw-float scale and predict() is
+  /// untouched).
+  [[nodiscard]] const std::vector<float>& cuts(std::size_t f) const {
+    return cuts_[f];
+  }
+
+  /// Split threshold after bin b of feature f (rows with code <= b go
+  /// left under the strict '<' partition).
+  [[nodiscard]] float threshold(std::size_t f, int b) const {
+    return cuts_[f][static_cast<std::size_t>(b)];
+  }
+
+  /// Column of bin codes for feature f, length rows(). Columns start on
+  /// 64-byte boundaries (the stride pads rows() up).
+  [[nodiscard]] const std::uint8_t* codes(std::size_t f) const {
+    return codes_.data() + f * stride_;
+  }
+
+  /// Total bytes held by the code store (observability).
+  [[nodiscard]] std::size_t code_bytes() const { return codes_.size(); }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::size_t stride_ = 0;  // rows_ rounded up to 64
+  int bins_ = 0;
+  std::vector<std::vector<float>> cuts_;
+  std::vector<std::uint8_t, AlignedAllocator<std::uint8_t>> codes_;
+};
+
+}  // namespace sugar::ml

@@ -6,6 +6,7 @@
 
 #include "core/threadpool.h"
 #include "core/trace.h"
+#include "ml/binned.h"
 
 namespace sugar::ml {
 namespace {
@@ -37,6 +38,16 @@ void RandomForest::fit(const Matrix& x, const std::vector<int>& y, int num_class
   std::size_t n = x.rows();
   std::size_t bag = static_cast<std::size_t>(cfg_.bag_fraction * static_cast<double>(n));
 
+  // Quantize once per fit: every tree shares the same bin codes and cut
+  // points, so per-tree compute_cuts (and its row-sample shuffle) is gone.
+  // Built before the per-tree loop so quantization itself parallelizes.
+  BinnedMatrix binned;
+  const BinnedMatrix* bm = nullptr;
+  if (cfg_.binned && n > 0) {
+    binned = BinnedMatrix(x, tree_cfg.histogram_bins);
+    bm = &binned;
+  }
+
   core::global_pool().parallel_for(
       0, trees_.size(), 1, [&](std::size_t t0, std::size_t t1) {
         for (std::size_t t = t0; t < t1; ++t) {
@@ -45,7 +56,7 @@ void RandomForest::fit(const Matrix& x, const std::vector<int>& y, int num_class
           std::uniform_int_distribution<std::size_t> pick(0, n == 0 ? 0 : n - 1);
           std::vector<std::uint32_t> rows(bag);
           for (auto& r : rows) r = static_cast<std::uint32_t>(pick(rng));
-          trees_[t].fit_classifier(x, y, num_classes, tree_cfg, rng, &rows);
+          trees_[t].fit_classifier(x, y, num_classes, tree_cfg, rng, &rows, bm);
         }
       });
 }

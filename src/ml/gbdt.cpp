@@ -4,6 +4,8 @@
 #include <cmath>
 #include <random>
 
+#include "ml/binned.h"
+
 namespace sugar::ml {
 
 void GradientBoosting::fit(const Matrix& x, const std::vector<int>& y,
@@ -22,6 +24,17 @@ void GradientBoosting::fit(const Matrix& x, const std::vector<int>& y,
   rounds_used_ = rounds;
 
   std::size_t n = x.rows();
+
+  // Quantize once: all rounds × classes share the bin codes. GBDT splits
+  // consider every feature, so trees also get sibling-subtraction
+  // histograms over the whole-feature slot layout.
+  BinnedMatrix binned;
+  const BinnedMatrix* bm = nullptr;
+  if (cfg_.binned && n > 0) {
+    binned = BinnedMatrix(x, tree_cfg.histogram_bins);
+    bm = &binned;
+  }
+
   // Current margins F [n×outputs].
   Matrix margins(n, static_cast<std::size_t>(num_outputs_));
   Matrix probs;  // softmax scratch, reused every round
@@ -39,7 +52,7 @@ void GradientBoosting::fit(const Matrix& x, const std::vector<int>& y,
         hess[i] = std::max(p * (1.0f - p), 1e-6f);
       }
       DecisionTree tree;
-      tree.fit_regression(x, grad, hess, tree_cfg, rng);
+      tree.fit_regression(x, grad, hess, tree_cfg, rng, nullptr, bm);
       for (std::size_t i = 0; i < n; ++i)
         margins(i, 0) += cfg_.learning_rate * tree.predict_value(x.row(i));
       trees_.push_back(std::move(tree));
@@ -54,7 +67,7 @@ void GradientBoosting::fit(const Matrix& x, const std::vector<int>& y,
           hess[i] = std::max(p * (1.0f - p), 1e-6f);
         }
         DecisionTree tree;
-        tree.fit_regression(x, grad, hess, tree_cfg, rng);
+        tree.fit_regression(x, grad, hess, tree_cfg, rng, nullptr, bm);
         for (std::size_t i = 0; i < n; ++i)
           margins(i, static_cast<std::size_t>(k)) +=
               cfg_.learning_rate * tree.predict_value(x.row(i));

@@ -20,6 +20,10 @@ struct GbdtConfig {
   GbdtGrowth growth = GbdtGrowth::DepthWise;
   TreeConfig tree;
   std::uint64_t seed = 23;
+  /// Quantize the feature matrix once per fit (ml::BinnedMatrix), shared
+  /// by every round's trees; sibling-subtraction histograms apply since
+  /// GBDT splits consider all features. Off = legacy per-tree binning.
+  bool binned = true;
   /// Cap on rounds*classes to keep many-class tasks tractable; rounds is
   /// reduced when classes are many (0 = no cap).
   int max_total_trees = 2000;

@@ -2,26 +2,36 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <numeric>
 #include <queue>
+#include <unordered_map>
 
 #include "core/simd.h"
+#include "core/threadpool.h"
+#include "ml/binned.h"
 
 namespace sugar::ml {
 namespace {
 
 /// Per-feature histogram cut points computed from (a sample of) the data.
+/// Legacy per-tree path only — forest/GBDT fits share a BinnedMatrix and
+/// never call this.
 std::vector<std::vector<float>> compute_cuts(const Matrix& x,
                                              const std::vector<std::uint32_t>& rows,
                                              int bins, std::mt19937_64& rng) {
   std::size_t d = x.cols();
   std::vector<std::vector<float>> cuts(d);
-  // Sample rows to bound quantile cost.
-  std::vector<std::uint32_t> sample = rows;
+  // Sample rows to bound quantile cost. std::sample draws kMaxSample
+  // indices in one O(n) pass — no copy + full shuffle of the row vector.
   constexpr std::size_t kMaxSample = 4096;
-  if (sample.size() > kMaxSample) {
-    std::shuffle(sample.begin(), sample.end(), rng);
-    sample.resize(kMaxSample);
+  std::vector<std::uint32_t> sample;
+  if (rows.size() > kMaxSample) {
+    sample.reserve(kMaxSample);
+    std::sample(rows.begin(), rows.end(), std::back_inserter(sample), kMaxSample,
+                rng);
+  } else {
+    sample = rows;
   }
   std::vector<float> vals(sample.size());
   for (std::size_t f = 0; f < d; ++f) {
@@ -38,11 +48,6 @@ std::vector<std::vector<float>> compute_cuts(const Matrix& x,
   return cuts;
 }
 
-int bin_of(const std::vector<float>& cuts, float v) {
-  return static_cast<int>(std::upper_bound(cuts.begin(), cuts.end(), v) -
-                          cuts.begin());
-}
-
 double gini_from_counts(const std::vector<double>& counts, double total) {
   if (total <= 0) return 0;
   // Strided-8 sum-of-squares (core/simd.h spec): same result on every
@@ -50,6 +55,10 @@ double gini_from_counts(const std::vector<double>& counts, double total) {
   double s = core::simd::sum_squares_f64(counts.data(), counts.size());
   return 1.0 - s / (total * total);
 }
+
+/// Flat 64-byte-aligned histogram storage (class counts or g/h/count
+/// triples per bin).
+using F64Buffer = std::vector<double, AlignedAllocator<double>>;
 
 }  // namespace
 
@@ -65,7 +74,8 @@ struct DecisionTree::BuildContext {
   TreeConfig cfg;
   std::mt19937_64* rng = nullptr;
   std::vector<std::uint32_t> rows;  // working index buffer (partitioned in place)
-  std::vector<std::vector<float>> cuts;
+  std::vector<std::vector<float>> cuts;  // legacy path only (binned == nullptr)
+  const BinnedMatrix* binned = nullptr;  // quantize-once codes, shared per fit
 
   [[nodiscard]] bool regression() const { return grad != nullptr; }
 };
@@ -102,11 +112,77 @@ void DecisionTree::build(BuildContext& ctx) {
           ? std::min<std::size_t>(static_cast<std::size_t>(cfg.features_per_split), d)
           : d;
 
-  // Scratch histograms.
-  int bins = cfg.histogram_bins;
-  std::vector<double> cls_counts;  // [bins+1][classes] classification
-  std::vector<double> bin_g, bin_h;
-  std::vector<std::size_t> bin_n;
+  // Histogram geometry. With a BinnedMatrix every feature slot has a
+  // uniform stride (`slot` doubles) so whole-tree buffers stay flat:
+  //   classification: hist[(s*bins + code)*k + class]  counts
+  //   regression:     hist[(s*bins + code)*3 + {0,1,2}] = {g, h, count}
+  const BinnedMatrix* bm = ctx.binned;
+  const std::size_t k = static_cast<std::size_t>(std::max(ctx.num_classes, 1));
+  const std::size_t slot_vals = ctx.regression() ? 3 : k;
+  const std::size_t slot =
+      bm ? static_cast<std::size_t>(bm->bins()) * slot_vals : 0;
+  // Sibling subtraction needs parent and children to share the same feature
+  // set, so it only pays when every split considers all features (GBDT).
+  // Feature-sampled fits (forest) accumulate just the sampled slots per
+  // node instead, which is cheaper than d-wide histograms they'd mostly
+  // never sweep.
+  const bool subtract_mode =
+      bm != nullptr && cfg.hist_subtraction && feats_per_split >= d;
+
+  // Cached all-feature histograms by node index (subtract mode), plus a
+  // free list so buffers recycle instead of reallocating per node.
+  std::unordered_map<int, F64Buffer> node_hist;
+  std::vector<F64Buffer> hist_pool;
+  auto acquire_hist = [&](std::size_t size) -> F64Buffer {
+    F64Buffer b;
+    if (!hist_pool.empty()) {
+      b = std::move(hist_pool.back());
+      hist_pool.pop_back();
+    }
+    b.assign(size, 0.0);
+    return b;
+  };
+  auto release_hist = [&](F64Buffer&& b) { hist_pool.push_back(std::move(b)); };
+
+  // Scratch.
+  F64Buffer legacy_hist;   // legacy bin_of path, one feature at a time
+  F64Buffer sampled_hist;  // binned path without subtraction (sampled feats)
+  std::vector<double> left_counts;
+
+  // Accumulates [begin, end) of ctx.rows into per-feature histogram slots.
+  // One feature per pool block (grain 1): each slot is written by exactly
+  // one worker, sequentially in row order, so the result is bit-identical
+  // at any SUGAR_THREADS (stronger than the block-ordered reduction
+  // contract — writes are disjoint). Re-entrant dispatch (inside the
+  // forest's per-tree parallel_for) degrades to inline serial.
+  auto accumulate_binned = [&](std::size_t begin, std::size_t end,
+                               const std::vector<std::size_t>& feats, double* h) {
+    core::global_pool().parallel_for(
+        0, feats.size(), 1, [&](std::size_t s0, std::size_t s1) {
+          for (std::size_t s = s0; s < s1; ++s) {
+            const std::uint8_t* code = bm->codes(feats[s]);
+            double* hf = h + s * slot;
+            if (ctx.regression()) {
+              const float* gv = ctx.grad->data();
+              const float* hv = ctx.hess->data();
+              for (std::size_t i = begin; i < end; ++i) {
+                const std::uint32_t r = ctx.rows[i];
+                double* cell = hf + 3u * code[r];
+                cell[0] += gv[r];
+                cell[1] += hv[r];
+                cell[2] += 1.0;
+              }
+            } else {
+              const int* yv = ctx.y->data();
+              for (std::size_t i = begin; i < end; ++i) {
+                const std::uint32_t r = ctx.rows[i];
+                hf[static_cast<std::size_t>(code[r]) * k +
+                   static_cast<std::size_t>(yv[r])] += 1.0;
+              }
+            }
+          }
+        });
+  };
 
   auto make_leaf = [&](Node& node, std::size_t begin, std::size_t end) {
     if (ctx.regression()) {
@@ -126,7 +202,8 @@ void DecisionTree::build(BuildContext& ctx) {
     node.feature = -1;
   };
 
-  auto find_split = [&](std::size_t begin, std::size_t end) -> SplitResult {
+  auto find_split = [&](int node_index, std::size_t begin,
+                        std::size_t end) -> SplitResult {
     SplitResult best;
     std::size_t n = end - begin;
     if (n < 2 * cfg.min_samples_leaf) return best;
@@ -140,6 +217,7 @@ void DecisionTree::build(BuildContext& ctx) {
 
     // Parent statistics.
     double parent_impurity = 0;
+    double parent_sum_sq = 0;
     double total_g = 0, total_h = 0;
     std::vector<double> parent_counts;
     if (ctx.regression()) {
@@ -153,6 +231,7 @@ void DecisionTree::build(BuildContext& ctx) {
         parent_counts[static_cast<std::size_t>((*ctx.y)[ctx.rows[i]])] += 1.0;
       parent_impurity = gini_from_counts(parent_counts, static_cast<double>(n));
       if (parent_impurity <= 0) return best;  // pure node
+      for (double c : parent_counts) parent_sum_sq += c * c;
     }
 
     // Exact split search for small nodes: sort samples per feature and
@@ -188,8 +267,7 @@ void DecisionTree::build(BuildContext& ctx) {
         } else {
           std::vector<double> left(static_cast<std::size_t>(ctx.num_classes), 0.0);
           double sum_sq_l = 0;
-          double sum_sq_r = 0;
-          for (double c : parent_counts) sum_sq_r += c * c;
+          double sum_sq_r = parent_sum_sq;
           for (std::size_t i = 0; i + 1 < n; ++i) {
             std::uint32_t r = sorted[i];
             auto y = static_cast<std::size_t>((*ctx.y)[r]);
@@ -223,80 +301,123 @@ void DecisionTree::build(BuildContext& ctx) {
       return best;
     }
 
-    for (std::size_t f : feats) {
-      const auto& cuts = ctx.cuts[f];
-      if (cuts.empty()) continue;
+    // Histogram sweeps shared by all three large-node sources (whole-tree
+    // subtract-mode buffer, per-node sampled buffer, legacy per-feature
+    // buffer): `hist` holds `cuts.size()+1` bins of class counts or
+    // {g, h, count} triples; splitting after bin b uses threshold cuts[b].
+    auto sweep_class = [&](const double* hist, const std::vector<float>& cuts,
+                           std::size_t f) {
       int nb = static_cast<int>(cuts.size()) + 1;
+      left_counts.assign(k, 0.0);
+      double nl = 0;
+      double sum_sq_l = 0, sum_sq_r = parent_sum_sq;
+      for (int b = 0; b + 1 < nb; ++b) {
+        const double* bc = hist + static_cast<std::size_t>(b) * k;
+        for (std::size_t c = 0; c < k; ++c) {
+          const double m = bc[c];
+          if (m == 0.0) continue;
+          // Incremental sum-of-squares update when m samples of class c
+          // move from the right partition to the left (O(1) per class,
+          // not O(k) recomputation per bin).
+          sum_sq_l += (2.0 * left_counts[c] + m) * m;
+          sum_sq_r += (m - 2.0 * (parent_counts[c] - left_counts[c])) * m;
+          left_counts[c] += m;
+          nl += m;
+        }
+        double nr = static_cast<double>(n) - nl;
+        if (nl < static_cast<double>(cfg.min_samples_leaf) ||
+            nr < static_cast<double>(cfg.min_samples_leaf))
+          continue;
+        double imp_l = 1.0 - sum_sq_l / (nl * nl);
+        double imp_r = 1.0 - sum_sq_r / (nr * nr);
+        double child = (nl * imp_l + nr * imp_r) / static_cast<double>(n);
+        double gain = (parent_impurity - child) * static_cast<double>(n);
+        if (gain > best.gain)
+          best = {.feature = static_cast<int>(f),
+                  .threshold = cuts[static_cast<std::size_t>(b)],
+                  .gain = gain,
+                  .left_count = static_cast<std::size_t>(nl)};
+      }
+    };
+    auto sweep_reg = [&](const double* hist, const std::vector<float>& cuts,
+                         std::size_t f) {
+      int nb = static_cast<int>(cuts.size()) + 1;
+      double gl = 0, hl = 0, cnt_l = 0;
+      double parent_score = total_g * total_g / (total_h + cfg.lambda);
+      for (int b = 0; b + 1 < nb; ++b) {
+        const double* cell = hist + static_cast<std::size_t>(b) * 3;
+        gl += cell[0];
+        hl += cell[1];
+        cnt_l += cell[2];
+        if (cnt_l < static_cast<double>(cfg.min_samples_leaf) ||
+            static_cast<double>(n) - cnt_l < static_cast<double>(cfg.min_samples_leaf))
+          continue;
+        double gr = total_g - gl, hr = total_h - hl;
+        double gain = gl * gl / (hl + cfg.lambda) + gr * gr / (hr + cfg.lambda) -
+                      parent_score;
+        if (gain > best.gain)
+          best = {.feature = static_cast<int>(f),
+                  .threshold = cuts[static_cast<std::size_t>(b)],
+                  .gain = gain,
+                  .left_count = static_cast<std::size_t>(cnt_l)};
+      }
+    };
+    auto sweep = [&](const double* hist, const std::vector<float>& cuts,
+                     std::size_t f) {
+      if (ctx.regression())
+        sweep_reg(hist, cuts, f);
+      else
+        sweep_class(hist, cuts, f);
+    };
 
-      if (ctx.regression()) {
-        bin_g.assign(static_cast<std::size_t>(nb), 0.0);
-        bin_h.assign(static_cast<std::size_t>(nb), 0.0);
-        bin_n.assign(static_cast<std::size_t>(nb), 0);
-        for (std::size_t i = begin; i < end; ++i) {
-          std::uint32_t r = ctx.rows[i];
-          int b = bin_of(cuts, (*ctx.x)(r, f));
-          bin_g[static_cast<std::size_t>(b)] += (*ctx.grad)[r];
-          bin_h[static_cast<std::size_t>(b)] += (*ctx.hess)[r];
-          ++bin_n[static_cast<std::size_t>(b)];
+    if (bm) {
+      if (subtract_mode) {
+        // Whole-tree cached histogram: the root (or any node whose parent
+        // split on the exact path) accumulates on demand; everyone else
+        // inherited theirs from propagate_hists below.
+        auto it = node_hist.find(node_index);
+        if (it == node_hist.end()) {
+          F64Buffer h = acquire_hist(d * slot);
+          accumulate_binned(begin, end, all_features, h.data());
+          it = node_hist.emplace(node_index, std::move(h)).first;
         }
-        double gl = 0, hl = 0;
-        std::size_t nl = 0;
-        double parent_score = total_g * total_g / (total_h + cfg.lambda);
-        for (int b = 0; b + 1 < nb; ++b) {
-          gl += bin_g[static_cast<std::size_t>(b)];
-          hl += bin_h[static_cast<std::size_t>(b)];
-          nl += bin_n[static_cast<std::size_t>(b)];
-          if (nl < cfg.min_samples_leaf || n - nl < cfg.min_samples_leaf) continue;
-          double gr = total_g - gl, hr = total_h - hl;
-          double gain = gl * gl / (hl + cfg.lambda) + gr * gr / (hr + cfg.lambda) -
-                        parent_score;
-          if (gain > best.gain) {
-            best = {.feature = static_cast<int>(f),
-                    .threshold = cuts[static_cast<std::size_t>(b)],
-                    .gain = gain,
-                    .left_count = nl};
-          }
-        }
+        const double* h = it->second.data();
+        for (std::size_t f : feats) sweep(h + f * slot, bm->cuts(f), f);
       } else {
-        std::size_t k = static_cast<std::size_t>(ctx.num_classes);
-        cls_counts.assign(static_cast<std::size_t>(nb) * k, 0.0);
-        for (std::size_t i = begin; i < end; ++i) {
-          std::uint32_t r = ctx.rows[i];
-          int b = bin_of(cuts, (*ctx.x)(r, f));
-          cls_counts[static_cast<std::size_t>(b) * k +
-                     static_cast<std::size_t>((*ctx.y)[r])] += 1.0;
-        }
-        std::vector<double> left(k, 0.0);
-        double nl = 0;
-        for (int b = 0; b + 1 < nb; ++b) {
-          const double* bc = &cls_counts[static_cast<std::size_t>(b) * k];
-          for (std::size_t c = 0; c < k; ++c) {
-            left[c] += bc[c];
-            nl += bc[c];
+        // Sampled-feature fit: accumulate only this split's candidate
+        // slots into a transient buffer.
+        sampled_hist.assign(feats.size() * slot, 0.0);
+        accumulate_binned(begin, end, feats, sampled_hist.data());
+        for (std::size_t s = 0; s < feats.size(); ++s)
+          sweep(sampled_hist.data() + s * slot, bm->cuts(feats[s]), feats[s]);
+      }
+    } else {
+      // Legacy path: re-bin every row by binary search, one feature at a
+      // time, against this tree's sampled cut points.
+      for (std::size_t f : feats) {
+        const auto& cuts = ctx.cuts[f];
+        if (cuts.empty()) continue;
+        std::size_t nb = cuts.size() + 1;
+        if (ctx.regression()) {
+          legacy_hist.assign(nb * 3, 0.0);
+          for (std::size_t i = begin; i < end; ++i) {
+            std::uint32_t r = ctx.rows[i];
+            double* cell =
+                legacy_hist.data() +
+                3u * static_cast<std::size_t>(quantize_bin(cuts, (*ctx.x)(r, f)));
+            cell[0] += (*ctx.grad)[r];
+            cell[1] += (*ctx.hess)[r];
+            cell[2] += 1.0;
           }
-          double nr = static_cast<double>(n) - nl;
-          if (nl < static_cast<double>(cfg.min_samples_leaf) ||
-              nr < static_cast<double>(cfg.min_samples_leaf))
-            continue;
-          double gini_l = 0, sum_sq_l = 0, sum_sq_r = 0;
-          (void)gini_l;
-          for (std::size_t c = 0; c < k; ++c) {
-            sum_sq_l += left[c] * left[c];
-            double rc = parent_counts[c] - left[c];
-            sum_sq_r += rc * rc;
-          }
-          double imp_l = 1.0 - sum_sq_l / (nl * nl);
-          double imp_r = 1.0 - sum_sq_r / (nr * nr);
-          double child =
-              (nl * imp_l + nr * imp_r) / static_cast<double>(n);
-          double gain = (parent_impurity - child) * static_cast<double>(n);
-          if (gain > best.gain) {
-            best = {.feature = static_cast<int>(f),
-                    .threshold = cuts[static_cast<std::size_t>(b)],
-                    .gain = gain,
-                    .left_count = static_cast<std::size_t>(nl)};
+        } else {
+          legacy_hist.assign(nb * k, 0.0);
+          for (std::size_t i = begin; i < end; ++i) {
+            std::uint32_t r = ctx.rows[i];
+            legacy_hist[static_cast<std::size_t>(quantize_bin(cuts, (*ctx.x)(r, f))) * k +
+                        static_cast<std::size_t>((*ctx.y)[r])] += 1.0;
           }
         }
+        sweep(legacy_hist.data(), cuts, f);
       }
     }
     if (best.gain < cfg.min_gain) best.feature = -1;
@@ -317,6 +438,71 @@ void DecisionTree::build(BuildContext& ctx) {
     return static_cast<std::size_t>(mid - ctx.rows.begin());
   };
 
+  // True when a child node at `child_depth` with `count` rows will take
+  // the whole-tree histogram path (and so is worth handing a buffer).
+  // find_split accumulates on demand if this ever disagrees — the
+  // predicate is a performance contract, not a correctness one.
+  auto child_needs_hist = [&](std::size_t count, int child_depth) {
+    return subtract_mode && count > cfg.exact_split_max &&
+           child_depth < cfg.max_depth && count >= 2 * cfg.min_samples_leaf;
+  };
+
+  // After splitting `parent` rows [begin,end) at `mid`: hand histograms to
+  // the children that will need them. Accumulate only the smaller side and
+  // derive the other from the parent by subtraction — the sibling trick
+  // that halves accumulation work per level. Classification counts are
+  // integers in doubles, so subtracted histograms are exact.
+  auto propagate_hists = [&](int parent, int left, int right, std::size_t begin,
+                             std::size_t mid, std::size_t end, int child_depth) {
+    if (!subtract_mode) return;
+    auto pit = node_hist.find(parent);
+    if (pit == node_hist.end()) return;  // parent split on the exact path
+    F64Buffer ph = std::move(pit->second);
+    node_hist.erase(pit);
+    const std::size_t n_l = mid - begin, n_r = end - mid;
+    const bool need_l = child_needs_hist(n_l, child_depth);
+    const bool need_r = child_needs_hist(n_r, child_depth);
+    if (!need_l && !need_r) {
+      release_hist(std::move(ph));
+      return;
+    }
+    if (need_l && need_r) {
+      const bool left_small = n_l <= n_r;
+      F64Buffer small = acquire_hist(ph.size());
+      if (left_small)
+        accumulate_binned(begin, mid, all_features, small.data());
+      else
+        accumulate_binned(mid, end, all_features, small.data());
+      for (std::size_t i = 0; i < ph.size(); ++i) ph[i] -= small[i];
+      node_hist.emplace(left_small ? left : right, std::move(small));
+      node_hist.emplace(left_small ? right : left, std::move(ph));
+      return;
+    }
+    // Only one child stays on the histogram path. Still accumulate
+    // whichever side is smaller: direct build if that's the needy child,
+    // else build the sibling and subtract.
+    const bool needed_left = need_l;
+    const std::size_t needed_n = needed_left ? n_l : n_r;
+    const std::size_t other_n = needed_left ? n_r : n_l;
+    F64Buffer buf = acquire_hist(ph.size());
+    if (needed_n <= other_n) {
+      if (needed_left)
+        accumulate_binned(begin, mid, all_features, buf.data());
+      else
+        accumulate_binned(mid, end, all_features, buf.data());
+      node_hist.emplace(needed_left ? left : right, std::move(buf));
+      release_hist(std::move(ph));
+    } else {
+      if (needed_left)
+        accumulate_binned(mid, end, all_features, buf.data());
+      else
+        accumulate_binned(begin, mid, all_features, buf.data());
+      for (std::size_t i = 0; i < ph.size(); ++i) ph[i] -= buf[i];
+      node_hist.emplace(needed_left ? left : right, std::move(ph));
+      release_hist(std::move(buf));
+    }
+  };
+
   // Root.
   nodes_.emplace_back();
 
@@ -335,7 +521,7 @@ void DecisionTree::build(BuildContext& ctx) {
                               int depth) {
       make_leaf(nodes_[static_cast<std::size_t>(node_index)], begin, end);
       if (depth >= cfg.max_depth) return;
-      SplitResult s = find_split(begin, end);
+      SplitResult s = find_split(node_index, begin, end);
       if (s.feature >= 0)
         heap.push({s.gain, node_index, begin, end, depth, s});
     };
@@ -357,6 +543,7 @@ void DecisionTree::build(BuildContext& ctx) {
       node.left = left;
       node.right = right;
       importance_[static_cast<std::size_t>(c.split.feature)] += c.split.gain;
+      propagate_hists(c.node_index, left, right, c.begin, mid, c.end, c.depth + 1);
       push_candidate(left, c.begin, mid, c.depth + 1);
       push_candidate(right, mid, c.end, c.depth + 1);
       ++leaves;
@@ -370,7 +557,7 @@ void DecisionTree::build(BuildContext& ctx) {
       stack.pop_back();
       make_leaf(nodes_[static_cast<std::size_t>(p.node_index)], p.begin, p.end);
       if (p.depth >= cfg.max_depth) continue;
-      SplitResult s = find_split(p.begin, p.end);
+      SplitResult s = find_split(p.node_index, p.begin, p.end);
       if (s.feature < 0) continue;
       std::size_t mid = partition(p.begin, p.end, s.feature, s.threshold);
       if (mid == p.begin || mid == p.end) continue;
@@ -385,6 +572,7 @@ void DecisionTree::build(BuildContext& ctx) {
       node.left = left;
       node.right = right;
       importance_[static_cast<std::size_t>(s.feature)] += s.gain;
+      propagate_hists(p.node_index, left, right, p.begin, mid, p.end, p.depth + 1);
       stack.push_back({left, p.begin, mid, p.depth + 1, 0});
       stack.push_back({right, mid, p.end, p.depth + 1, 0});
     }
@@ -394,40 +582,44 @@ void DecisionTree::build(BuildContext& ctx) {
 void DecisionTree::fit_classifier(const Matrix& x, const std::vector<int>& y,
                                   int num_classes, const TreeConfig& cfg,
                                   std::mt19937_64& rng,
-                                  const std::vector<std::uint32_t>* subset) {
+                                  const std::vector<std::uint32_t>* subset,
+                                  const BinnedMatrix* binned) {
   BuildContext ctx;
   ctx.x = &x;
   ctx.y = &y;
   ctx.num_classes = num_classes;
   ctx.cfg = cfg;
   ctx.rng = &rng;
+  ctx.binned = binned;
   if (subset) {
     ctx.rows = *subset;
   } else {
     ctx.rows.resize(x.rows());
     std::iota(ctx.rows.begin(), ctx.rows.end(), 0);
   }
-  ctx.cuts = compute_cuts(x, ctx.rows, cfg.histogram_bins, rng);
+  if (!binned) ctx.cuts = compute_cuts(x, ctx.rows, cfg.histogram_bins, rng);
   build(ctx);
 }
 
 void DecisionTree::fit_regression(const Matrix& x, const std::vector<float>& grad,
                                   const std::vector<float>& hess,
                                   const TreeConfig& cfg, std::mt19937_64& rng,
-                                  const std::vector<std::uint32_t>* subset) {
+                                  const std::vector<std::uint32_t>* subset,
+                                  const BinnedMatrix* binned) {
   BuildContext ctx;
   ctx.x = &x;
   ctx.grad = &grad;
   ctx.hess = &hess;
   ctx.cfg = cfg;
   ctx.rng = &rng;
+  ctx.binned = binned;
   if (subset) {
     ctx.rows = *subset;
   } else {
     ctx.rows.resize(x.rows());
     std::iota(ctx.rows.begin(), ctx.rows.end(), 0);
   }
-  ctx.cuts = compute_cuts(x, ctx.rows, cfg.histogram_bins, rng);
+  if (!binned) ctx.cuts = compute_cuts(x, ctx.rows, cfg.histogram_bins, rng);
   build(ctx);
 }
 

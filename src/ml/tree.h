@@ -2,6 +2,18 @@
 // Forest and gradient-boosting baselines of Table 8. One implementation
 // supports both Gini classification splits and second-order (XGBoost-style)
 // regression splits, plus depth-wise and leaf-wise (LightGBM-style) growth.
+//
+// Two large-node split engines share the sweep code:
+//  - the pre-binned path: a BinnedMatrix quantized once per dataset
+//    supplies uint8 bin codes, per-node histograms are accumulated
+//    feature-parallel on the thread pool, and siblings reuse the parent's
+//    histogram via subtraction (fit with `binned != nullptr`);
+//  - the legacy per-tree path: cut points are re-derived per fit and every
+//    row is re-binned by binary search at every node (no `binned`). Kept
+//    for standalone single-tree fits and as the bench baseline.
+// Nodes at or below `exact_split_max` rows always use the exact
+// sorted-sweep search on raw floats, and predict() walks raw-float
+// thresholds, so serving is identical under either engine.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +23,8 @@
 #include "ml/matrix.h"
 
 namespace sugar::ml {
+
+class BinnedMatrix;
 
 struct TreeConfig {
   int max_depth = 12;
@@ -30,22 +44,32 @@ struct TreeConfig {
   /// search instead of the shared histogram grid — crucial for composing
   /// fine-grained thresholds (IP octets, sequence ranges) deep in the tree.
   std::size_t exact_split_max = 1024;
+  /// Pre-binned path only: derive the larger child's histogram from the
+  /// parent's by subtracting the smaller child's (halves accumulation work
+  /// per level). Only a test hook — the subtracted counts are exact for
+  /// classification, so leaving it on is always correct.
+  bool hist_subtraction = true;
 };
 
 class DecisionTree {
  public:
   /// Gini-impurity classification fit. `subset` optionally restricts to a
-  /// bag of row indices (with repetition allowed, for bootstrap).
+  /// bag of row indices (with repetition allowed, for bootstrap). When
+  /// `binned` is set (a BinnedMatrix quantized from the same `x`), large
+  /// nodes accumulate histograms from its bin codes instead of re-binning
+  /// by binary search, and no per-tree cut points are derived.
   void fit_classifier(const Matrix& x, const std::vector<int>& y, int num_classes,
                       const TreeConfig& cfg, std::mt19937_64& rng,
-                      const std::vector<std::uint32_t>* subset = nullptr);
+                      const std::vector<std::uint32_t>* subset = nullptr,
+                      const BinnedMatrix* binned = nullptr);
 
   /// Second-order regression fit on per-sample gradient/hessian (gradient
-  /// boosting). Leaf value = -G/(H+lambda).
+  /// boosting). Leaf value = -G/(H+lambda). `binned` as in fit_classifier.
   void fit_regression(const Matrix& x, const std::vector<float>& grad,
                       const std::vector<float>& hess, const TreeConfig& cfg,
                       std::mt19937_64& rng,
-                      const std::vector<std::uint32_t>* subset = nullptr);
+                      const std::vector<std::uint32_t>* subset = nullptr,
+                      const BinnedMatrix* binned = nullptr);
 
   [[nodiscard]] int predict_class(const float* row) const;
   [[nodiscard]] float predict_value(const float* row) const;
