@@ -22,16 +22,31 @@
 // compute_cuts) vs the quantize-once ml::BinnedMatrix histogram path, at
 // SUGAR_THREADS=1. Speedup and accuracy delta are recorded; the hard gate
 // is that the binned fit digests are bit-identical at SUGAR_THREADS=1/2/7.
+//
+// `--ooc-compare <out.json>` gates the out-of-core substrate: a synthetic
+// code store larger than the page-cache budget is fit fully resident
+// (ResidentCodeSource) and paged (PagedCodeSource in a child process with
+// SUGAR_PAGE_CACHE_MB pinned small), at SUGAR_THREADS=1/2/7 each. Hard
+// gates: all six model digests bit-identical, and every paged child's
+// peak RSS stays below the dataset payload size — proof the fit streamed
+// instead of materializing. `--ooc-fit <store>` is the internal child
+// mode (opens the store, fits, prints one JSON line of evidence).
 #include <benchmark/benchmark.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <functional>
+#include <numeric>
 #include <random>
 #include <sstream>
 
 #include "core/artifact.h"
+#include "core/pager.h"
+#include "dataset/store.h"
 #include "core/simd.h"
 #include "core/threadpool.h"
 #include "core/trace.h"
@@ -978,6 +993,343 @@ int run_tree_compare(const std::string& path) {
   return 0;
 }
 
+// ---- --ooc-compare: resident vs paged fit identity + RSS gate ----------
+
+// Dataset geometry: 3M rows x 32 code columns = 96 MB of codes on disk,
+// fit by the paged children under a 4 MB cache budget (24x smaller). The
+// child's fixed overhead (binary, labels, row index, partition scratch)
+// sits well under the payload size, so "peak RSS < dataset bytes" is a
+// real streaming gate, not slack.
+constexpr std::size_t kOocRows = 3000000;
+constexpr std::size_t kOocCols = 32;
+constexpr int kOocBins = 64;
+constexpr int kOocClasses = 6;
+constexpr std::size_t kOocGroupRows = 65536;
+constexpr std::size_t kOocBudgetMb = 4;
+constexpr std::size_t kOocProbeRows = 4096;
+
+std::uint64_t ooc_mix(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+int ooc_label(std::uint64_t r) {
+  return static_cast<int>(ooc_mix(r * 2 + 1) % kOocClasses);
+}
+
+/// Deterministic synthetic feature value: a hash-noise base plus a
+/// class-dependent shift so the forest has real splits to find (all-leaf
+/// trees would make the digest gate vacuous).
+float ooc_value(std::uint64_t r, std::size_t c) {
+  const int y = ooc_label(r);
+  const std::uint64_t h = ooc_mix((r << 8) ^ (c * 0x9E37u + 3));
+  const float base =
+      static_cast<float>(h & 0xFFFFFu) / static_cast<float>(1u << 20);
+  return base + 0.35f * static_cast<float>(
+                            (static_cast<std::size_t>(y) * 7 + c) % 5);
+}
+
+ml::ForestConfig ooc_forest_cfg() {
+  ml::ForestConfig cfg;
+  cfg.num_trees = 2;
+  cfg.seed = 29;
+  cfg.tree.max_depth = 8;
+  cfg.tree.features_per_split = 6;
+  cfg.tree.histogram_bins = kOocBins;
+  return cfg;
+}
+
+/// Model fingerprint: predictions on a fixed probe block (rows beyond the
+/// training range) plus the bit pattern of the importance vector.
+std::string ooc_digest(const ml::RandomForest& forest) {
+  ml::Matrix probe(kOocProbeRows, kOocCols);
+  for (std::size_t r = 0; r < kOocProbeRows; ++r)
+    for (std::size_t c = 0; c < kOocCols; ++c)
+      probe(r, c) = ooc_value(kOocRows + r, c);
+  return digest_ints(forest.predict(probe)) + "/" +
+         digest_doubles(forest.feature_importance());
+}
+
+/// Child mode: open the code store, fit paged, print one JSON line of
+/// evidence (digest, seconds, peak RSS, cache counters) on stdout.
+int run_ooc_fit_child(const std::string& store_path) {
+  dataset::StoreError serr;
+  auto reader = dataset::StoreReader::open(store_path, &serr);
+  if (!reader) {
+    std::fprintf(stderr, "ooc-fit: open failed: %s\n", serr.message.c_str());
+    return 2;
+  }
+  const int ycol = reader->column("y");
+  if (ycol < 0) {
+    std::fprintf(stderr, "ooc-fit: store has no \"y\" column\n");
+    return 2;
+  }
+  std::vector<int> y;
+  y.reserve(reader->rows());
+  dataset::ColumnCursor ycur(*reader, static_cast<std::size_t>(ycol));
+  dataset::ColumnBlock blk;
+  while (ycur.next(blk, &serr))
+    for (std::uint32_t i = 0; i < blk.nrows; ++i)
+      y.push_back(blk.as<std::int32_t>()[i]);
+  if (serr) {
+    std::fprintf(stderr, "ooc-fit: label scan failed: %s\n",
+                 serr.message.c_str());
+    return 2;
+  }
+  std::vector<std::size_t> code_cols(kOocCols);
+  std::iota(code_cols.begin(), code_cols.end(), std::size_t{0});
+  dataset::PagedCodeSource src(*reader, code_cols);
+
+  ml::RandomForest forest(ooc_forest_cfg());
+  const auto t0 = std::chrono::steady_clock::now();
+  forest.fit_binned(src, y, kOocClasses);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const auto st = core::PageCache::global().stats();
+  core::Json out = core::Json::object();
+  out.set("digest", core::Json(ooc_digest(forest)));
+  out.set("seconds", core::Json(seconds));
+  out.set("peak_rss_bytes", core::Json(core::peak_rss_bytes()));
+  out.set("payload_bytes", core::Json(reader->payload_bytes()));
+  out.set("budget_bytes", core::Json(core::PageCache::global().budget_bytes()));
+  out.set("hits", core::Json(st.hits));
+  out.set("misses", core::Json(st.misses));
+  out.set("hit_rate", core::Json(st.hit_rate()));
+  out.set("evictions", core::Json(st.evictions));
+  out.set("prefetch_issued", core::Json(st.prefetch_issued));
+  out.set("prefetch_loaded", core::Json(st.prefetch_loaded));
+  std::printf("%s\n", out.dump().c_str());
+  return 0;
+}
+
+std::string shell_quote(const std::string& s) {
+  std::string out = "'";
+  for (char ch : s) {
+    if (ch == '\'')
+      out += "'\\''";
+    else
+      out += ch;
+  }
+  out += "'";
+  return out;
+}
+
+/// Resolves this binary's path for re-exec as the --ooc-fit child.
+std::string self_exe(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) return std::string(buf, static_cast<std::size_t>(n));
+  return argv0 ? argv0 : "";
+}
+
+int run_ooc_compare(const std::string& path, const char* argv0) {
+  constexpr int kWidths[] = {1, 2, 7};
+  const std::string store_path = path + ".store.sugc";
+
+  // Pass 1: quantization cuts, exactly as BinnedMatrix would derive them.
+  std::printf("ooc-compare: sketching %zu rows x %zu cols...\n", kOocRows,
+              kOocCols);
+  std::vector<std::vector<float>> cuts(kOocCols);
+  {
+    std::vector<ml::ColumnSketch> sketches;
+    sketches.reserve(kOocCols);
+    for (std::size_t c = 0; c < kOocCols; ++c)
+      sketches.emplace_back(kOocBins);
+    for (std::uint64_t r = 0; r < kOocRows; ++r)
+      for (std::size_t c = 0; c < kOocCols; ++c)
+        sketches[c].add(ooc_value(r, c));
+    for (std::size_t c = 0; c < kOocCols; ++c)
+      cuts[c] = sketches[c].finalize();
+  }
+
+  // Pass 2: write the code store and keep a resident copy of the codes +
+  // labels for the in-memory comparator arm.
+  std::vector<dataset::ColumnSpec> schema;
+  for (std::size_t c = 0; c < kOocCols; ++c)
+    schema.push_back({"f" + std::to_string(c), dataset::ColumnType::U8,
+                      cuts[c]});
+  schema.push_back({"y", dataset::ColumnType::I32, {}});
+  dataset::StoreWriter::Options wopts;
+  wopts.group_rows = kOocGroupRows;
+  wopts.bins = kOocBins;
+  dataset::StoreWriter writer(store_path, schema, wopts);
+  std::vector<std::vector<std::uint8_t>> codes(
+      kOocCols, std::vector<std::uint8_t>());
+  for (auto& col : codes) col.reserve(kOocRows);
+  std::vector<int> y;
+  y.reserve(kOocRows);
+  dataset::StoreError serr;
+  for (std::uint64_t r = 0; r < kOocRows; ++r) {
+    for (std::size_t c = 0; c < kOocCols; ++c) {
+      const auto code = static_cast<std::uint8_t>(
+          ml::quantize_bin(cuts[c], ooc_value(r, c)));
+      writer.add_u8(c, code);
+      codes[c].push_back(code);
+    }
+    const int label = ooc_label(r);
+    writer.add_i32(kOocCols, label);
+    y.push_back(label);
+    if (!writer.end_row(&serr)) break;
+  }
+  if (!serr) writer.finalize(&serr);
+  if (serr) {
+    std::fprintf(stderr, "ooc-compare: store write failed: %s\n",
+                 serr.message.c_str());
+    return 1;
+  }
+  struct stat stbuf {};
+  const std::uint64_t store_bytes =
+      ::stat(store_path.c_str(), &stbuf) == 0
+          ? static_cast<std::uint64_t>(stbuf.st_size)
+          : 0;
+  std::uint64_t payload_bytes = 0;
+  {
+    auto probe_reader = dataset::StoreReader::open(store_path, &serr);
+    if (!probe_reader) {
+      std::fprintf(stderr, "ooc-compare: reopen failed: %s\n",
+                   serr.message.c_str());
+      return 1;
+    }
+    payload_bytes = probe_reader->payload_bytes();
+  }
+  std::printf("ooc-compare: store %s  (%.1f MB file, %.1f MB payload)\n",
+              store_path.c_str(), static_cast<double>(store_bytes) / 1048576.0,
+              static_cast<double>(payload_bytes) / 1048576.0);
+
+  const dataset::ResidentCodeSource resident(std::move(codes), cuts, kOocBins);
+  const std::string exe = self_exe(argv0);
+
+  core::Json arr = core::Json::array();
+  bool all_identical = true;
+  bool rss_ok = true;
+  for (const int w : kWidths) {
+    // Resident arm in-process (RSS is irrelevant here; this arm defines
+    // the reference digest).
+    core::set_global_threads(w);
+    ml::RandomForest rf(ooc_forest_cfg());
+    const auto t0 = std::chrono::steady_clock::now();
+    rf.fit_binned(resident, y, kOocClasses);
+    const double resident_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const std::string resident_digest = ooc_digest(rf);
+
+    // Paged arm in a child process: ru_maxrss is process-monotone, so the
+    // parent (which just held the whole dataset) cannot measure a paged
+    // peak — a fresh process can.
+    const std::string cmd = "SUGAR_THREADS=" + std::to_string(w) +
+                            " SUGAR_PAGE_CACHE_MB=" +
+                            std::to_string(kOocBudgetMb) + " " +
+                            shell_quote(exe) + " --ooc-fit " +
+                            shell_quote(store_path);
+    FILE* pipe = ::popen(cmd.c_str(), "r");
+    if (!pipe) {
+      std::fprintf(stderr, "ooc-compare: popen failed\n");
+      return 1;
+    }
+    std::string child_out;
+    char buf[4096];
+    while (std::fgets(buf, sizeof(buf), pipe)) child_out += buf;
+    const int status = ::pclose(pipe);
+    std::optional<core::Json> child;
+    // The evidence line is the last parseable line on the child's stdout.
+    std::istringstream lines(child_out);
+    for (std::string line; std::getline(lines, line);)
+      if (auto j = core::Json::parse(line)) child = std::move(j);
+    if (status != 0 || !child || !child->is_object()) {
+      std::fprintf(stderr,
+                   "ooc-compare: --ooc-fit child (threads=%d) failed "
+                   "(status %d)\n",
+                   w, status);
+      return 1;
+    }
+    const auto num = [&](const char* key) {
+      const core::Json* v = child->find(key);
+      return v ? v->number_or(0.0) : 0.0;
+    };
+    const core::Json* dj = child->find("digest");
+    const std::string paged_digest = dj ? dj->string_or("") : "";
+    const double paged_seconds = num("seconds");
+    const auto paged_rss = static_cast<std::uint64_t>(num("peak_rss_bytes"));
+    const double hit_rate = num("hit_rate");
+    const bool identical = paged_digest == resident_digest;
+    const bool under = paged_rss > 0 && paged_rss < payload_bytes;
+    all_identical = all_identical && identical;
+    rss_ok = rss_ok && under;
+
+    core::Json row = core::Json::object();
+    row.set("threads", core::Json(w));
+    row.set("resident_digest", core::Json(resident_digest));
+    row.set("paged_digest", core::Json(paged_digest));
+    row.set("identical", core::Json(identical));
+    row.set("resident_seconds", core::Json(resident_seconds));
+    row.set("paged_seconds", core::Json(paged_seconds));
+    row.set("paged_rows_per_sec",
+            core::Json(paged_seconds > 0
+                           ? static_cast<double>(kOocRows) / paged_seconds
+                           : 0.0));
+    row.set("paged_peak_rss_bytes", core::Json(paged_rss));
+    row.set("rss_under_dataset", core::Json(under));
+    row.set("hit_rate", core::Json(hit_rate));
+    row.set("hits", core::Json(num("hits")));
+    row.set("misses", core::Json(num("misses")));
+    row.set("evictions", core::Json(num("evictions")));
+    row.set("prefetch_issued", core::Json(num("prefetch_issued")));
+    row.set("prefetch_loaded", core::Json(num("prefetch_loaded")));
+    arr.push(row);
+    std::printf(
+        "ooc-compare t=%d  resident %.2fs  paged %.2fs  rss %.1f MB / "
+        "payload %.1f MB  hit %.3f  %s %s\n",
+        w, resident_seconds, paged_seconds,
+        static_cast<double>(paged_rss) / 1048576.0,
+        static_cast<double>(payload_bytes) / 1048576.0, hit_rate,
+        identical ? "bit-identical" : "DIGEST MISMATCH",
+        under ? "rss-ok" : "RSS OVER DATASET");
+  }
+  core::set_global_threads(0);  // restore SUGAR_THREADS / hardware default
+  std::remove(store_path.c_str());
+
+  core::Json doc = core::Json::object();
+  doc.set("schema_version", core::Json(1));
+  doc.set("bench", core::Json("micro_substrate_ooc"));
+  doc.set("rows", core::Json(kOocRows));
+  doc.set("features", core::Json(kOocCols));
+  doc.set("bins", core::Json(kOocBins));
+  doc.set("classes", core::Json(kOocClasses));
+  doc.set("trees", core::Json(ooc_forest_cfg().num_trees));
+  doc.set("group_rows", core::Json(kOocGroupRows));
+  doc.set("store_bytes", core::Json(store_bytes));
+  doc.set("payload_bytes", core::Json(payload_bytes));
+  doc.set("page_cache_budget_mb", core::Json(kOocBudgetMb));
+  doc.set("cases", arr);
+  doc.set("all_identical", core::Json(all_identical));
+  doc.set("rss_ok", core::Json(rss_ok));
+  std::string err;
+  if (!core::atomic_write_file(path, doc.dump(2) + "\n", &err)) {
+    std::fprintf(stderr, "ooc-compare: artifact write failed: %s\n",
+                 err.c_str());
+    return 1;
+  }
+  std::printf("Artifact: %s\n", path.c_str());
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "ooc-compare: paged fit differs from resident fit — "
+                 "bit-identity contract violated\n");
+    return 1;
+  }
+  if (!rss_ok) {
+    std::fprintf(stderr,
+                 "ooc-compare: a paged child's peak RSS reached the dataset "
+                 "size — the fit did not stream\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1012,6 +1364,22 @@ int main(int argc, char** argv) {
       return 2;
     }
     return run_tree_compare(argv[2]);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "--ooc-compare") == 0) {
+    if (argc != 3) {
+      std::fprintf(stderr,
+                   "usage: bench_micro_substrate --ooc-compare <out.json>\n");
+      return 2;
+    }
+    return run_ooc_compare(argv[2], argv[0]);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "--ooc-fit") == 0) {
+    if (argc != 3) {
+      std::fprintf(stderr,
+                   "usage: bench_micro_substrate --ooc-fit <store.sugc>\n");
+      return 2;
+    }
+    return run_ooc_fit_child(argv[2]);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

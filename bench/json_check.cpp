@@ -332,6 +332,41 @@ bool check_chaos_cell_section(const char* path, const Json& cell) {
   return true;
 }
 
+/// The out-of-core cell extra written by `bench_table8_shallow --scale`
+/// (the core::run_ooc_scale payload): streamed-pipeline evidence. Hard
+/// requirements: a positive scale and throughput, a cache hit rate inside
+/// [0, 1], a non-empty digest and a positive peak RSS — a zero or missing
+/// field means a stage was skipped or the accounting is torn.
+bool check_ooc_section(const char* path, const Json& ooc) {
+  if (!ooc.is_object()) return fail(path, "ooc extra is not an object");
+  for (const char* field : {"scale", "rows_generated", "rows_kept",
+                            "train_rows", "test_rows", "rows_per_sec",
+                            "fit_rows_per_sec", "store_bytes",
+                            "peak_rss_bytes"}) {
+    const Json* v = ooc.find(field);
+    if (!v || v->type() != Json::Type::kNumber || v->number_or(0) <= 0) {
+      std::fprintf(stderr,
+                   "json_check: %s: ooc extra field '%s' missing or not a "
+                   "positive number\n", path, field);
+      return false;
+    }
+  }
+  const Json* hit = ooc.find("page_cache_hit_rate");
+  if (!hit || hit->type() != Json::Type::kNumber || hit->number_or(-1) < 0 ||
+      hit->number_or(2) > 1)
+    return fail(path, "ooc page_cache_hit_rate outside [0, 1]");
+  for (const char* field : {"accuracy", "macro_f1"}) {
+    const Json* v = ooc.find(field);
+    if (!v || v->type() != Json::Type::kNumber || v->number_or(-1) < 0 ||
+        v->number_or(2) > 1)
+      return fail(path, "ooc accuracy/macro_f1 outside [0, 1]");
+  }
+  const Json* digest = ooc.find("digest");
+  if (!digest || digest->string_or("").empty())
+    return fail(path, "ooc extra missing digest");
+  return true;
+}
+
 /// Per-cell `trace` object (counter deltas attributed to the cell).
 bool check_cell_trace(const char* path, const Json& cell_trace) {
   if (!cell_trace.is_object()) return fail(path, "cell trace is not an object");
@@ -372,11 +407,44 @@ bool check(const char* path) {
   if (bench->string_or("").rfind("micro_substrate", 0) == 0) {
     const bool v3 = schema->number_or(0) >= 3;
     const bool tree = bench->string_or("") == "micro_substrate_tree";
+    const bool ooc = bench->string_or("") == "micro_substrate_ooc";
     const Json* cases = doc->find("cases");
     if (!cases || !cases->is_array()) return fail(path, "missing cases array");
     if (cases->items().empty()) return fail(path, "cases array is empty");
     const Json* all = doc->find("all_identical");
     if (!all) return fail(path, "missing all_identical");
+    if (ooc) {
+      // --ooc-compare: resident-vs-paged bit-identity and the streaming
+      // RSS bound are hard artifact contracts, not advisories.
+      if (!all->bool_or(false))
+        return fail(path, "ooc compare all_identical is not true");
+      const Json* rss_ok = doc->find("rss_ok");
+      if (!rss_ok || !rss_ok->bool_or(false))
+        return fail(path, "ooc compare rss_ok is not true");
+      const Json* payload = doc->find("payload_bytes");
+      if (!payload || payload->number_or(0) <= 0)
+        return fail(path, "ooc compare missing positive payload_bytes");
+      for (const Json& c : cases->items()) {
+        const Json* threads = c.find("threads");
+        if (!threads || threads->number_or(0) < 1)
+          return fail(path, "ooc case missing threads >= 1");
+        const Json* ident = c.find("identical");
+        if (!ident || !ident->bool_or(false))
+          return fail(path, "ooc case digests differ");
+        const Json* under = c.find("rss_under_dataset");
+        if (!under || !under->bool_or(false))
+          return fail(path, "ooc case peak RSS reached the dataset size");
+        const Json* hit = c.find("hit_rate");
+        if (!hit || hit->type() != Json::Type::kNumber ||
+            hit->number_or(-1) < 0 || hit->number_or(2) > 1)
+          return fail(path, "ooc case hit_rate outside [0, 1]");
+        const Json* rps = c.find("paged_rows_per_sec");
+        if (!rps || rps->type() != Json::Type::kNumber ||
+            rps->number_or(0) <= 0)
+          return fail(path, "ooc case missing positive paged_rows_per_sec");
+      }
+      return true;
+    }
     if (v3) {
       const Json* backend = doc->find("simd_backend");
       if (!backend || backend->string_or("").empty())
@@ -489,6 +557,8 @@ bool check(const char* path) {
         if (!check_crash_section(path, *crash)) return false;
       if (const Json* chaos = extra ? extra->find("chaos_cell") : nullptr)
         if (!check_chaos_cell_section(path, *chaos)) return false;
+      if (const Json* ooc = extra ? extra->find("ooc") : nullptr)
+        if (!check_ooc_section(path, *ooc)) return false;
     }
   }
   return true;

@@ -18,6 +18,12 @@
 #                               plus the tree_compare perf gate (legacy vs
 #                               BinnedMatrix speedup >= 1, digests identical
 #                               across pool widths, json_check'd artifact)
+#   scripts/check.sh ooc        out-of-core matrix: store/pager/paged-fit
+#                               unit tests swept at SUGAR_THREADS=1/2/7,
+#                               the pager storm under TSan, and the
+#                               ooc_compare gate (resident vs paged fit
+#                               digests identical at every width, paged
+#                               peak RSS < dataset size, json_check'd)
 #   scripts/check.sh crash      crash-tolerance matrix: the chaos label
 #                               (snapshot kill/restore/replay determinism,
 #                               corruption corpus, breaker, watchdog) swept
@@ -120,6 +126,27 @@ trees() {
       -R 'tree_compare|tree_compare_json'
 }
 
+ooc() {
+  configure_build build-check
+  # The out-of-core substrate's own contract: SUGC round-trip + corruption
+  # corpus, page-cache eviction/pin/prefetch semantics, and paged-vs-
+  # resident fit bit-identity, swept at several ambient pool widths (the
+  # fit tests pin widths internally; the sweep catches leaks around them).
+  for threads in 1 2 7; do
+    SUGAR_THREADS="$threads" run ctest --test-dir build-check \
+        --output-on-failure \
+        -R 'StoreTest|PagedFitTest|PageCache|PagerTsan'
+  done
+  # The streaming gate: paged children fit a store 24x their cache budget
+  # with digests identical to the resident fit and peak RSS below the
+  # dataset payload, with json_check revalidating the artifact.
+  run ctest --test-dir build-check --output-on-failure \
+      -R 'ooc_compare|ooc_compare_json'
+  # Demand loads racing prefetch, eviction and drop_file under TSan.
+  configure_build build-tsan -DSUGAR_SANITIZE=thread
+  run ctest --test-dir build-tsan --output-on-failure -R tsan_stress
+}
+
 crash() {
   configure_build build-check
   # Crash-recovery determinism is part of the bit-identity contract, so the
@@ -144,6 +171,7 @@ case "$MODE" in
   trace) trace ;;
   trees) trees ;;
   serve) serve ;;
+  ooc) ooc ;;
   crash) crash ;;
   all)
     plain
@@ -151,11 +179,12 @@ case "$MODE" in
     trace
     trees
     serve
+    ooc
     crash
     sanitize
     ;;
   *)
-    echo "usage: scripts/check.sh [quick|sanitize|bench|trace|trees|serve|crash|all]" >&2
+    echo "usage: scripts/check.sh [quick|sanitize|bench|trace|trees|serve|ooc|crash|all]" >&2
     exit 2
     ;;
 esac

@@ -284,16 +284,7 @@ std::optional<Json> Json::parse(std::string_view text) {
 bool atomic_write_file(const std::string& path, std::string_view content,
                        std::string* error, Io* io) {
   Io& fs = io ? *io : real_io();
-  const std::string tmp = path + ".tmp";
-  if (!fs.write_file(tmp, content, error)) {
-    fs.remove_file(tmp);  // a short write may have left a partial temp file
-    return false;
-  }
-  if (!fs.rename_file(tmp, path, error)) {
-    fs.remove_file(tmp);
-    return false;
-  }
-  return true;
+  return fs.atomic_write(path, content, error);
 }
 
 std::vector<Json> load_jsonl(const std::string& path, std::size_t* skipped) {

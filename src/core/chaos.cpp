@@ -142,4 +142,20 @@ bool ChaosIo::read_file(const std::string& path, std::string& out,
   return base_.read_file(path, out, error);
 }
 
+bool ChaosIo::append_file(const std::string& path, std::string_view content,
+                          std::string* error) {
+  if (chaos_.should_fire(ChaosSite::kIoWriteFail)) {
+    if (error) *error = "chaos: disk full appending " + path;
+    return false;
+  }
+  if (chaos_.should_fire(ChaosSite::kIoShortWrite)) {
+    // Persist a prefix, then fail — a streaming writer's temp file is torn
+    // mid-append; the commit rename must never happen.
+    base_.append_file(path, content.substr(0, content.size() / 2), error);
+    if (error) *error = "chaos: short append to " + path;
+    return false;
+  }
+  return base_.append_file(path, content, error);
+}
+
 }  // namespace sugar::core

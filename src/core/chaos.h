@@ -109,6 +109,8 @@ class ChaosIo final : public Io {
   void remove_file(const std::string& path) override;
   bool read_file(const std::string& path, std::string& out,
                  std::string* error) override;
+  bool append_file(const std::string& path, std::string_view content,
+                   std::string* error) override;
 
  private:
   ChaosInjector& chaos_;

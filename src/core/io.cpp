@@ -46,6 +46,41 @@ bool Io::read_file(const std::string& path, std::string& out,
   return true;
 }
 
+bool Io::append_file(const std::string& path, std::string_view content,
+                     std::string* error) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) {
+    if (error) *error = "cannot open " + path;
+    return false;
+  }
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out) {
+    if (error) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+bool Io::atomic_write(const std::string& path, std::string_view content,
+                      std::string* error) {
+  const std::string tmp = path + ".tmp";
+  if (!write_file(tmp, content, error)) {
+    remove_file(tmp);  // a short write may have left a partial temp file
+    return false;
+  }
+  return commit_temp(path, error);
+}
+
+bool Io::commit_temp(const std::string& path, std::string* error) {
+  const std::string tmp = path + ".tmp";
+  if (!rename_file(tmp, path, error)) {
+    remove_file(tmp);
+    return false;
+  }
+  return true;
+}
+
 Io& real_io() {
   static Io io;
   return io;

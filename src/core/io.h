@@ -34,6 +34,25 @@ class Io {
   /// Reads the whole file into `out`. False (with `error`) when unreadable.
   virtual bool read_file(const std::string& path, std::string& out,
                          std::string* error);
+
+  /// Appends `content` to `path` (creating it when absent) — the streaming
+  /// primitive behind the SUGC store writer, which emits pages one group at
+  /// a time so bounded-memory producers never hold a whole file in RAM.
+  /// Same failure semantics as write_file.
+  virtual bool append_file(const std::string& path, std::string_view content,
+                           std::string* error);
+
+  /// The one temp-then-rename discipline every crash-safe writer shares
+  /// (artifacts, serve snapshots, SUGC stores): writes `<path>.tmp`,
+  /// renames over `path`. Non-virtual — composed from the virtuals above,
+  /// so a fault-injecting subclass (ChaosIo) covers it automatically. On
+  /// failure the target is untouched and the temp file removed.
+  bool atomic_write(const std::string& path, std::string_view content,
+                    std::string* error);
+
+  /// Commit step for streaming writers that built `<path>.tmp` themselves
+  /// via append_file: renames it over `path`, removing the temp on failure.
+  bool commit_temp(const std::string& path, std::string* error);
 };
 
 /// The process-wide real-filesystem instance.

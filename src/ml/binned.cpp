@@ -9,16 +9,7 @@
 namespace sugar::ml {
 namespace {
 
-/// One weighted summary point of the merge sketch: `v` is an actual data
-/// value, `w` the number of column entries it stands for.
-struct WeightedVal {
-  float v;
-  double w;
-};
-
-/// Rows are folded into the sketch in blocks of this size (sorted, then
-/// merged into the running summary).
-constexpr std::size_t kSketchBlock = 4096;
+using detail::WeightedVal;
 
 /// Compacts a sorted weighted summary down to `cap` points by picking the
 /// values at evenly spaced cumulative ranks; each survivor inherits an
@@ -88,6 +79,34 @@ int quantize_bin(const std::vector<float>& cuts, float v) {
                           cuts.begin());
 }
 
+ColumnSketch::ColumnSketch(int bins)
+    : bins_(std::clamp(bins, 2, BinnedMatrix::kMaxBins)),
+      // Summary capacity: columns with <= cap values are summarized exactly
+      // (every value survives the merge), larger ones approximately.
+      cap_(std::max<std::size_t>(kBlock, 8 * static_cast<std::size_t>(bins_))) {
+  block_.reserve(kBlock);
+}
+
+void ColumnSketch::add(float v) {
+  block_.push_back(v);
+  if (block_.size() >= kBlock) flush();
+}
+
+void ColumnSketch::flush() {
+  if (block_.empty()) return;
+  std::sort(block_.begin(), block_.end());
+  incoming_.clear();
+  for (float v : block_) incoming_.push_back({v, 1.0});
+  merge_sorted(summary_, incoming_, merged_);
+  compact(merged_, cap_, summary_);
+  block_.clear();
+}
+
+std::vector<float> ColumnSketch::finalize() {
+  flush();
+  return cuts_from_summary(summary_, bins_);
+}
+
 BinnedMatrix::BinnedMatrix(const Matrix& x, int bins) {
   SUGAR_TRACE_SPAN("ml.binned.quantize");
   rows_ = x.rows();
@@ -98,33 +117,18 @@ BinnedMatrix::BinnedMatrix(const Matrix& x, int bins) {
   codes_.assign(stride_ * cols_, 0);
   SUGAR_TRACE_COUNT("ml.binned.code_bytes", codes_.size());
 
-  // Summary capacity: columns with <= cap values are summarized exactly
-  // (every value survives the merge), larger ones approximately — the
-  // same fidelity the old 4096-row compute_cuts sampler had, without the
-  // sampling noise.
-  const std::size_t cap =
-      std::max<std::size_t>(kSketchBlock, 8 * static_cast<std::size_t>(bins_));
-
   // One feature per block: each column's sketch and codes are produced by
   // exactly one worker, sequentially over rows, so the output is a pure
-  // function of the data regardless of pool width.
+  // function of the data regardless of pool width. ColumnSketch flushes at
+  // the same 4096-row block boundaries the original in-place sketch used,
+  // so cuts are bit-identical to every earlier release — and to a streamed
+  // out-of-core quantization pass feeding the same values in row order.
   core::global_pool().parallel_for(0, cols_, 1, [&](std::size_t f0,
                                                     std::size_t f1) {
-    std::vector<float> block;
-    std::vector<WeightedVal> summary, incoming, merged;
     for (std::size_t f = f0; f < f1; ++f) {
-      summary.clear();
-      for (std::size_t lo = 0; lo < rows_; lo += kSketchBlock) {
-        const std::size_t hi = std::min(rows_, lo + kSketchBlock);
-        block.clear();
-        for (std::size_t r = lo; r < hi; ++r) block.push_back(x(r, f));
-        std::sort(block.begin(), block.end());
-        incoming.clear();
-        for (float v : block) incoming.push_back({v, 1.0});
-        merge_sorted(summary, incoming, merged);
-        compact(merged, cap, summary);
-      }
-      cuts_[f] = cuts_from_summary(summary, bins_);
+      ColumnSketch sketch(bins_);
+      for (std::size_t r = 0; r < rows_; ++r) sketch.add(x(r, f));
+      cuts_[f] = sketch.finalize();
 
       const auto& c = cuts_[f];
       std::uint8_t* col = codes_.data() + f * stride_;

@@ -61,6 +61,37 @@ void RandomForest::fit(const Matrix& x, const std::vector<int>& y, int num_class
       });
 }
 
+void RandomForest::fit_binned(const BinnedColumnSource& src,
+                              const std::vector<int>& y, int num_classes) {
+  SUGAR_TRACE_SPAN("ml.forest.fit_binned");
+  num_classes_ = num_classes;
+  trees_.assign(static_cast<std::size_t>(cfg_.num_trees), {});
+  SUGAR_TRACE_COUNT("ml.trees_fit", trees_.size());
+
+  TreeConfig tree_cfg = cfg_.tree;
+  if (tree_cfg.features_per_split == 0)
+    tree_cfg.features_per_split = std::max(
+        1, static_cast<int>(std::sqrt(static_cast<double>(src.cols()))));
+
+  const std::size_t n = src.rows();
+  const std::size_t bag =
+      static_cast<std::size_t>(cfg_.bag_fraction * static_cast<double>(n));
+
+  // Serial over trees: the pool parallelizes INSIDE each tree (feature-wise
+  // histogram accumulation), so the page cache only ever holds one tree's
+  // working set. Bags draw the exact fit() sequence, then sort — the
+  // bootstrap multiset is unchanged, paged access becomes monotone.
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    throw_if_cancelled(cfg_.cancel, "RandomForest::fit_binned");
+    std::mt19937_64 rng(tree_seed(cfg_.seed, t));
+    std::uniform_int_distribution<std::size_t> pick(0, n == 0 ? 0 : n - 1);
+    std::vector<std::uint32_t> rows(bag);
+    for (auto& r : rows) r = static_cast<std::uint32_t>(pick(rng));
+    std::sort(rows.begin(), rows.end());
+    trees_[t].fit_classifier_binned(src, y, num_classes, tree_cfg, rng, &rows);
+  }
+}
+
 std::vector<int> RandomForest::predict(const Matrix& x) const {
   SUGAR_TRACE_SPAN("ml.forest.predict");
   std::vector<int> out(x.rows(), 0);

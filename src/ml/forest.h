@@ -41,11 +41,28 @@ struct ForestConfig {
   }
 };
 
+class BinnedColumnSource;
+
 class RandomForest {
  public:
   explicit RandomForest(ForestConfig cfg = {}) : cfg_(cfg) {}
 
   void fit(const Matrix& x, const std::vector<int>& y, int num_classes);
+
+  /// Out-of-core fit from pre-binned codes (a dataset::PagedCodeSource or
+  /// any BinnedColumnSource). Trees are fitted SERIALLY — parallelism moves
+  /// inside each tree's feature-wise histogram accumulation — so the paged
+  /// working set stays one tree's pages at a time. Each tree draws the
+  /// same index-derived bootstrap as fit(), then SORTS its bag: class
+  /// counts are integer-valued doubles, so the reordered accumulation is
+  /// exact, and sorted bags keep paged column access monotone (each page
+  /// pulled once per node sweep). exact_split_max is forced to 0, so fit()
+  /// and
+  /// fit_binned() are different estimators — fit_binned at any cache
+  /// budget / page size / thread count is bit-identical to ITSELF.
+  void fit_binned(const BinnedColumnSource& src, const std::vector<int>& y,
+                  int num_classes);
+
   [[nodiscard]] std::vector<int> predict(const Matrix& x) const;
 
   /// Normalized (sums to 1) mean split-gain importance per feature.

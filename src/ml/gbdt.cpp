@@ -77,6 +77,64 @@ void GradientBoosting::fit(const Matrix& x, const std::vector<int>& y,
   }
 }
 
+void GradientBoosting::fit_binned(const BinnedColumnSource& src,
+                                  const std::vector<int>& y, int num_classes) {
+  num_classes_ = num_classes;
+  num_outputs_ = num_classes <= 2 ? 1 : num_classes;
+  std::mt19937_64 rng(cfg_.seed);
+
+  TreeConfig tree_cfg = cfg_.tree;
+  if (cfg_.growth == GbdtGrowth::LeafWise && tree_cfg.max_leaves == 0)
+    tree_cfg.max_leaves = 31;
+
+  int rounds = cfg_.rounds;
+  if (cfg_.max_total_trees > 0 && rounds * num_outputs_ > cfg_.max_total_trees)
+    rounds = std::max(3, cfg_.max_total_trees / num_outputs_);
+  rounds_used_ = rounds;
+
+  const std::size_t n = src.rows();
+
+  Matrix margins(n, static_cast<std::size_t>(num_outputs_));
+  Matrix probs;
+  std::vector<float> grad(n), hess(n), values;
+  trees_.clear();
+  trees_.reserve(static_cast<std::size_t>(rounds * num_outputs_));
+
+  for (int r = 0; r < rounds; ++r) {
+    throw_if_cancelled(cfg_.cancel, "GradientBoosting::fit_binned");
+    if (num_outputs_ == 1) {
+      for (std::size_t i = 0; i < n; ++i) {
+        float p = 1.0f / (1.0f + std::exp(-margins(i, 0)));
+        grad[i] = p - static_cast<float>(y[i]);
+        hess[i] = std::max(p * (1.0f - p), 1e-6f);
+      }
+      DecisionTree tree;
+      tree.fit_regression_binned(src, grad, hess, tree_cfg, rng);
+      tree.predict_value_binned(src, values);
+      for (std::size_t i = 0; i < n; ++i)
+        margins(i, 0) += cfg_.learning_rate * values[i];
+      trees_.push_back(std::move(tree));
+    } else {
+      probs.copy_from(margins);
+      softmax_rows(probs);
+      for (int k = 0; k < num_outputs_; ++k) {
+        for (std::size_t i = 0; i < n; ++i) {
+          float p = probs(i, static_cast<std::size_t>(k));
+          grad[i] = p - (y[i] == k ? 1.0f : 0.0f);
+          hess[i] = std::max(p * (1.0f - p), 1e-6f);
+        }
+        DecisionTree tree;
+        tree.fit_regression_binned(src, grad, hess, tree_cfg, rng);
+        tree.predict_value_binned(src, values);
+        for (std::size_t i = 0; i < n; ++i)
+          margins(i, static_cast<std::size_t>(k)) +=
+              cfg_.learning_rate * values[i];
+        trees_.push_back(std::move(tree));
+      }
+    }
+  }
+}
+
 Matrix GradientBoosting::decision_function(const Matrix& x) const {
   Matrix scores(x.rows(), static_cast<std::size_t>(std::max(num_outputs_, 1)));
   for (std::size_t t = 0; t < trees_.size(); ++t) {

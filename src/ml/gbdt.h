@@ -51,11 +51,23 @@ struct GbdtConfig {
   }
 };
 
+class BinnedColumnSource;
+
 class GradientBoosting {
  public:
   explicit GradientBoosting(GbdtConfig cfg = {}) : cfg_(cfg) {}
 
   void fit(const Matrix& x, const std::vector<int>& y, int num_classes);
+
+  /// Out-of-core fit: the same boosting loop driven entirely by pre-binned
+  /// codes — fit_regression_binned per round and predict_value_binned (a
+  /// partition walk over the code source) for the margin updates, so the
+  /// raw float matrix never materializes. Histogram-only splits
+  /// (exact_split_max forced to 0) make this a different estimator from
+  /// fit(); it is bit-identical to itself at any cache budget, page size,
+  /// or thread count.
+  void fit_binned(const BinnedColumnSource& src, const std::vector<int>& y,
+                  int num_classes);
   [[nodiscard]] std::vector<int> predict(const Matrix& x) const;
   /// Raw margin scores [n×classes].
   [[nodiscard]] Matrix decision_function(const Matrix& x) const;

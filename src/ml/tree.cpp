@@ -74,8 +74,12 @@ struct DecisionTree::BuildContext {
   TreeConfig cfg;
   std::mt19937_64* rng = nullptr;
   std::vector<std::uint32_t> rows;  // working index buffer (partitioned in place)
-  std::vector<std::vector<float>> cuts;  // legacy path only (binned == nullptr)
-  const BinnedMatrix* binned = nullptr;  // quantize-once codes, shared per fit
+  std::vector<std::vector<float>> cuts;  // legacy path only (src == nullptr)
+  /// Quantize-once codes shared per fit: a resident BinnedMatrix for the
+  /// in-memory fits, or any BinnedColumnSource (paged store) for the
+  /// out-of-core fits. When `x` is null every split must come from the
+  /// histogram sweep and partitioning runs on codes.
+  const BinnedColumnSource* src = nullptr;
 
   [[nodiscard]] bool regression() const { return grad != nullptr; }
 };
@@ -87,6 +91,7 @@ struct SplitResult {
   float threshold = 0;
   double gain = 0;
   std::size_t left_count = 0;
+  int bin = -1;  // histogram splits: threshold == cuts[bin]; exact: -1
 };
 
 struct PendingNode {
@@ -100,9 +105,9 @@ struct PendingNode {
 
 void DecisionTree::build(BuildContext& ctx) {
   nodes_.clear();
-  importance_.assign(ctx.x->cols(), 0.0);
   const TreeConfig& cfg = ctx.cfg;
-  std::size_t d = ctx.x->cols();
+  std::size_t d = ctx.src ? ctx.src->cols() : ctx.x->cols();
+  importance_.assign(d, 0.0);
 
   // Candidate feature list (subsampled per split).
   std::vector<std::size_t> all_features(d);
@@ -116,7 +121,7 @@ void DecisionTree::build(BuildContext& ctx) {
   // uniform stride (`slot` doubles) so whole-tree buffers stay flat:
   //   classification: hist[(s*bins + code)*k + class]  counts
   //   regression:     hist[(s*bins + code)*3 + {0,1,2}] = {g, h, count}
-  const BinnedMatrix* bm = ctx.binned;
+  const BinnedColumnSource* bm = ctx.src;
   const std::size_t k = static_cast<std::size_t>(std::max(ctx.num_classes, 1));
   const std::size_t slot_vals = ctx.regression() ? 3 : k;
   const std::size_t slot =
@@ -148,6 +153,7 @@ void DecisionTree::build(BuildContext& ctx) {
   F64Buffer legacy_hist;   // legacy bin_of path, one feature at a time
   F64Buffer sampled_hist;  // binned path without subtraction (sampled feats)
   std::vector<double> left_counts;
+  std::vector<std::uint32_t> part_scratch;  // stable code-partition right side
 
   // Accumulates [begin, end) of ctx.rows into per-feature histogram slots.
   // One feature per pool block (grain 1): each slot is written by exactly
@@ -160,14 +166,14 @@ void DecisionTree::build(BuildContext& ctx) {
     core::global_pool().parallel_for(
         0, feats.size(), 1, [&](std::size_t s0, std::size_t s1) {
           for (std::size_t s = s0; s < s1; ++s) {
-            const std::uint8_t* code = bm->codes(feats[s]);
+            CodeCursor code(*bm, feats[s]);
             double* hf = h + s * slot;
             if (ctx.regression()) {
               const float* gv = ctx.grad->data();
               const float* hv = ctx.hess->data();
               for (std::size_t i = begin; i < end; ++i) {
                 const std::uint32_t r = ctx.rows[i];
-                double* cell = hf + 3u * code[r];
+                double* cell = hf + 3u * code.at(r);
                 cell[0] += gv[r];
                 cell[1] += hv[r];
                 cell[2] += 1.0;
@@ -176,7 +182,7 @@ void DecisionTree::build(BuildContext& ctx) {
               const int* yv = ctx.y->data();
               for (std::size_t i = begin; i < end; ++i) {
                 const std::uint32_t r = ctx.rows[i];
-                hf[static_cast<std::size_t>(code[r]) * k +
+                hf[static_cast<std::size_t>(code.at(r)) * k +
                    static_cast<std::size_t>(yv[r])] += 1.0;
               }
             }
@@ -235,8 +241,10 @@ void DecisionTree::build(BuildContext& ctx) {
     }
 
     // Exact split search for small nodes: sort samples per feature and
-    // sweep all boundaries between distinct values.
-    if (n <= cfg.exact_split_max) {
+    // sweep all boundaries between distinct values. Needs the raw floats,
+    // so out-of-core fits (no ctx.x; exact_split_max forced to 0) never
+    // take it.
+    if (ctx.x && n <= cfg.exact_split_max) {
       std::vector<std::uint32_t> sorted(ctx.rows.begin() + static_cast<std::ptrdiff_t>(begin),
                                         ctx.rows.begin() + static_cast<std::ptrdiff_t>(end));
       for (std::size_t f : feats) {
@@ -336,7 +344,8 @@ void DecisionTree::build(BuildContext& ctx) {
           best = {.feature = static_cast<int>(f),
                   .threshold = cuts[static_cast<std::size_t>(b)],
                   .gain = gain,
-                  .left_count = static_cast<std::size_t>(nl)};
+                  .left_count = static_cast<std::size_t>(nl),
+                  .bin = b};
       }
     };
     auto sweep_reg = [&](const double* hist, const std::vector<float>& cuts,
@@ -359,7 +368,8 @@ void DecisionTree::build(BuildContext& ctx) {
           best = {.feature = static_cast<int>(f),
                   .threshold = cuts[static_cast<std::size_t>(b)],
                   .gain = gain,
-                  .left_count = static_cast<std::size_t>(cnt_l)};
+                  .left_count = static_cast<std::size_t>(cnt_l),
+                  .bin = b};
       }
     };
     auto sweep = [&](const double* hist, const std::vector<float>& cuts,
@@ -425,17 +435,37 @@ void DecisionTree::build(BuildContext& ctx) {
   };
 
   auto partition = [&](std::size_t begin, std::size_t end, int feature,
-                       float threshold) -> std::size_t {
-    auto mid = std::partition(
-        ctx.rows.begin() + static_cast<std::ptrdiff_t>(begin),
-        ctx.rows.begin() + static_cast<std::ptrdiff_t>(end),
-        [&](std::uint32_t r) {
-          // Strict '<' matches the histogram convention: bin b holds values
-          // in [cuts[b-1], cuts[b]), so a split after bin b sends v <
-          // cuts[b] to the left child.
-          return (*ctx.x)(r, static_cast<std::size_t>(feature)) < threshold;
-        });
-    return static_cast<std::size_t>(mid - ctx.rows.begin());
+                       float threshold, int bin) -> std::size_t {
+    if (ctx.x) {
+      auto mid = std::partition(
+          ctx.rows.begin() + static_cast<std::ptrdiff_t>(begin),
+          ctx.rows.begin() + static_cast<std::ptrdiff_t>(end),
+          [&](std::uint32_t r) {
+            // Strict '<' matches the histogram convention: bin b holds
+            // values in [cuts[b-1], cuts[b]), so a split after bin b sends
+            // v < cuts[b] to the left child.
+            return (*ctx.x)(r, static_cast<std::size_t>(feature)) < threshold;
+          });
+      return static_cast<std::size_t>(mid - ctx.rows.begin());
+    }
+    // Source-only fit: partition on codes (`code <= bin` ≡ `v < cuts[bin]`,
+    // the BinnedMatrix invariant), STABLY — lefts compact in place, rights
+    // detour through a reused scratch buffer. Stability keeps every node's
+    // row range sorted, so paged column access stays monotone down the
+    // whole tree and each page is pulled at most once per (node, feature).
+    CodeCursor code(*bm, static_cast<std::size_t>(feature));
+    part_scratch.clear();
+    std::size_t w = begin;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint32_t r = ctx.rows[i];
+      if (static_cast<int>(code.at(r)) <= bin)
+        ctx.rows[w++] = r;
+      else
+        part_scratch.push_back(r);
+    }
+    std::copy(part_scratch.begin(), part_scratch.end(),
+              ctx.rows.begin() + static_cast<std::ptrdiff_t>(w));
+    return w;
   };
 
   // True when a child node at `child_depth` with `count` rows will take
@@ -530,7 +560,8 @@ void DecisionTree::build(BuildContext& ctx) {
     while (!heap.empty() && leaves < cfg.max_leaves) {
       Cand c = heap.top();
       heap.pop();
-      std::size_t mid = partition(c.begin, c.end, c.split.feature, c.split.threshold);
+      std::size_t mid = partition(c.begin, c.end, c.split.feature,
+                                  c.split.threshold, c.split.bin);
       if (mid == c.begin || mid == c.end) continue;  // degenerate
       // Re-index after every emplace_back: the vector may reallocate.
       int left = static_cast<int>(nodes_.size());
@@ -540,6 +571,7 @@ void DecisionTree::build(BuildContext& ctx) {
       Node& node = nodes_[static_cast<std::size_t>(c.node_index)];
       node.feature = c.split.feature;
       node.threshold = c.split.threshold;
+      node.bin = c.split.bin;
       node.left = left;
       node.right = right;
       importance_[static_cast<std::size_t>(c.split.feature)] += c.split.gain;
@@ -559,7 +591,7 @@ void DecisionTree::build(BuildContext& ctx) {
       if (p.depth >= cfg.max_depth) continue;
       SplitResult s = find_split(p.node_index, p.begin, p.end);
       if (s.feature < 0) continue;
-      std::size_t mid = partition(p.begin, p.end, s.feature, s.threshold);
+      std::size_t mid = partition(p.begin, p.end, s.feature, s.threshold, s.bin);
       if (mid == p.begin || mid == p.end) continue;
       // Append children first: emplace_back may reallocate nodes_.
       int left = static_cast<int>(nodes_.size());
@@ -569,6 +601,7 @@ void DecisionTree::build(BuildContext& ctx) {
       Node& node = nodes_[static_cast<std::size_t>(p.node_index)];
       node.feature = s.feature;
       node.threshold = s.threshold;
+      node.bin = s.bin;
       node.left = left;
       node.right = right;
       importance_[static_cast<std::size_t>(s.feature)] += s.gain;
@@ -590,7 +623,7 @@ void DecisionTree::fit_classifier(const Matrix& x, const std::vector<int>& y,
   ctx.num_classes = num_classes;
   ctx.cfg = cfg;
   ctx.rng = &rng;
-  ctx.binned = binned;
+  ctx.src = binned;
   if (subset) {
     ctx.rows = *subset;
   } else {
@@ -612,7 +645,7 @@ void DecisionTree::fit_regression(const Matrix& x, const std::vector<float>& gra
   ctx.hess = &hess;
   ctx.cfg = cfg;
   ctx.rng = &rng;
-  ctx.binned = binned;
+  ctx.src = binned;
   if (subset) {
     ctx.rows = *subset;
   } else {
@@ -621,6 +654,97 @@ void DecisionTree::fit_regression(const Matrix& x, const std::vector<float>& gra
   }
   if (!binned) ctx.cuts = compute_cuts(x, ctx.rows, cfg.histogram_bins, rng);
   build(ctx);
+}
+
+void DecisionTree::fit_classifier_binned(const BinnedColumnSource& src,
+                                         const std::vector<int>& y,
+                                         int num_classes, const TreeConfig& cfg,
+                                         std::mt19937_64& rng,
+                                         const std::vector<std::uint32_t>* subset) {
+  BuildContext ctx;
+  ctx.y = &y;
+  ctx.num_classes = num_classes;
+  ctx.cfg = cfg;
+  // No raw floats: every split must come from the histogram sweep so the
+  // code partition can replicate it exactly.
+  ctx.cfg.exact_split_max = 0;
+  ctx.rng = &rng;
+  ctx.src = &src;
+  if (subset) {
+    ctx.rows = *subset;
+  } else {
+    ctx.rows.resize(src.rows());
+    std::iota(ctx.rows.begin(), ctx.rows.end(), 0);
+  }
+  build(ctx);
+}
+
+void DecisionTree::fit_regression_binned(const BinnedColumnSource& src,
+                                         const std::vector<float>& grad,
+                                         const std::vector<float>& hess,
+                                         const TreeConfig& cfg,
+                                         std::mt19937_64& rng,
+                                         const std::vector<std::uint32_t>* subset) {
+  BuildContext ctx;
+  ctx.grad = &grad;
+  ctx.hess = &hess;
+  ctx.cfg = cfg;
+  ctx.cfg.exact_split_max = 0;
+  ctx.rng = &rng;
+  ctx.src = &src;
+  if (subset) {
+    ctx.rows = *subset;
+  } else {
+    ctx.rows.resize(src.rows());
+    std::iota(ctx.rows.begin(), ctx.rows.end(), 0);
+  }
+  build(ctx);
+}
+
+void DecisionTree::predict_value_binned(const BinnedColumnSource& src,
+                                        std::vector<float>& out) const {
+  const std::size_t n = src.rows();
+  out.assign(n, 0.0f);
+  if (nodes_.empty()) return;
+  if (nodes_[0].feature < 0) {
+    out.assign(n, nodes_[0].value);
+    return;
+  }
+  // Partition walk: route the full (sorted) row set down the tree with the
+  // same stable code partition the fit used, then stamp each leaf's value.
+  // Every internal node must carry a bin (fit_*_binned guarantees it);
+  // page access stays monotone per (node, feature) like during the fit.
+  std::vector<std::uint32_t> rows(n);
+  std::iota(rows.begin(), rows.end(), 0);
+  std::vector<std::uint32_t> scratch;
+  struct Item {
+    int node;
+    std::size_t begin, end;
+  };
+  std::vector<Item> stack{{0, 0, n}};
+  while (!stack.empty()) {
+    const Item it = stack.back();
+    stack.pop_back();
+    const Node& nd = nodes_[static_cast<std::size_t>(it.node)];
+    if (nd.feature < 0) {
+      for (std::size_t i = it.begin; i < it.end; ++i) out[rows[i]] = nd.value;
+      continue;
+    }
+    CodeCursor code(src, static_cast<std::size_t>(nd.feature));
+    scratch.clear();
+    std::size_t w = it.begin;
+    for (std::size_t i = it.begin; i < it.end; ++i) {
+      const std::uint32_t r = rows[i];
+      if (static_cast<int>(code.at(r)) <= nd.bin)
+        rows[w++] = r;
+      else
+        scratch.push_back(r);
+    }
+    std::copy(scratch.begin(), scratch.end(),
+              rows.begin() + static_cast<std::ptrdiff_t>(w));
+    stack.push_back({nd.left, it.begin, w});
+    stack.push_back({nd.right, w, it.end});
+  }
 }
 
 int DecisionTree::leaf_index(const float* row) const {

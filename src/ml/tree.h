@@ -25,6 +25,7 @@
 namespace sugar::ml {
 
 class BinnedMatrix;
+class BinnedColumnSource;
 
 struct TreeConfig {
   int max_depth = 12;
@@ -71,8 +72,33 @@ class DecisionTree {
                       const std::vector<std::uint32_t>* subset = nullptr,
                       const BinnedMatrix* binned = nullptr);
 
+  /// Out-of-core fits: codes come from a BinnedColumnSource (resident or
+  /// paged), the raw float matrix is never touched. Every split is a
+  /// histogram split (exact_split_max is forced to 0), the partition runs
+  /// on bin codes (`code <= split bin` ≡ `value < cuts[bin]`), and it is
+  /// STABLE — so a sorted row set stays sorted in every node and paged
+  /// column access is monotone down the whole tree. Thresholds are still
+  /// the raw-float cut values, so predict() works unchanged.
+  void fit_classifier_binned(const BinnedColumnSource& src,
+                             const std::vector<int>& y, int num_classes,
+                             const TreeConfig& cfg, std::mt19937_64& rng,
+                             const std::vector<std::uint32_t>* subset = nullptr);
+  void fit_regression_binned(const BinnedColumnSource& src,
+                             const std::vector<float>& grad,
+                             const std::vector<float>& hess,
+                             const TreeConfig& cfg, std::mt19937_64& rng,
+                             const std::vector<std::uint32_t>* subset = nullptr);
+
   [[nodiscard]] int predict_class(const float* row) const;
   [[nodiscard]] float predict_value(const float* row) const;
+
+  /// Regression outputs for every row of `src`, computed by walking the
+  /// tree level-by-level on bin codes (only valid for trees whose every
+  /// split is a histogram split, i.e. fitted via fit_*_binned). `out` is
+  /// resized to src.rows(). The GBDT margin update's out-of-core
+  /// replacement for per-row predict_value.
+  void predict_value_binned(const BinnedColumnSource& src,
+                            std::vector<float>& out) const;
 
   /// Total split gain attributed to each feature (unnormalized).
   [[nodiscard]] const std::vector<double>& feature_importance() const {
@@ -85,6 +111,10 @@ class DecisionTree {
   struct Node {
     int feature = -1;  // -1 => leaf
     float threshold = 0;
+    /// Histogram splits also record the bin the threshold came from
+    /// (threshold == cuts[bin]); -1 for exact-search splits. Lets the
+    /// out-of-core paths partition and traverse on uint8 codes.
+    int bin = -1;
     int left = -1, right = -1;
     float value = 0;  // regression output
     int cls = 0;      // classification output

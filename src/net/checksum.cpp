@@ -1,5 +1,7 @@
 #include "net/checksum.h"
 
+#include "core/crc32.h"
+
 namespace sugar::net {
 
 std::uint32_t checksum_partial(std::span<const std::uint8_t> data, std::uint32_t acc) {
@@ -43,29 +45,8 @@ std::uint16_t l4_checksum_v6(const Ipv6Address& src, const Ipv6Address& dst,
   return checksum_finish(checksum_partial(segment, acc));
 }
 
-namespace {
-
-struct Crc32Table {
-  std::uint32_t entries[256];
-  constexpr Crc32Table() : entries{} {
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k)
-        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      entries[i] = c;
-    }
-  }
-};
-
-constexpr Crc32Table kCrc32Table{};
-
-}  // namespace
-
 std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t acc) {
-  std::uint32_t c = acc ^ 0xFFFFFFFFu;
-  for (std::uint8_t byte : data)
-    c = kCrc32Table.entries[(c ^ byte) & 0xFFu] ^ (c >> 8);
-  return c ^ 0xFFFFFFFFu;
+  return core::crc32(data, acc);
 }
 
 }  // namespace sugar::net

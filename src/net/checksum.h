@@ -31,9 +31,10 @@ std::uint16_t l4_checksum_v4(Ipv4Address src, Ipv4Address dst, std::uint8_t prot
 std::uint16_t l4_checksum_v6(const Ipv6Address& src, const Ipv6Address& dst,
                              std::uint8_t proto, std::span<const std::uint8_t> segment);
 
-/// IEEE 802.3 (zlib-compatible) CRC32 of a byte span. Chain partial spans by
-/// feeding the previous result back through `acc`; crc32("123456789") is
-/// 0xCBF43926.
+/// IEEE 802.3 (zlib-compatible) CRC32 of a byte span. Thin alias for
+/// core::crc32 (core/crc32.h), kept so packet-layer callers don't reach
+/// into core. Chain partial spans by feeding the previous result back
+/// through `acc`; crc32("123456789") is 0xCBF43926.
 std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t acc = 0);
 
 }  // namespace sugar::net

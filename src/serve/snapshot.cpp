@@ -10,7 +10,7 @@
 
 #include "core/io.h"
 #include "core/trace.h"
-#include "net/checksum.h"
+#include "core/crc32.h"
 #include "serve/engine.h"
 
 namespace sugar::serve {
@@ -156,7 +156,7 @@ void append_section(std::string& out, std::uint32_t id,
   put_u32(out, id);
   put_u64(out, payload.size());
   out.append(payload);
-  put_u32(out, net::crc32({reinterpret_cast<const std::uint8_t*>(payload.data()),
+  put_u32(out, core::crc32({reinterpret_cast<const std::uint8_t*>(payload.data()),
                            payload.size()}));
 }
 
@@ -391,7 +391,7 @@ SnapshotOutcome ServeEngine::restore_snapshot(const std::string& path,
       r.pos += len;
       std::uint32_t crc = 0;
       r.get_u32(crc);
-      if (net::crc32({payload, len}) != crc) {
+      if (core::crc32({payload, len}) != crc) {
         outcome = fail(SnapshotError::kSectionCrc,
                        "section " + std::to_string(id) + " checksum mismatch");
         return;

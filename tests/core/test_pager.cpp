@@ -1,0 +1,224 @@
+// Tests for the bounded page cache (core/pager.h): miss/hit accounting,
+// LRU eviction under a byte budget, pin semantics (pinned pages are never
+// evicted), failed-load retry, prefetch servicing, per-file drop, and a
+// concurrent storm (PagerTsan.*) that the TSan configuration sweeps for
+// data races.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pager.h"
+
+namespace sugar::core {
+namespace {
+
+/// Deterministic page content: a pure function of the key, as the loader
+/// contract requires.
+std::vector<std::uint8_t> page_bytes(PageKey key, std::size_t size = 100) {
+  std::vector<std::uint8_t> out(size);
+  for (std::size_t i = 0; i < size; ++i)
+    out[i] = static_cast<std::uint8_t>(key.file_id * 31 + key.page_no * 7 + i);
+  return out;
+}
+
+PageCache::Loader counting_loader(PageKey key, std::atomic<int>& calls,
+                                  std::size_t size = 100) {
+  return [key, &calls, size](std::vector<std::uint8_t>& out, std::string&) {
+    calls.fetch_add(1);
+    out = page_bytes(key, size);
+    return true;
+  };
+}
+
+/// A loader that must not run — the page is expected to be resident.
+PageCache::Loader poison_loader() {
+  return [](std::vector<std::uint8_t>&, std::string& err) {
+    ADD_FAILURE() << "loader ran for a page that should have been resident";
+    err = "poison";
+    return false;
+  };
+}
+
+TEST(PageCache, MissLoadsOnceThenHits) {
+  PageCache cache(1 << 20, 1);
+  std::atomic<int> calls{0};
+  const PageKey key{1, 0};
+  auto pin = cache.get(key, counting_loader(key, calls));
+  ASSERT_TRUE(pin);
+  EXPECT_EQ(pin.size(), 100u);
+  EXPECT_EQ(pin.data()[5], page_bytes(key)[5]);
+  auto pin2 = cache.get(key, poison_loader());
+  ASSERT_TRUE(pin2);
+  EXPECT_EQ(calls.load(), 1);
+  const auto st = cache.stats();
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.resident_pages, 1u);
+  EXPECT_EQ(st.resident_bytes, 100u);
+}
+
+TEST(PageCache, EvictsLeastRecentlyUsedUnderBudget) {
+  // Single shard so the whole budget is one LRU list: 250 bytes holds two
+  // 100-byte pages, never three.
+  PageCache cache(250, 1);
+  std::atomic<int> calls{0};
+  for (std::uint64_t p = 0; p < 3; ++p) {
+    const PageKey key{1, p};
+    cache.get(key, counting_loader(key, calls));
+  }
+  auto st = cache.stats();
+  EXPECT_LE(st.resident_bytes, 250u);
+  EXPECT_GE(st.evictions, 1u);
+  // Page 0 was the LRU victim: getting it again must reload.
+  const int before = calls.load();
+  cache.get(PageKey{1, 0}, counting_loader(PageKey{1, 0}, calls));
+  EXPECT_EQ(calls.load(), before + 1);
+  // Page 2 (most recent) is still resident.
+  auto pin = cache.get(PageKey{1, 2}, poison_loader());
+  EXPECT_TRUE(pin);
+}
+
+TEST(PageCache, PinnedPageIsNeverEvicted) {
+  PageCache cache(250, 1);
+  std::atomic<int> calls{0};
+  const PageKey pinned_key{1, 0};
+  auto pin = cache.get(pinned_key, counting_loader(pinned_key, calls));
+  ASSERT_TRUE(pin);
+  // Blow well past the budget; everything unpinned turns over.
+  for (std::uint64_t p = 1; p < 8; ++p)
+    cache.get(PageKey{1, p}, counting_loader(PageKey{1, p}, calls));
+  // The pinned page must still be served without a reload.
+  auto again = cache.get(pinned_key, poison_loader());
+  ASSERT_TRUE(again);
+  EXPECT_EQ(again.data()[3], page_bytes(pinned_key)[3]);
+  // Once unpinned, the page becomes evictable again.
+  pin.reset();
+  again.reset();
+  for (std::uint64_t p = 8; p < 16; ++p)
+    cache.get(PageKey{1, p}, counting_loader(PageKey{1, p}, calls));
+  const int before = calls.load();
+  cache.get(pinned_key, counting_loader(pinned_key, calls));
+  EXPECT_EQ(calls.load(), before + 1);
+}
+
+TEST(PageCache, FailedLoadReportsErrorAndRetries) {
+  PageCache cache(1 << 20, 1);
+  int attempts = 0;
+  const PageKey key{1, 0};
+  auto flaky = [&](std::vector<std::uint8_t>& out, std::string& err) {
+    if (++attempts == 1) {
+      err = "[crc] injected";
+      return false;
+    }
+    out = page_bytes(key);
+    return true;
+  };
+  std::string error;
+  auto pin = cache.get(key, flaky, &error);
+  EXPECT_FALSE(pin);
+  EXPECT_EQ(error, "[crc] injected");
+  // The failed slot was erased, so the next get retries the load.
+  pin = cache.get(key, flaky, &error);
+  ASSERT_TRUE(pin);
+  EXPECT_EQ(attempts, 2);
+}
+
+TEST(PageCache, PrefetchServicesALaterGetAsAHit) {
+  PageCache cache(1 << 20, 1);
+  std::atomic<int> calls{0};
+  const PageKey key{1, 0};
+  cache.prefetch(key, counting_loader(key, calls));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (cache.stats().prefetch_loaded == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(cache.stats().prefetch_loaded, 1u);
+  auto pin = cache.get(key, poison_loader());
+  ASSERT_TRUE(pin);
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_GE(cache.stats().hits, 1u);
+}
+
+TEST(PageCache, DropFileRemovesOnlyThatFilesPages) {
+  PageCache cache(1 << 20, 1);
+  std::atomic<int> calls{0};
+  const PageKey a{1, 0}, b{2, 0};
+  cache.get(a, counting_loader(a, calls));
+  cache.get(b, counting_loader(b, calls));
+  cache.drop_file(1);
+  // File 2's page survives; file 1's must reload.
+  auto pin = cache.get(b, poison_loader());
+  EXPECT_TRUE(pin);
+  const int before = calls.load();
+  cache.get(a, counting_loader(a, calls));
+  EXPECT_EQ(calls.load(), before + 1);
+}
+
+TEST(PageCache, HitRateStaysInsideUnitInterval) {
+  PageCache cache(1 << 20, 1);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 1.0);  // vacuous: no traffic
+  std::atomic<int> calls{0};
+  for (std::uint64_t p = 0; p < 4; ++p)
+    for (int rep = 0; rep < 3; ++rep)
+      cache.get(PageKey{1, p}, counting_loader(PageKey{1, p}, calls));
+  const double rate = cache.stats().hit_rate();
+  EXPECT_GE(rate, 0.0);
+  EXPECT_LE(rate, 1.0);
+  EXPECT_DOUBLE_EQ(rate, 8.0 / 12.0);
+}
+
+TEST(PageCache, FileIdsAreProcessUnique) {
+  const std::uint64_t a = next_page_file_id();
+  const std::uint64_t b = next_page_file_id();
+  EXPECT_NE(a, b);
+}
+
+TEST(PageCache, PeakRssIsPositive) {
+  EXPECT_GT(peak_rss_bytes(), 0u);
+}
+
+// Concurrent storm: readers hammer a small keyspace through a tight budget
+// (constant churn) while prefetches race the demand loads and a dropper
+// invalidates one file — every returned pin must carry the key's exact
+// bytes. TSan sweeps this for races; plain builds assert the data.
+TEST(PagerTsan, ConcurrentStormServesExactBytes) {
+  PageCache cache(4096, 4);  // ~10 pages resident out of 64
+  constexpr int kThreads = 8;
+  constexpr int kIters = 400;
+  std::atomic<bool> corrupt{false};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &cache, &corrupt] {
+      std::uint64_t state = static_cast<std::uint64_t>(t) + 1;
+      for (int i = 0; i < kIters; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const PageKey key{1 + (state >> 33) % 2, (state >> 17) % 32};
+        auto loader = [key](std::vector<std::uint8_t>& out, std::string&) {
+          out = page_bytes(key, 400);
+          return true;
+        };
+        if (i % 7 == 0) cache.prefetch(key, loader);
+        auto pin = cache.get(key, loader);
+        if (!pin || pin.size() != 400 ||
+            pin.data()[i % 400] != page_bytes(key, 400)[i % 400])
+          corrupt.store(true);
+        if (i % 31 == 0) cache.drop_file(2);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_FALSE(corrupt.load());
+  const auto st = cache.stats();
+  EXPECT_GE(st.evictions, 1u);
+  EXPECT_LE(st.hit_rate(), 1.0);
+}
+
+}  // namespace
+}  // namespace sugar::core
