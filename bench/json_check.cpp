@@ -367,6 +367,76 @@ bool check_ooc_section(const char* path, const Json& ooc) {
   return true;
 }
 
+/// The drift/transfer cell extra (`extra.drift`): provenance of the
+/// train/test distribution pair. All four fields are required non-negative
+/// integers — a missing one means the cell can't be attributed to a
+/// distribution shift.
+bool check_drift_section(const char* path, const Json& drift) {
+  if (!drift.is_object()) return fail(path, "drift extra is not an object");
+  for (const char* field : {"train_epoch", "test_epoch", "train_family",
+                            "test_family"}) {
+    const Json* v = drift.find(field);
+    if (!v || v->type() != Json::Type::kNumber || v->number_or(-1) < 0)
+      return fail(path, "drift extra missing a non-negative numeric field");
+  }
+  return true;
+}
+
+/// The assembled drift curve (`extra.drift_curve`): per-model arrays of
+/// {epoch, accuracy} points with strictly ascending epochs and accuracies
+/// inside [0, 1]. An empty series is legal (every cell of that model
+/// failed) but a malformed point is not.
+bool check_drift_curve_section(const char* path, const Json& curve) {
+  if (!curve.is_object()) return fail(path, "drift_curve is not an object");
+  if (curve.members().empty()) return fail(path, "drift_curve has no models");
+  for (const auto& [model, series] : curve.members()) {
+    if (!series.is_array()) {
+      std::fprintf(stderr, "json_check: %s: drift_curve series '%s' is not an "
+                           "array\n", path, model.c_str());
+      return false;
+    }
+    double last_epoch = -1;
+    for (const Json& point : series.items()) {
+      const Json* epoch = point.find("epoch");
+      const Json* acc = point.find("accuracy");
+      if (!epoch || epoch->type() != Json::Type::kNumber ||
+          epoch->number_or(-1) < 0 || epoch->number_or(-1) <= last_epoch)
+        return fail(path, "drift_curve epochs are not strictly ascending");
+      if (!acc || acc->type() != Json::Type::kNumber ||
+          acc->number_or(-1) < 0 || acc->number_or(2) > 1)
+        return fail(path, "drift_curve accuracy outside [0, 1]");
+      last_epoch = epoch->number_or(0);
+    }
+  }
+  return true;
+}
+
+/// The perturbation cell extra (`extra.perturb`): the jitter magnitudes,
+/// whether the clean baseline completed, and — when it did — the baseline
+/// accuracy plus the signed accuracy delta against it.
+bool check_perturb_section(const char* path, const Json& perturb) {
+  if (!perturb.is_object()) return fail(path, "perturb extra is not an object");
+  for (const char* field : {"ttl", "window", "mss"}) {
+    const Json* v = perturb.find(field);
+    if (!v || v->type() != Json::Type::kNumber || v->number_or(-1) < 0)
+      return fail(path, "perturb extra missing a non-negative jitter field");
+  }
+  const Json* ok = perturb.find("baseline_ok");
+  if (!ok || ok->type() != Json::Type::kBool)
+    return fail(path, "perturb extra missing baseline_ok bool");
+  if (ok->bool_or(false)) {
+    const Json* base = perturb.find("baseline_accuracy");
+    if (!base || base->type() != Json::Type::kNumber ||
+        base->number_or(-1) < 0 || base->number_or(2) > 1)
+      return fail(path, "perturb baseline_accuracy outside [0, 1]");
+    const Json* delta = perturb.find("accuracy_delta");
+    if (!delta || delta->type() != Json::Type::kNumber ||
+        delta->number_or(-2) < -1 || delta->number_or(2) > 1)
+      return fail(path, "perturb accuracy_delta outside [-1, 1]");
+  }
+  return true;
+}
+
 /// Per-cell `trace` object (counter deltas attributed to the cell).
 bool check_cell_trace(const char* path, const Json& cell_trace) {
   if (!cell_trace.is_object()) return fail(path, "cell trace is not an object");
@@ -559,6 +629,12 @@ bool check(const char* path) {
         if (!check_chaos_cell_section(path, *chaos)) return false;
       if (const Json* ooc = extra ? extra->find("ooc") : nullptr)
         if (!check_ooc_section(path, *ooc)) return false;
+      if (const Json* drift = extra ? extra->find("drift") : nullptr)
+        if (!check_drift_section(path, *drift)) return false;
+      if (const Json* curve = extra ? extra->find("drift_curve") : nullptr)
+        if (!check_drift_curve_section(path, *curve)) return false;
+      if (const Json* perturb = extra ? extra->find("perturb") : nullptr)
+        if (!check_perturb_section(path, *perturb)) return false;
     }
   }
   return true;

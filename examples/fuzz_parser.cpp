@@ -21,6 +21,7 @@
 #include "net/parser.h"
 #include "net/pcap.h"
 #include "net/serializer.h"
+#include "trafficgen/payload.h"
 
 using namespace sugar;
 
@@ -105,6 +106,38 @@ std::vector<net::Packet> build_corpus() {
     arp.target_ip = net::Ipv4Address::from_octets(10, 0, 0, 10);
     spec.arp = arp;
     corpus.push_back(net::build_packet(spec, ts + 5));
+  }
+  trafficgen::Rng shape_rng(0xF022);
+  {  // QUIC long-header initial over UDP/443
+    net::FrameSpec spec;
+    spec.ipv4 = ipv4(11, 12);
+    net::UdpHeader udp;
+    udp.src_port = 55443;
+    udp.dst_port = 443;
+    spec.udp = udp;
+    spec.payload = trafficgen::quic_payload(shape_rng, 1252, true);
+    corpus.push_back(net::build_packet(spec, ts + 6));
+  }
+  {  // QUIC short-header 1-RTT packet
+    net::FrameSpec spec;
+    spec.ipv4 = ipv4(13, 14);
+    net::UdpHeader udp;
+    udp.src_port = 443;
+    udp.dst_port = 55444;
+    spec.udp = udp;
+    spec.payload = trafficgen::quic_payload(shape_rng, 180, false);
+    corpus.push_back(net::build_packet(spec, ts + 7));
+  }
+  {  // DoH-shaped TLS application records over TCP/443
+    net::FrameSpec spec;
+    spec.ipv4 = ipv4(15, 16);
+    net::TcpHeader tcp;
+    tcp.src_port = 52100;
+    tcp.dst_port = 443;
+    tcp.seq = 0x99AA0000;
+    spec.tcp = tcp;
+    spec.payload = trafficgen::doh_payload(shape_rng, 240);
+    corpus.push_back(net::build_packet(spec, ts + 8));
   }
   return corpus;
 }

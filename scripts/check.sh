@@ -24,6 +24,14 @@
 #                               ooc_compare gate (resident vs paged fit
 #                               digests identical at every width, paged
 #                               peak RSS < dataset size, json_check'd)
+#   scripts/check.sh scenario   scenario-diversity matrix: the variant/
+#                               drift/perturbation property tests swept at
+#                               SUGAR_THREADS=1/2/7, the QUIC/DoH fuzz
+#                               corpus, both scenario benches at tiny scale
+#                               with json_check'd artifacts, the drift
+#                               golden replayed at widths 2 and 7, and the
+#                               new tests plus both benches under ASan at
+#                               SUGAR_THREADS=7
 #   scripts/check.sh crash      crash-tolerance matrix: the chaos label
 #                               (snapshot kill/restore/replay determinism,
 #                               corruption corpus, breaker, watchdog) swept
@@ -164,6 +172,38 @@ crash() {
   run ctest --test-dir build-tsan --output-on-failure -R chaos_tsan_smoke
 }
 
+scenario() {
+  configure_build build-check
+  # Variant-layer properties (identity-at-default, digest stability,
+  # drift monotonicity, imbalance, QUIC/DoH shapes), the header-jitter
+  # mutations, the journal-key coverage, and the extended fuzz corpus —
+  # swept at several ambient pool widths.
+  for threads in 1 2 7; do
+    SUGAR_THREADS="$threads" run ctest --test-dir build-check \
+        --output-on-failure \
+        -R 'Drift|Mutate.Jitter|CellKeys|ChangedPerturbation|FaultInjection.QuicDoh|fuzz_parser_smoke'
+  done
+  # Both scenario benches end-to-end at tiny scale, artifacts json_check'd,
+  # plus the traced schema-4 smokes.
+  run ctest --test-dir build-check --output-on-failure -L scenario
+  # The drift golden must replay bit-identically at wider pools: rerun the
+  # pinned-scale bench at widths 2 and 7 against the checked-in reference.
+  for threads in 2 7; do
+    SUGAR_SCALE=0.05 SUGAR_EPOCHS=1 SUGAR_SEED=1 SUGAR_THREADS="$threads" \
+        run build-check/bench/bench_drift_transfer \
+        --json "build-check/bench/golden_drift_w${threads}.json" \
+        --cell-timeout-s 300 --drift-epochs 2
+    run build-check/bench/json_check --golden \
+        "build-check/bench/golden_drift_w${threads}.json" \
+        tests/golden/BENCH_drift_normalized.json
+  done
+  # The whole tier again under ASan at the widest sweep width.
+  configure_build build-asan -DSUGAR_SANITIZE=address
+  SUGAR_THREADS=7 run ctest --test-dir build-asan --output-on-failure \
+      -R 'Drift|Mutate.Jitter|CellKeys|ChangedPerturbation|FaultInjection.QuicDoh'
+  SUGAR_THREADS=7 run ctest --test-dir build-asan --output-on-failure -L scenario
+}
+
 case "$MODE" in
   quick) plain ;;
   sanitize) sanitize ;;
@@ -173,6 +213,7 @@ case "$MODE" in
   serve) serve ;;
   ooc) ooc ;;
   crash) crash ;;
+  scenario) scenario ;;
   all)
     plain
     bench
@@ -181,10 +222,11 @@ case "$MODE" in
     serve
     ooc
     crash
+    scenario
     sanitize
     ;;
   *)
-    echo "usage: scripts/check.sh [quick|sanitize|bench|trace|trees|serve|ooc|crash|all]" >&2
+    echo "usage: scripts/check.sh [quick|sanitize|bench|trace|trees|serve|ooc|crash|scenario|all]" >&2
     exit 2
     ;;
 esac

@@ -49,34 +49,55 @@ EnvConfig EnvConfig::from_env() {
 
 BenchmarkEnv::BenchmarkEnv(EnvConfig cfg) : cfg_(cfg) {}
 
+namespace {
+
+trafficgen::GeneratedTrace generate_source(const EnvConfig& cfg,
+                                           dataset::SourceDataset src,
+                                           const trafficgen::TraceVariant& variant) {
+  trafficgen::GenOptions opts;
+  opts.seed = cfg.seed;
+  opts.variant = variant;
+  switch (src) {
+    case dataset::SourceDataset::IscxVpn:
+      opts.flows_per_class = cfg.flows_per_class_iscx;
+      opts.spurious_fraction = cfg.iscx_spurious;
+      return trafficgen::generate_iscx_vpn(opts);
+    case dataset::SourceDataset::UstcTfc:
+      opts.flows_per_class = cfg.flows_per_class_ustc;
+      opts.spurious_fraction = cfg.ustc_spurious;
+      return trafficgen::generate_ustc_tfc(opts);
+    case dataset::SourceDataset::CstnTls:
+      opts.flows_per_class = cfg.flows_per_class_tls;
+      opts.spurious_fraction = 0.0;  // CSTN is shared pre-cleaned
+      opts.strip_tls_handshake = true;
+      return trafficgen::generate_cstn_tls120(opts);
+  }
+  return {};
+}
+
+}  // namespace
+
 void BenchmarkEnv::ensure_source(dataset::SourceDataset src) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   if (traces_.count(src)) return;
   SUGAR_TRACE_SPAN("env.generate_dataset");
-  trafficgen::GenOptions opts;
-  opts.seed = cfg_.seed;
-  trafficgen::GeneratedTrace trace;
-  switch (src) {
-    case dataset::SourceDataset::IscxVpn:
-      opts.flows_per_class = cfg_.flows_per_class_iscx;
-      opts.spurious_fraction = cfg_.iscx_spurious;
-      trace = trafficgen::generate_iscx_vpn(opts);
-      break;
-    case dataset::SourceDataset::UstcTfc:
-      opts.flows_per_class = cfg_.flows_per_class_ustc;
-      opts.spurious_fraction = cfg_.ustc_spurious;
-      trace = trafficgen::generate_ustc_tfc(opts);
-      break;
-    case dataset::SourceDataset::CstnTls:
-      opts.flows_per_class = cfg_.flows_per_class_tls;
-      opts.spurious_fraction = 0.0;  // CSTN is shared pre-cleaned
-      opts.strip_tls_handshake = true;
-      trace = trafficgen::generate_cstn_tls120(opts);
-      break;
-  }
+  auto trace = generate_source(cfg_, src, trafficgen::TraceVariant{});
   dataset::CleaningOptions copts;  // recommended pipeline: extraneous only
   cleaning_[src] = dataset::clean_trace(trace, copts);
   traces_[src] = std::move(trace);
+}
+
+void BenchmarkEnv::ensure_source(dataset::SourceDataset src,
+                                 const trafficgen::TraceVariant& variant) {
+  if (variant.is_default()) return ensure_source(src);
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto key = std::make_pair(src, variant.tag());
+  if (variant_traces_.count(key)) return;
+  SUGAR_TRACE_SPAN("env.generate_dataset");
+  auto trace = generate_source(cfg_, src, variant);
+  dataset::CleaningOptions copts;  // same pipeline as the base datasets
+  variant_cleaning_[key] = dataset::clean_trace(trace, copts);
+  variant_traces_[key] = std::move(trace);
 }
 
 const dataset::PacketDataset& BenchmarkEnv::task_dataset(dataset::TaskId task) {
@@ -89,11 +110,34 @@ const dataset::PacketDataset& BenchmarkEnv::task_dataset(dataset::TaskId task) {
   return jt->second;
 }
 
+const dataset::PacketDataset& BenchmarkEnv::task_dataset(
+    dataset::TaskId task, const trafficgen::TraceVariant& variant) {
+  if (variant.is_default()) return task_dataset(task);
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto key = std::make_pair(task, variant.tag());
+  auto it = variant_tasks_.find(key);
+  if (it != variant_tasks_.end()) return it->second;
+  auto src = dataset::source_of(task);
+  ensure_source(src, variant);
+  auto [jt, _] = variant_tasks_.emplace(
+      key, dataset::make_task_dataset(
+               variant_traces_[std::make_pair(src, variant.tag())], task));
+  return jt->second;
+}
+
 const dataset::CleaningReport& BenchmarkEnv::cleaning_report(
     dataset::SourceDataset src) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   ensure_source(src);
   return cleaning_[src];
+}
+
+const dataset::CleaningReport& BenchmarkEnv::cleaning_report(
+    dataset::SourceDataset src, const trafficgen::TraceVariant& variant) {
+  if (variant.is_default()) return cleaning_report(src);
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ensure_source(src, variant);
+  return variant_cleaning_[std::make_pair(src, variant.tag())];
 }
 
 const dataset::PacketDataset& BenchmarkEnv::backbone() {

@@ -55,9 +55,20 @@ class BenchmarkEnv {
   /// Cleaned task dataset (cached per task).
   const dataset::PacketDataset& task_dataset(dataset::TaskId task);
 
+  /// Variant-parameterized view of a task (scenario-diversity cells): the
+  /// source trace is regenerated with the drift/family/reshaping knobs
+  /// applied, cleaned with the same pipeline, and cached per
+  /// (task, variant.tag()). The default variant aliases the base cache.
+  const dataset::PacketDataset& task_dataset(dataset::TaskId task,
+                                             const trafficgen::TraceVariant& variant);
+
   /// Cleaning census per source dataset (available after the first access,
   /// or via force_clean()).
   const dataset::CleaningReport& cleaning_report(dataset::SourceDataset src);
+
+  /// Cleaning census of a variant-parameterized source.
+  const dataset::CleaningReport& cleaning_report(dataset::SourceDataset src,
+                                                 const trafficgen::TraceVariant& variant);
 
   /// Unlabelled backbone pre-training dataset (cached).
   const dataset::PacketDataset& backbone();
@@ -72,6 +83,8 @@ class BenchmarkEnv {
 
  private:
   void ensure_source(dataset::SourceDataset src);
+  void ensure_source(dataset::SourceDataset src,
+                     const trafficgen::TraceVariant& variant);
 
   EnvConfig cfg_;
   /// Guards every lazily-built cache so concurrent supervisor cells
@@ -83,6 +96,13 @@ class BenchmarkEnv {
   std::map<dataset::SourceDataset, trafficgen::GeneratedTrace> traces_;
   std::map<dataset::SourceDataset, dataset::CleaningReport> cleaning_;
   std::map<dataset::TaskId, dataset::PacketDataset> tasks_;
+  /// Non-default variants, keyed by the variant's canonical tag.
+  std::map<std::pair<dataset::SourceDataset, std::string>, trafficgen::GeneratedTrace>
+      variant_traces_;
+  std::map<std::pair<dataset::SourceDataset, std::string>, dataset::CleaningReport>
+      variant_cleaning_;
+  std::map<std::pair<dataset::TaskId, std::string>, dataset::PacketDataset>
+      variant_tasks_;
   std::optional<dataset::PacketDataset> backbone_;
   std::map<std::pair<replearn::ModelKind, replearn::TaskMode>, replearn::ModelBundle>
       pretrained_;

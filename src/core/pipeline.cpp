@@ -36,13 +36,22 @@ struct Partitions {
   dataset::LeakageReport audit;
 };
 
-Partitions make_partitions(const dataset::PacketDataset& ds, std::size_t max_train,
-                           std::size_t max_test, const ScenarioOptions& opts) {
+/// `ds` is the training-side dataset; `test_ds` supplies the held-out
+/// partition and may be a different generation (drift epoch, capture
+/// family). When both refer to the same object the legacy single-dataset
+/// path runs unchanged; otherwise `test_ds` is split with the same
+/// policy/seed and only its held-out half is used, so a cross-variant cell
+/// never tests on packets whose flows were trained on in either world.
+Partitions make_partitions(const dataset::PacketDataset& ds,
+                           const dataset::PacketDataset& test_ds,
+                           std::size_t max_train, std::size_t max_test,
+                           const ScenarioOptions& opts) {
   SUGAR_TRACE_SPAN("pipeline.partition");
   dataset::SplitOptions sopts;
   sopts.policy = opts.split;
   sopts.seed = opts.seed;
   auto split = dataset::split_dataset(ds, sopts);
+  const bool cross = &test_ds != &ds;
 
   auto train_idx = dataset::cap_flow_length(ds, split.train, 1000, opts.seed ^ 1);
   train_idx = dataset::balance_train(ds, train_idx, opts.seed ^ 2);
@@ -50,10 +59,10 @@ Partitions make_partitions(const dataset::PacketDataset& ds, std::size_t max_tra
     double frac = static_cast<double>(max_train) / static_cast<double>(train_idx.size());
     train_idx = dataset::stratified_sample(ds, train_idx, frac, opts.seed ^ 3);
   }
-  auto test_idx = split.test;
+  auto test_idx = cross ? dataset::split_dataset(test_ds, sopts).test : split.test;
   if (test_idx.size() > max_test) {
     double frac = static_cast<double>(max_test) / static_cast<double>(test_idx.size());
-    test_idx = dataset::stratified_sample(ds, test_idx, frac, opts.seed ^ 4);
+    test_idx = dataset::stratified_sample(test_ds, test_idx, frac, opts.seed ^ 4);
   }
 
   if (train_idx.empty() || test_idx.empty())
@@ -65,19 +74,42 @@ Partitions make_partitions(const dataset::PacketDataset& ds, std::size_t max_tra
                        " of " + std::to_string(ds.size()) + " packets)");
 
   Partitions parts;
-  parts.audit = dataset::audit_split(ds, {.train = train_idx, .test = test_idx});
+  // The leakage audit covers the training dataset's own split; a cross-
+  // variant held-out side is a distinct generation and cannot share flows
+  // with the training partition by construction.
+  parts.audit = dataset::audit_split(
+      ds, {.train = train_idx, .test = cross ? split.test : test_idx});
   parts.train = ds.subset(train_idx);
-  parts.test = ds.subset(test_idx);
+  parts.test = test_ds.subset(test_idx);
   dataset::apply_ablation(parts.train, opts.train_ablation, opts.seed ^ 5);
   dataset::apply_ablation(parts.test, opts.test_ablation, opts.seed ^ 6);
+  // Adversarial jitter is strictly test-time: the training partition never
+  // sees it, mirroring a deployment stack that changed after training.
+  dataset::apply_perturbation(parts.test, opts.perturb, opts.seed ^ 0xAD7);
   return parts;
 }
 
-IngestHealth ingest_health(BenchmarkEnv& env, dataset::TaskId task) {
-  const auto& census = env.cleaning_report(dataset::source_of(task));
+Partitions make_partitions(const dataset::PacketDataset& ds, std::size_t max_train,
+                           std::size_t max_test, const ScenarioOptions& opts) {
+  return make_partitions(ds, ds, max_train, max_test, opts);
+}
+
+IngestHealth ingest_health(BenchmarkEnv& env, dataset::TaskId task,
+                           const trafficgen::TraceVariant& variant) {
+  const auto& census = env.cleaning_report(dataset::source_of(task), variant);
   return {.source_packets = census.total_packets,
           .malformed_frames = census.removed_malformed,
           .spurious_removed = census.removed_spurious_total()};
+}
+
+/// The held-out dataset for a scenario: the training dataset itself unless
+/// the test variant differs (drift / cross-family cells).
+const dataset::PacketDataset& test_dataset_for(BenchmarkEnv& env,
+                                               dataset::TaskId task,
+                                               const dataset::PacketDataset& train_ds,
+                                               const ScenarioOptions& opts) {
+  if (opts.test_variant == opts.train_variant) return train_ds;
+  return env.task_dataset(task, opts.test_variant);
 }
 
 replearn::DownstreamConfig downstream_config(const EnvConfig& env_cfg,
@@ -127,9 +159,10 @@ ScenarioResult run_packet_scenario_with_bundle(BenchmarkEnv& env,
                                                dataset::TaskId task,
                                                replearn::ModelBundle bundle,
                                                const ScenarioOptions& opts) {
-  const auto& ds = env.task_dataset(task);
+  const auto& ds = env.task_dataset(task, opts.train_variant);
+  const auto& test_ds = test_dataset_for(env, task, ds, opts);
   const auto& ec = env.config();
-  Partitions parts = make_partitions(ds, ec.max_train_packets_deep,
+  Partitions parts = make_partitions(ds, test_ds, ec.max_train_packets_deep,
                                      ec.max_test_packets_deep, opts);
 
   if (opts.discard_pretraining) bundle.encoder->reinitialize(opts.seed ^ 0xF00D);
@@ -150,7 +183,7 @@ ScenarioResult run_packet_scenario_with_bundle(BenchmarkEnv& env,
   result.audit = parts.audit;
   result.n_train = parts.train.size();
   result.n_test = parts.test.size();
-  result.ingest = ingest_health(env, task);
+  result.ingest = ingest_health(env, task, opts.train_variant);
 
   auto t0 = Clock::now();
   {
@@ -185,13 +218,14 @@ ScenarioResult run_flow_scenario(BenchmarkEnv& env, dataset::TaskId task,
                                  replearn::ModelKind model,
                                  const ScenarioOptions& opts,
                                  std::size_t min_flow_len) {
-  const auto& ds = env.task_dataset(task);
+  const auto& ds = env.task_dataset(task, opts.train_variant);
+  const auto& test_ds = test_dataset_for(env, task, ds, opts);
   // Only per-flow split is meaningful here (the paper: "Only per-flow split
   // is viable in this case").
   ScenarioOptions flow_opts = opts;
   flow_opts.split = dataset::SplitPolicy::PerFlow;
   const auto& ec = env.config();
-  Partitions parts = make_partitions(ds, ec.max_train_packets_deep,
+  Partitions parts = make_partitions(ds, test_ds, ec.max_train_packets_deep,
                                      ec.max_test_packets_deep, flow_opts);
 
   auto collect_flows = [&](const dataset::PacketDataset& part) {
@@ -214,7 +248,7 @@ ScenarioResult run_flow_scenario(BenchmarkEnv& env, dataset::TaskId task,
   result.audit = parts.audit;
   result.n_train = train_flows.size();
   result.n_test = test_flows.size();
-  result.ingest = ingest_health(env, task);
+  result.ingest = ingest_health(env, task, opts.train_variant);
   if (train_flows.empty() || test_flows.empty())
     throw RunError(RunErrorKind::kEmptyPartition,
                    "no flows with >= " + std::to_string(min_flow_len) +
@@ -295,10 +329,11 @@ ScenarioResult run_flow_scenario(BenchmarkEnv& env, dataset::TaskId task,
 ShallowResult run_shallow_scenario(BenchmarkEnv& env, dataset::TaskId task,
                                    ShallowKind kind, bool include_ip,
                                    const ScenarioOptions& opts) {
-  const auto& ds = env.task_dataset(task);
+  const auto& ds = env.task_dataset(task, opts.train_variant);
+  const auto& test_ds = test_dataset_for(env, task, ds, opts);
   const auto& ec = env.config();
-  Partitions parts = make_partitions(ds, ec.max_train_packets, ec.max_test_packets,
-                                     opts);
+  Partitions parts = make_partitions(ds, test_ds, ec.max_train_packets,
+                                     ec.max_test_packets, opts);
 
   replearn::HeaderFeatureSpec spec{.include_ip_addresses = include_ip};
   ml::Matrix x_train, x_test;
@@ -311,7 +346,7 @@ ShallowResult run_shallow_scenario(BenchmarkEnv& env, dataset::TaskId task,
   }
 
   ShallowResult result;
-  result.ingest = ingest_health(env, task);
+  result.ingest = ingest_health(env, task, opts.train_variant);
   result.feature_names = replearn::header_feature_names(spec);
 
   std::vector<int> pred;

@@ -35,6 +35,15 @@ struct ScenarioOptions {
   /// Random-forest tree count override for scaling ladders (0 = the
   /// ForestConfig default). Cells varying this must put it in their key.
   int forest_trees = 0;
+  /// Scenario diversity: the dataset variant the training partition is
+  /// generated from, and the (possibly different) variant the held-out
+  /// partition comes from — train-on-epoch-0/test-on-epoch-N drift cells
+  /// and train-on-family-A/test-on-family-B transfer cells.
+  trafficgen::TraceVariant train_variant;
+  trafficgen::TraceVariant test_variant;
+  /// Adversarial header jitter applied to the held-out partition only,
+  /// after test ablations. Seeded and deterministic.
+  dataset::PerturbSpec perturb;
 
   // --- Runtime knobs set by the supervisor, excluded from journal keys. ---
   /// Learning-rate multiplier; the divergence retry halves it per attempt.

@@ -110,6 +110,16 @@ std::string scenario_cell_key(dataset::TaskId task, std::string_view model,
   canon += ";nopre=" + std::string(opts.discard_pretraining ? "1" : "0");
   canon += ";seed=" + std::to_string(opts.seed);
   canon += ";emb=" + std::to_string(opts.export_embeddings);
+  // Scenario-diversity parameters join the fingerprint only when active, so
+  // pre-existing journals and golden artifacts keep their keys while any
+  // drift-epoch / family / perturbation change invalidates stale cells.
+  if (opts.forest_trees > 0)
+    canon += ";trees=" + std::to_string(opts.forest_trees);
+  if (!opts.train_variant.is_default() || !opts.test_variant.is_default()) {
+    canon += ";var_train=" + opts.train_variant.tag();
+    canon += ";var_test=" + opts.test_variant.tag();
+  }
+  if (opts.perturb.any()) canon += ";perturb=" + opts.perturb.tag();
   return hex64(fnv1a64(canon));
 }
 

@@ -25,4 +25,25 @@ void apply_ablation(PacketDataset& ds, const AblationSpec& spec, std::uint64_t s
   }
 }
 
+std::string PerturbSpec::tag() const {
+  if (!any()) return "none";
+  return "ttl" + std::to_string(ttl_jitter) + ".win" + std::to_string(window_jitter) +
+         ".mss" + std::to_string(mss_jitter);
+}
+
+void apply_perturbation(PacketDataset& ds, const PerturbSpec& spec,
+                        std::uint64_t seed) {
+  if (!spec.any()) return;
+  std::mt19937_64 rng(seed);
+  for (std::size_t i = 0; i < ds.packets.size(); ++i) {
+    net::Packet& pkt = ds.packets[i];
+    if (spec.ttl_jitter > 0) net::jitter_ttl(pkt, spec.ttl_jitter, rng);
+    if (spec.window_jitter > 0) net::jitter_tcp_window(pkt, spec.window_jitter, rng);
+    if (spec.mss_jitter > 0) net::jitter_tcp_mss(pkt, spec.mss_jitter, rng);
+
+    auto outcome = net::parse_packet(pkt);
+    if (outcome.ok()) ds.parsed[i] = *outcome.parsed;
+  }
+}
+
 }  // namespace sugar::dataset

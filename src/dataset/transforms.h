@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "dataset/task.h"
 
@@ -33,5 +34,29 @@ struct AblationSpec {
 /// Applies the spec to every packet of the (sub)dataset in place, refreshing
 /// the parse cache.
 void apply_ablation(PacketDataset& ds, const AblationSpec& spec, std::uint64_t seed);
+
+/// Test-time adversarial header perturbation: bounded random jitter on TTL /
+/// TCP window / TCP MSS. Applied to the *held-out* partition only — it
+/// models a deployment stack whose header fingerprints moved after training.
+/// Seeded and deterministic: the same (dataset, spec, seed) always produces
+/// the same perturbed bytes.
+struct PerturbSpec {
+  int ttl_jitter = 0;     // TTL moves by at most this many hops
+  int window_jitter = 0;  // window moves by at most this many bytes
+  int mss_jitter = 0;     // MSS option moves by at most this many bytes
+
+  [[nodiscard]] bool any() const {
+    return ttl_jitter > 0 || window_jitter > 0 || mss_jitter > 0;
+  }
+
+  /// Canonical short string for cache/journal keys ("none" when inactive,
+  /// so default fingerprints stay stable across versions).
+  [[nodiscard]] std::string tag() const;
+};
+
+/// Applies the spec to every packet of the (sub)dataset in place, refreshing
+/// the parse cache. No-op (zero RNG draws) when !spec.any().
+void apply_perturbation(PacketDataset& ds, const PerturbSpec& spec,
+                        std::uint64_t seed);
 
 }  // namespace sugar::dataset

@@ -1,5 +1,7 @@
 #include "net/mutate.h"
 
+#include <algorithm>
+
 #include "net/checksum.h"
 #include "net/parser.h"
 
@@ -193,6 +195,76 @@ bool strip_payload(Packet& pkt) {
     std::uint16_t new_len = static_cast<std::uint16_t>(p.payload_offset - p.l4_offset);
     put_u16be(d, p.l4_offset + 4, new_len);
   }
+  refresh_checksums(pkt);
+  return true;
+}
+
+namespace {
+
+int draw_delta(int max_delta, std::mt19937_64& rng) {
+  if (max_delta <= 0) return 0;
+  auto span = static_cast<std::uint64_t>(2 * max_delta + 1);
+  return static_cast<int>(rng() % span) - max_delta;
+}
+
+/// Byte offset of the TCP MSS option value (kind 2, len 4), or 0 if absent.
+std::size_t tcp_mss_offset(const Packet& pkt, const ParsedPacket& p) {
+  if (!p.tcp) return 0;
+  std::size_t off = p.l4_offset + 20;
+  std::size_t end = p.l4_offset + p.tcp->header_len();
+  while (off < end && off < pkt.data.size()) {
+    std::uint8_t kind = pkt.data[off];
+    if (kind == 0) break;
+    if (kind == 1) {
+      ++off;
+      continue;
+    }
+    if (off + 1 >= pkt.data.size()) break;
+    std::uint8_t len = pkt.data[off + 1];
+    if (len < 2) break;
+    if (kind == 2 && len == 4) return off + 2;
+    off += len;
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool jitter_ttl(Packet& pkt, int max_delta, std::mt19937_64& rng) {
+  auto outcome = parse_packet(pkt);
+  if (!outcome.ok() || !outcome.parsed->has_ip()) return false;
+  const ParsedPacket& p = *outcome.parsed;
+  std::size_t off = p.ipv4 ? p.l3_offset + 8 : p.l3_offset + 7;
+  if (off >= pkt.data.size()) return false;
+  int delta = draw_delta(max_delta, rng);
+  int ttl = std::clamp(static_cast<int>(pkt.data[off]) + delta, 1, 255);
+  pkt.data[off] = static_cast<std::uint8_t>(ttl);
+  refresh_checksums(pkt);
+  return true;
+}
+
+bool jitter_tcp_window(Packet& pkt, int max_delta, std::mt19937_64& rng) {
+  auto outcome = parse_packet(pkt);
+  if (!outcome.ok() || !outcome.parsed->tcp) return false;
+  std::size_t off = outcome.parsed->l4_offset + 14;
+  if (off + 2 > pkt.data.size()) return false;
+  int win = (pkt.data[off] << 8) | pkt.data[off + 1];
+  int delta = draw_delta(max_delta, rng);
+  win = std::clamp(win + delta, 1, 65535);
+  put_u16be(pkt.data, off, static_cast<std::uint16_t>(win));
+  refresh_checksums(pkt);
+  return true;
+}
+
+bool jitter_tcp_mss(Packet& pkt, int max_delta, std::mt19937_64& rng) {
+  auto outcome = parse_packet(pkt);
+  if (!outcome.ok()) return false;
+  std::size_t off = tcp_mss_offset(pkt, *outcome.parsed);
+  if (off == 0 || off + 2 > pkt.data.size()) return false;
+  int mss = (pkt.data[off] << 8) | pkt.data[off + 1];
+  int delta = draw_delta(max_delta, rng);
+  mss = std::clamp(mss + delta, 536, 65495);
+  put_u16be(pkt.data, off, static_cast<std::uint16_t>(mss));
   refresh_checksums(pkt);
   return true;
 }

@@ -47,4 +47,18 @@ bool zero_headers(Packet& pkt);
 /// byte edits. No-op for non-IP frames.
 void refresh_checksums(Packet& pkt);
 
+/// Test-time adversarial header jitter (scenario-diversity benches). Each
+/// function moves one header field by a uniform delta in [-max_delta,
+/// +max_delta], clamped to the field's valid range, and re-fixes checksums.
+/// Deterministic given the rng state; returns false when the field is absent.
+
+/// IPv4 TTL / IPv6 hop limit.
+bool jitter_ttl(Packet& pkt, int max_delta, std::mt19937_64& rng);
+
+/// TCP advertised window.
+bool jitter_tcp_window(Packet& pkt, int max_delta, std::mt19937_64& rng);
+
+/// TCP MSS option value (SYN packets carrying option kind 2).
+bool jitter_tcp_mss(Packet& pkt, int max_delta, std::mt19937_64& rng);
+
 }  // namespace sugar::net

@@ -20,15 +20,16 @@ net::MacAddress client_mac(Rng& rng) {
 
 const net::MacAddress kGatewayMac{{0x02, 0x00, 0x5E, 0x10, 0x01, 0x01}};
 
-Endpoint make_client(Rng& rng) {
+Endpoint make_client(const AppProfile& p, Rng& rng) {
   Endpoint ep;
   ep.mac = client_mac(rng);
   ep.ip = net::Ipv4Address::from_octets(
-      192, 168, static_cast<std::uint8_t>(rng.uniform_int(0, 7)),
+      p.client_subnet_a, p.client_subnet_b,
+      static_cast<std::uint8_t>(rng.uniform_int(0, 7)),
       static_cast<std::uint8_t>(rng.uniform_int(2, 250)));
   ep.port = static_cast<std::uint16_t>(rng.uniform_int(32768, 60999));
-  ep.ttl = rng.chance(0.7) ? 64 : 128;
-  ep.window = static_cast<std::uint16_t>(0xFA00);
+  ep.ttl = rng.chance(0.7) ? p.client_ttl_hi : p.client_ttl_lo;
+  ep.window = p.client_window;
   ep.ts_base = rng.u32();
   ep.ip_id = rng.u16();
   return ep;
@@ -99,6 +100,12 @@ std::vector<std::uint8_t> make_message(const AppProfile& p, bool from_client, Rn
     case PayloadKind::OpenVpn:
     case PayloadKind::RawEncrypted:
       return encrypted_payload(rng, n);
+    case PayloadKind::QuicLike:
+      // Large client messages pad out to Initial-style long-header packets;
+      // everything else rides in short-header 1-RTT datagrams.
+      return quic_payload(rng, n, from_client && n >= 600);
+    case PayloadKind::DohLike:
+      return doh_payload(rng, n);
   }
   return encrypted_payload(rng, n);
 }
@@ -108,7 +115,7 @@ std::vector<std::uint8_t> make_message(const AppProfile& p, bool from_client, Rn
 std::vector<net::Packet> generate_flow(const AppProfile& p, bool vpn, Rng& rng,
                                        std::uint64_t start_usec,
                                        std::vector<std::size_t>* strip_indices) {
-  Endpoint client = make_client(rng);
+  Endpoint client = make_client(p, rng);
   Endpoint server = make_server(p, vpn, rng);
   std::size_t rounds = rng.geometric_count(p.mean_rounds);
 
@@ -128,7 +135,7 @@ std::vector<net::Packet> generate_flow(const AppProfile& p, bool vpn, Rng& rng,
       // UDP datagrams are bounded by the MTU: fragment large messages.
       std::size_t off = 0;
       while (off < resp.size()) {
-        std::size_t seg = std::min<std::size_t>(resp.size() - off, 1400);
+        std::size_t seg = std::min<std::size_t>(resp.size() - off, p.udp_payload_cap);
         s.send(false, std::vector<std::uint8_t>(
                           resp.begin() + static_cast<std::ptrdiff_t>(off),
                           resp.begin() + static_cast<std::ptrdiff_t>(off + seg)));
@@ -172,13 +179,28 @@ std::vector<net::Packet> generate_flow(const AppProfile& p, bool vpn, Rng& rng,
 
 namespace {
 
+/// Per-flow transport/framing reshaping drawn from the variant's
+/// quic/doh fractions; Plain keeps the profile's native shape.
+enum class FlowShape : std::uint8_t { Plain, Quic, Doh };
+
 struct FlowJob {
   int cls;
   int service;
   int binary;
   bool vpn;
   const AppProfile* profile;
+  FlowShape shape = FlowShape::Plain;
 };
+
+/// Draws the flow's shape. Draws from `rng` ONLY when a reshaping fraction
+/// is set, so default-variant generation consumes the exact legacy stream.
+FlowShape draw_shape(const TraceVariant& v, Rng& rng) {
+  if (v.quic_fraction <= 0 && v.doh_fraction <= 0) return FlowShape::Plain;
+  double u = rng.uniform();
+  if (u < v.quic_fraction) return FlowShape::Quic;
+  if (u < v.quic_fraction + v.doh_fraction) return FlowShape::Doh;
+  return FlowShape::Plain;
+}
 
 GeneratedTrace assemble(const std::string& name,
                         const std::vector<AppProfile>& profiles,
@@ -203,7 +225,16 @@ GeneratedTrace assemble(const std::string& name,
     std::uint64_t start =
         static_cast<std::uint64_t>(flow_rng.uniform(0, static_cast<double>(window_usec)));
     std::vector<std::size_t> strip;
-    auto pkts = generate_flow(*job.profile, job.vpn, flow_rng, start,
+    const AppProfile* prof = job.profile;
+    AppProfile shaped;
+    if (job.shape == FlowShape::Quic) {
+      shaped = quic_profile(*prof);
+      prof = &shaped;
+    } else if (job.shape == FlowShape::Doh) {
+      shaped = doh_profile(*prof);
+      prof = &shaped;
+    }
+    auto pkts = generate_flow(*prof, job.vpn, flow_rng, start,
                               strip_handshake ? &strip : nullptr);
     if (strip_handshake && !strip.empty()) {
       std::sort(strip.rbegin(), strip.rend());
@@ -269,14 +300,19 @@ std::size_t GeneratedTrace::num_spurious() const {
 }
 
 GeneratedTrace generate_iscx_vpn(const GenOptions& opts) {
-  auto profiles = iscx_vpn_profiles();
+  auto profiles = apply_variant(iscx_vpn_profiles(), opts.variant);
   Rng rng(opts.seed ^ 0x15C9);
   std::vector<FlowJob> jobs;
   for (const auto& p : profiles) {
-    for (std::size_t i = 0; i < opts.flows_per_class; ++i) {
+    std::size_t n = variant_class_flows(opts.flows_per_class, p.class_id,
+                                        opts.variant.imbalance_gamma);
+    for (std::size_t i = 0; i < n; ++i) {
       bool vpn = rng.chance(opts.vpn_fraction);
+      FlowShape shape = draw_shape(opts.variant, rng);
+      if (shape != FlowShape::Plain) vpn = false;  // reshaped flows aren't tunnelled
       jobs.push_back({.cls = p.class_id, .service = p.service_id,
-                      .binary = vpn ? 1 : 0, .vpn = vpn, .profile = &p});
+                      .binary = vpn ? 1 : 0, .vpn = vpn, .profile = &p,
+                      .shape = shape});
     }
   }
   auto trace = assemble("ISCX-VPN", profiles, jobs, opts, /*strip=*/false);
@@ -287,22 +323,31 @@ GeneratedTrace generate_iscx_vpn(const GenOptions& opts) {
 }
 
 GeneratedTrace generate_ustc_tfc(const GenOptions& opts) {
-  auto profiles = ustc_tfc_profiles();
+  auto profiles = apply_variant(ustc_tfc_profiles(), opts.variant);
+  Rng shape_rng(opts.seed ^ 0xD1F7);  // draws only when reshaping is enabled
   std::vector<FlowJob> jobs;
-  for (const auto& p : profiles)
-    for (std::size_t i = 0; i < opts.flows_per_class; ++i)
+  for (const auto& p : profiles) {
+    std::size_t n = variant_class_flows(opts.flows_per_class, p.class_id,
+                                        opts.variant.imbalance_gamma);
+    for (std::size_t i = 0; i < n; ++i)
       jobs.push_back({.cls = p.class_id, .service = -1,
-                      .binary = p.malicious ? 1 : 0, .vpn = false, .profile = &p});
+                      .binary = p.malicious ? 1 : 0, .vpn = false, .profile = &p,
+                      .shape = draw_shape(opts.variant, shape_rng)});
+  }
   return assemble("USTC-TFC", profiles, jobs, opts, /*strip=*/false);
 }
 
 GeneratedTrace generate_cstn_tls120(const GenOptions& opts) {
-  auto profiles = cstn_tls120_profiles();
+  auto profiles = apply_variant(cstn_tls120_profiles(), opts.variant);
+  Rng shape_rng(opts.seed ^ 0xD1F7);  // draws only when reshaping is enabled
   std::vector<FlowJob> jobs;
-  for (const auto& p : profiles)
-    for (std::size_t i = 0; i < opts.flows_per_class; ++i)
+  for (const auto& p : profiles) {
+    std::size_t n = variant_class_flows(opts.flows_per_class, p.class_id,
+                                        opts.variant.imbalance_gamma);
+    for (std::size_t i = 0; i < n; ++i)
       jobs.push_back({.cls = p.class_id, .service = -1, .binary = -1, .vpn = false,
-                      .profile = &p});
+                      .profile = &p, .shape = draw_shape(opts.variant, shape_rng)});
+  }
   return assemble("CSTN-TLS1.3", profiles, jobs, opts, opts.strip_tls_handshake);
 }
 

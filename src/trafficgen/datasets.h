@@ -10,6 +10,7 @@
 #include "net/packet.h"
 #include "trafficgen/profiles.h"
 #include "trafficgen/rng.h"
+#include "trafficgen/variant.h"
 
 namespace sugar::trafficgen {
 
@@ -45,6 +46,10 @@ struct GenOptions {
   /// CSTN public-dataset behaviour: drop the TCP three-way handshake and
   /// the initial ClientHello, leaving an everything-encrypted trace.
   bool strip_tls_handshake = false;
+  /// Scenario-diversity knobs (drift epoch, capture family, QUIC/DoH
+  /// reshaping, imbalance). The default is the identity transform:
+  /// generation is byte-identical to a pre-variant build.
+  TraceVariant variant;
 };
 
 GeneratedTrace generate_iscx_vpn(const GenOptions& opts);

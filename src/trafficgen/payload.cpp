@@ -192,4 +192,50 @@ std::vector<std::uint8_t> dns_query_payload(Rng& rng, const std::string& qname) 
   return out;
 }
 
+std::vector<std::uint8_t> quic_payload(Rng& rng, std::size_t n, bool long_header) {
+  std::vector<std::uint8_t> out;
+  if (long_header) {
+    // v1 long header, Initial-style: fixed bit + long-header bit, random
+    // reserved/packet-number-length bits.
+    out.push_back(static_cast<std::uint8_t>(0xC0 | (rng.u8() & 0x0F)));
+    out.insert(out.end(), {0x00, 0x00, 0x00, 0x01});  // version 1
+    out.push_back(8);  // DCID length
+    append_random(out, rng, 8);
+    out.push_back(8);  // SCID length
+    append_random(out, rng, 8);
+    out.push_back(0);  // token length varint: no token
+    std::size_t target = std::max<std::size_t>(n, 1200);
+    std::size_t body = std::min<std::size_t>(target - out.size() - 2, 16383);
+    // 2-byte varint length (prefix 0b01) covering packet number + payload.
+    out.push_back(static_cast<std::uint8_t>(0x40 | (body >> 8)));
+    out.push_back(static_cast<std::uint8_t>(body));
+    append_random(out, rng, body);
+  } else {
+    // Short header 1-RTT packet: fixed bit + random spin/key-phase bits,
+    // then an 8-byte DCID and ciphertext.
+    out.push_back(static_cast<std::uint8_t>(0x40 | (rng.u8() & 0x3F)));
+    append_random(out, rng, 8);
+    append_random(out, rng, n > 9 ? n - 9 : 1);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> doh_payload(Rng& rng, std::size_t n) {
+  std::vector<std::uint8_t> out;
+  std::size_t left = std::max<std::size_t>(n, 20);
+  while (left > 0) {
+    // DNS messages are tens-to-low-hundreds of bytes; each rides in its
+    // own application-data record, giving DoH its many-small-records shape.
+    std::size_t rec = std::min<std::size_t>(
+        left, 30 + static_cast<std::size_t>(rng.uniform_int(0, 110)));
+    out.push_back(0x17);
+    out.push_back(0x03);
+    out.push_back(0x03);
+    append_u16be(out, static_cast<std::uint16_t>(rec));
+    append_random(out, rng, rec);
+    left -= rec;
+  }
+  return out;
+}
+
 }  // namespace sugar::trafficgen

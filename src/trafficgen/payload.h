@@ -49,4 +49,13 @@ std::vector<std::uint8_t> c2_beacon_payload(Rng& rng, std::uint32_t family_magic
 /// DNS-query-shaped UDP payload (for spurious/background traffic).
 std::vector<std::uint8_t> dns_query_payload(Rng& rng, const std::string& qname);
 
+/// QUIC-shaped UDP datagram payload: a v1 long-header packet (Initial-style,
+/// random connection ids, padded to at least 1200 bytes) when `long_header`,
+/// otherwise a short-header 1-RTT packet. Ciphertext is random bytes.
+std::vector<std::uint8_t> quic_payload(Rng& rng, std::size_t n, bool long_header);
+
+/// DoH-style TLS payload: a run of small DNS-message-sized application-data
+/// records (type 0x17) around random bytes, totalling at least n bytes.
+std::vector<std::uint8_t> doh_payload(Rng& rng, std::size_t n);
+
 }  // namespace sugar::trafficgen

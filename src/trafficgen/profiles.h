@@ -17,6 +17,8 @@ enum class PayloadKind : std::uint8_t {
   OpenVpn,      // OpenVPN/UDP encapsulation, fully random inner bytes
   C2Beacon,     // malware command-and-control beacons with a family magic
   RawEncrypted, // bare random bytes (e.g., proprietary VoIP crypto)
+  QuicLike,     // QUIC long/short-header framing around random bytes (UDP/443)
+  DohLike,      // DoH-style runs of small DNS-sized TLS records
 };
 
 /// ISCX-VPN service taxonomy (task VPN-service).
@@ -60,6 +62,15 @@ struct AppProfile {
   std::uint16_t mss = 1460;
   /// DSCP/ToS marking (some operators mark traffic classes).
   std::uint8_t tos = 0;
+
+  /// Client-population fingerprint (constant within a capture family, so
+  /// it carries no class signal; it *differs across families*, which is
+  /// what makes cross-family transfer a real distribution shift).
+  std::uint8_t client_subnet_a = 192, client_subnet_b = 168;
+  std::uint8_t client_ttl_hi = 64, client_ttl_lo = 128;  // chance(0.7) -> hi
+  std::uint16_t client_window = 0xFA00;
+  /// MTU-derived bound on a single UDP datagram's payload.
+  std::uint16_t udp_payload_cap = 1400;
 
   PayloadKind payload = PayloadKind::TlsRecords;
   std::uint32_t c2_magic = 0;

@@ -534,5 +534,99 @@ TEST(CellKeys, ScenarioKeyCoversResultAffectingOptionsOnly) {
             scenario_cell_key(dataset::TaskId::Tls120, "m2", a));
 }
 
+TEST(CellKeys, ScenarioKeyCoversVariantAndPerturbation) {
+  const auto key = [](const ScenarioOptions& o) {
+    return scenario_cell_key(dataset::TaskId::VpnApp, "m", o);
+  };
+  ScenarioOptions base;
+  const std::string base_key = key(base);
+
+  // Identity variants and a zero perturbation leave the key at its legacy
+  // form — checked-in goldens fingerprint cells with that shape.
+  ScenarioOptions same = base;
+  same.train_variant = trafficgen::TraceVariant{};
+  same.test_variant = trafficgen::TraceVariant{};
+  same.perturb = dataset::PerturbSpec{};
+  EXPECT_EQ(key(same), base_key);
+  EXPECT_EQ(base_key.find(";var_train="), std::string::npos);
+  EXPECT_EQ(base_key.find(";perturb="), std::string::npos);
+
+  // Every scenario-diversity knob must move the fingerprint.
+  ScenarioOptions drift = base;
+  drift.test_variant.drift_epoch = 2;
+  EXPECT_NE(key(drift), base_key);
+  ScenarioOptions fam = base;
+  fam.train_variant.family = 1;
+  EXPECT_NE(key(fam), base_key);
+  EXPECT_NE(key(fam), key(drift));
+  ScenarioOptions quic = base;
+  quic.test_variant.quic_fraction = 0.5;
+  EXPECT_NE(key(quic), base_key);
+  ScenarioOptions imb = base;
+  imb.train_variant.imbalance_gamma = 0.7;
+  EXPECT_NE(key(imb), base_key);
+  ScenarioOptions pert = base;
+  pert.perturb.ttl_jitter = 8;
+  EXPECT_NE(key(pert), base_key);
+  ScenarioOptions pert2 = pert;
+  pert2.perturb.window_jitter = 4096;
+  EXPECT_NE(key(pert2), key(pert));
+
+  // Train/test variants are fingerprinted separately: swapping the sides
+  // is a different cell.
+  ScenarioOptions ab = base;
+  ab.test_variant.family = 1;
+  ScenarioOptions ba = base;
+  ba.train_variant.family = 1;
+  EXPECT_NE(key(ab), key(ba));
+}
+
+// A changed perturbation (or variant) config must NOT resume from a
+// checkpointed cell that ran under the old config: the journal fingerprint
+// includes both, so the supervisor recomputes instead of serving stale
+// results.
+TEST_F(SupervisorTest, ChangedPerturbationInvalidatesJournaledCells) {
+  auto cfg = config();
+  ScenarioOptions clean;
+  ScenarioOptions jittered;
+  jittered.perturb.ttl_jitter = 8;
+  jittered.perturb.window_jitter = 4096;
+  const auto task = dataset::TaskId::VpnApp;
+  {
+    RunSupervisor sup(cfg);
+    sup.run_cell({"t", "m", "clean", scenario_cell_key(task, "m", clean)},
+                 [](CellContext&) { return ok_summary(0.9, 0.8); });
+    EXPECT_TRUE(sup.finalize());
+  }
+
+  auto cfg2 = cfg;
+  cfg2.resume = true;
+  RunSupervisor sup(cfg2);
+  // Identical config: served from the journal.
+  bool recomputed = false;
+  auto cached = sup.run_cell({"t", "m", "clean", scenario_cell_key(task, "m", clean)},
+                             [&](CellContext&) {
+                               recomputed = true;
+                               return ok_summary(0.1, 0.1);
+                             });
+  EXPECT_FALSE(recomputed);
+  EXPECT_EQ(cached.status, CellStatus::kOkFromJournal);
+
+  // Same table/row/col but a perturbation now applies: must recompute.
+  auto fresh = sup.run_cell({"t", "m", "clean", scenario_cell_key(task, "m", jittered)},
+                            [](CellContext&) { return ok_summary(0.4, 0.3); });
+  EXPECT_EQ(fresh.status, CellStatus::kOk);
+  EXPECT_DOUBLE_EQ(fresh.summary.accuracy, 0.4);
+
+  // And a drifted test variant is a third, distinct cell.
+  ScenarioOptions drifted;
+  drifted.test_variant.drift_epoch = 3;
+  auto drift_cell = sup.run_cell(
+      {"t", "m", "clean", scenario_cell_key(task, "m", drifted)},
+      [](CellContext&) { return ok_summary(0.2, 0.2); });
+  EXPECT_EQ(drift_cell.status, CellStatus::kOk);
+  EXPECT_TRUE(sup.finalize());
+}
+
 }  // namespace
 }  // namespace sugar::core

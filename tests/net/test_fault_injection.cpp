@@ -6,6 +6,7 @@
 #include "net/parser.h"
 #include "net/pcap.h"
 #include "net/serializer.h"
+#include "trafficgen/payload.h"
 
 namespace sugar::net {
 namespace {
@@ -39,6 +40,41 @@ Packet udp_packet(std::uint8_t salt) {
   spec.udp = udp;
   spec.payload.assign(20 + salt, 0xEE);
   return build_packet(spec, 1'700'000'000'500'000ull + salt);
+}
+
+/// QUIC-shaped frame: UDP/443 carrying a long-header initial (first byte
+/// 0xC0|x, version 1) or a short-header 1-RTT packet.
+Packet quic_packet(std::uint8_t salt, bool long_header) {
+  FrameSpec spec;
+  Ipv4Header ip;
+  ip.src = Ipv4Address::from_octets(10, 1, 0, salt);
+  ip.dst = Ipv4Address::from_octets(192, 168, 2, salt);
+  spec.ipv4 = ip;
+  UdpHeader udp;
+  udp.src_port = long_header ? static_cast<std::uint16_t>(50200 + salt) : 443;
+  udp.dst_port = long_header ? 443 : static_cast<std::uint16_t>(50200 + salt);
+  spec.udp = udp;
+  trafficgen::Rng rng(0xAB00u + salt);
+  spec.payload = trafficgen::quic_payload(rng, long_header ? 1252 : 160, long_header);
+  return build_packet(spec, 1'700'000'001'000'000ull + salt);
+}
+
+/// DoH-shaped frame: TCP/443 carrying a burst of small TLS application
+/// records (0x17 0x03 0x03 framing).
+Packet doh_packet(std::uint8_t salt) {
+  FrameSpec spec;
+  Ipv4Header ip;
+  ip.src = Ipv4Address::from_octets(10, 2, 0, salt);
+  ip.dst = Ipv4Address::from_octets(9, 9, 9, salt);
+  spec.ipv4 = ip;
+  TcpHeader tcp;
+  tcp.src_port = static_cast<std::uint16_t>(51300 + salt);
+  tcp.dst_port = 443;
+  tcp.seq = 0x2000u * salt;
+  spec.tcp = tcp;
+  trafficgen::Rng rng(0xCD00u + salt);
+  spec.payload = trafficgen::doh_payload(rng, 200 + salt);
+  return build_packet(spec, 1'700'000'002'000'000ull + salt);
 }
 
 std::string serialize_pcap(const std::vector<Packet>& pkts) {
@@ -128,6 +164,82 @@ TEST(FaultInjection, FrameFuzz50k) {
   // The mutation mix must exercise both sides of the taxonomy heavily.
   EXPECT_GT(rejected, 5'000u);
   EXPECT_GT(parsed, 5'000u);
+}
+
+// The QUIC/DoH analogue of FrameFuzz50k: 50k mutants of UDP-encapsulated
+// QUIC and DoH-shaped TLS frames. The parser treats their payloads as
+// opaque, so the taxonomy and view invariants must hold exactly as for the
+// classic corpus.
+TEST(FaultInjection, QuicDohFrameFuzz50k) {
+  std::vector<Packet> corpus = {quic_packet(1, true), quic_packet(2, false),
+                                doh_packet(3), quic_packet(4, true),
+                                doh_packet(5)};
+  FaultInjector inj(4077);
+  std::size_t rejected = 0, parsed = 0;
+  for (std::size_t i = 0; i < 50'000; ++i) {
+    auto fault =
+        static_cast<FrameFault>(i % static_cast<std::size_t>(FrameFault::kCount));
+    Packet mutant = inj.mutate_frame(corpus[i % corpus.size()], fault);
+    auto outcome = parse_packet(mutant);
+    ASSERT_NE(outcome.parsed.has_value(), outcome.error.has_value())
+        << to_string(fault) << " @" << i;
+    if (outcome.ok()) {
+      ++parsed;
+      expect_parse_invariants(mutant, to_string(fault).c_str());
+    } else {
+      ++rejected;
+      ASSERT_LT(static_cast<std::size_t>(*outcome.error), kParseErrorCount);
+    }
+  }
+  EXPECT_GT(rejected, 5'000u);
+  EXPECT_GT(parsed, 5'000u);
+}
+
+// Pinned malformed-frame census for the QUIC/DoH stream shapes: a fixed
+// seeded mutation sequence over a fixed pcap must reproduce the exact
+// PcapReadStats totals. Any drift in the reader's damage accounting for the
+// new frame shapes — a record silently reclassified, a resync taken at a
+// different offset — trips this before it can bias a cleaning census.
+TEST(FaultInjection, QuicDohStreamCensusPinned) {
+  std::vector<Packet> pkts;
+  for (std::uint8_t i = 0; i < 8; ++i) {
+    if (i % 3 == 0)
+      pkts.push_back(quic_packet(i, true));
+    else if (i % 3 == 1)
+      pkts.push_back(doh_packet(i));
+    else
+      pkts.push_back(quic_packet(i, false));
+  }
+  std::string wire = serialize_pcap(pkts);
+
+  FaultInjector inj(90210);
+  PcapReadStats total;
+  std::size_t header_rejects = 0;
+  for (std::size_t i = 0; i < 128; ++i) {
+    auto fault = static_cast<StreamFault>(
+        i % static_cast<std::size_t>(StreamFault::kCount));
+    std::string mutant = inj.mutate_stream(wire, fault);
+    std::stringstream ss(mutant);
+    try {
+      PcapReader reader(ss, ReadPolicy::SkipAndResync);
+      auto got = reader.read_all();
+      const auto& st = reader.stats();
+      ASSERT_EQ(got.size(), st.records_ok);
+      total.records_ok += st.records_ok;
+      total.records_truncated += st.records_truncated;
+      total.corrupt_headers += st.corrupt_headers;
+      total.resyncs += st.resyncs;
+      total.bytes_skipped += st.bytes_skipped;
+    } catch (const PcapError&) {
+      ++header_rejects;
+    }
+  }
+  EXPECT_EQ(total.records_ok, 683u);
+  EXPECT_EQ(total.records_truncated, 16u);
+  EXPECT_EQ(total.corrupt_headers, 32u);
+  EXPECT_EQ(total.resyncs, 16u);
+  EXPECT_EQ(total.bytes_skipped, 14232u);
+  EXPECT_EQ(header_rejects, 32u);
 }
 
 // Mutated pcap streams through both read policies: no crash, no unbounded

@@ -152,6 +152,90 @@ TEST(Mutate, ZeroHeadersKeepsPayloadBytes) {
   EXPECT_EQ(pkt.data[payload_off + 4], 0x42);
 }
 
+TEST(Mutate, JitterTtlStaysBoundedAndConsistent) {
+  std::mt19937_64 rng(6);
+  for (int i = 0; i < 200; ++i) {
+    Packet pkt = sample_tcp_packet();
+    ASSERT_TRUE(jitter_ttl(pkt, 8, rng));
+    auto p = *parse_packet(pkt).parsed;
+    EXPECT_GE(p.ipv4->ttl, 64 - 8);
+    EXPECT_LE(p.ipv4->ttl, 64 + 8);
+    EXPECT_GE(p.ipv4->ttl, 1);
+    expect_consistent(pkt);
+  }
+  // Deterministic: same seed, same delta sequence.
+  std::mt19937_64 a(7), b(7);
+  Packet pa = sample_tcp_packet(), pb = sample_tcp_packet();
+  ASSERT_TRUE(jitter_ttl(pa, 8, a));
+  ASSERT_TRUE(jitter_ttl(pb, 8, b));
+  EXPECT_EQ(pa.data, pb.data);
+  // max_delta <= 0 is a no-op draw-wise and leaves the field unchanged.
+  Packet pz = sample_tcp_packet();
+  std::mt19937_64 z(8);
+  ASSERT_TRUE(jitter_ttl(pz, 0, z));
+  EXPECT_EQ(parse_packet(pz).parsed->ipv4->ttl, 64);
+}
+
+TEST(Mutate, JitterWindowChangesOnlyWindow) {
+  Packet pkt = sample_tcp_packet();
+  auto before = *parse_packet(pkt).parsed;
+  std::mt19937_64 rng(9);
+  bool changed = false;
+  for (int i = 0; i < 20 && !changed; ++i) {
+    ASSERT_TRUE(jitter_tcp_window(pkt, 4096, rng));
+    changed = parse_packet(pkt).parsed->tcp->window != before.tcp->window;
+  }
+  EXPECT_TRUE(changed);
+  auto after = *parse_packet(pkt).parsed;
+  EXPECT_GE(after.tcp->window, 1);
+  EXPECT_EQ(after.tcp->seq, before.tcp->seq);
+  EXPECT_EQ(after.tcp->src_port, before.tcp->src_port);
+  EXPECT_EQ(after.ipv4->src, before.ipv4->src);
+  EXPECT_EQ(after.tcp->options.mss, before.tcp->options.mss);
+  expect_consistent(pkt);
+}
+
+TEST(Mutate, JitterMssStaysInClampAndPreservesOptions) {
+  std::mt19937_64 rng(10);
+  bool changed = false;
+  for (int i = 0; i < 50; ++i) {
+    Packet pkt = sample_tcp_packet();
+    ASSERT_TRUE(jitter_tcp_mss(pkt, 120, rng));
+    auto p = *parse_packet(pkt).parsed;
+    ASSERT_TRUE(p.tcp->options.mss.has_value());
+    EXPECT_GE(*p.tcp->options.mss, 1460 - 120);
+    EXPECT_LE(*p.tcp->options.mss, 1460 + 120);
+    EXPECT_EQ(p.tcp->options.timestamp,
+              (std::optional<std::pair<std::uint32_t, std::uint32_t>>{
+                  {0xAAAAAAAA, 0xBBBBBBBB}}));
+    if (*p.tcp->options.mss != 1460) changed = true;
+    expect_consistent(pkt);
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(Mutate, JitterAbsentFieldsReturnFalse) {
+  std::mt19937_64 rng(11);
+  // No MSS option: jitter_tcp_mss must refuse.
+  FrameSpec spec;
+  Ipv4Header ip;
+  ip.src = Ipv4Address::from_octets(1, 2, 3, 4);
+  ip.dst = Ipv4Address::from_octets(5, 6, 7, 8);
+  spec.ipv4 = ip;
+  TcpHeader tcp;
+  tcp.src_port = 1;
+  tcp.dst_port = 2;
+  spec.tcp = tcp;
+  Packet no_mss = build_packet(spec, 0);
+  EXPECT_FALSE(jitter_tcp_mss(no_mss, 120, rng));
+  // Non-IP frame: no TTL, no window.
+  FrameSpec arp_spec;
+  arp_spec.arp = ArpHeader{};
+  Packet arp = build_packet(arp_spec, 0);
+  EXPECT_FALSE(jitter_ttl(arp, 8, rng));
+  EXPECT_FALSE(jitter_tcp_window(arp, 4096, rng));
+}
+
 TEST(Mutate, NonTcpRefusals) {
   FrameSpec spec;
   spec.arp = ArpHeader{};
